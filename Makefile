@@ -1,0 +1,27 @@
+# Convenience targets for the CARAML reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench figures report validate clean
+
+install:
+	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) examples/render_figures.py figures
+
+report:
+	$(PYTHON) -m repro.core.cli report --out caraml_report.md --figures
+
+validate:
+	$(PYTHON) -m repro.core.cli validate
+
+clean:
+	rm -rf figures caraml_report.md benchmarks/output .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

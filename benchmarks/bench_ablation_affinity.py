@@ -1,0 +1,42 @@
+"""Ablation A3: CPU binding / NUMA affinity (paper §V-C).
+
+Quantifies the throughput effect of the binding policies on the EPYC
+systems where the paper reports affinity mattered most.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.engine.perf import CNNStepModel
+from repro.hardware.systems import get_system
+from repro.models.resnet import get_cnn_preset
+from repro.simcluster.affinity import BindingPolicy
+
+
+def _sweep():
+    model = get_cnn_preset("resnet50")
+    rows = []
+    for tag in ("A100", "MI250", "H100"):
+        node = get_system(tag)
+        for policy in BindingPolicy:
+            step_model = CNNStepModel(node, model, devices=4, binding=policy)
+            rows.append(
+                {
+                    "system": tag,
+                    "binding": policy.value,
+                    "images_per_s": round(step_model.images_per_second(512), 1),
+                }
+            )
+    return rows
+
+
+def test_ablation_affinity(benchmark, output_dir):
+    """Binding-policy sweep on three systems."""
+    rows = benchmark(_sweep)
+    write_artifact(output_dir, "ablation_affinity.txt", rows_to_text(rows))
+
+    by_key = {(r["system"], r["binding"]): r["images_per_s"] for r in rows}
+    for tag in ("A100", "MI250", "H100"):
+        affine = by_key[(tag, "gpu-affine")]
+        # The tuned GPU-affine layout is never beaten.
+        for policy in BindingPolicy:
+            assert by_key[(tag, policy.value)] <= affine, (tag, policy)

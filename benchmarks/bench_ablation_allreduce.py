@@ -1,0 +1,55 @@
+"""Ablation A1: all-reduce algorithm and link bandwidth.
+
+Sweeps ring vs tree all-reduce and the Table I link classes for the
+800M-model gradient synchronisation, quantifying how much of the LLM
+step the exposed communication costs on each fabric.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.hardware.interconnect import LinkTechnology, get_link
+from repro.models.optimizer import gradient_bytes
+from repro.models.transformer import get_gpt_preset
+from repro.simcluster.nccl import allreduce_time
+
+LINKS = (
+    LinkTechnology.NVLINK4,
+    LinkTechnology.NVLINK3,
+    LinkTechnology.NVLINK4_BRIDGE,
+    LinkTechnology.INFINITY_FABRIC,
+    LinkTechnology.IPU_LINK,
+    LinkTechnology.PCIE_GEN4,
+)
+
+
+def _sweep():
+    grads = gradient_bytes(get_gpt_preset("800M").parameters)
+    rows = []
+    for tech in LINKS:
+        link = get_link(tech)
+        for ranks in (2, 4, 8):
+            for algorithm in ("ring", "tree"):
+                rows.append(
+                    {
+                        "link": tech.value,
+                        "ranks": ranks,
+                        "algorithm": algorithm,
+                        "allreduce_ms": round(
+                            1e3 * allreduce_time(grads, ranks, link, algorithm=algorithm), 3
+                        ),
+                    }
+                )
+    return rows
+
+
+def test_ablation_allreduce(benchmark, output_dir):
+    """Gradient all-reduce cost across fabrics and algorithms."""
+    rows = benchmark(_sweep)
+    write_artifact(output_dir, "ablation_allreduce.txt", rows_to_text(rows))
+
+    by_key = {(r["link"], r["ranks"], r["algorithm"]): r["allreduce_ms"] for r in rows}
+    # Faster fabric -> cheaper sync at every rank count.
+    for ranks in (2, 4, 8):
+        assert by_key[("nvlink4", ranks, "ring")] < by_key[("pcie-gen4", ranks, "ring")]
+    # Ring wins for these large (1.5 GB) gradient messages.
+    assert by_key[("nvlink4", 8, "ring")] < by_key[("nvlink4", 8, "tree")]

@@ -1,0 +1,62 @@
+"""Ablation A5: the provided 13B and 175B GPT configurations.
+
+The suite ships 13B/175B configurations "executed when necessary
+resources are available, and ... tested on NVIDIA GH200 devices"
+(paper §III-A1).  This ablation reproduces the layout selection and
+throughput on JEDI nodes, including the tensor/pipeline/sequence
+parallelism the larger models require.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.engine.perf import LLMStepModel
+from repro.hardware.systems import get_system
+from repro.models.parallelism import suggest_layout
+from repro.models.transformer import get_gpt_preset
+
+
+def _sweep():
+    node = get_system("JEDI")
+    rows = []
+    for size, nodes_used in (("800M", 1), ("13B", 1), ("13B", 4), ("175B", 8)):
+        model = get_gpt_preset(size)
+        devices = node.logical_devices_per_node * nodes_used
+        layout = suggest_layout(
+            model.parameters,
+            node.device_memory_bytes,
+            devices,
+            bytes_per_param=6.0,  # distributed optimizer resident share
+        )
+        step_model = LLMStepModel(
+            node, model, layout, nodes_used=nodes_used
+        )
+        gbs = 4 * layout.dp * 8
+        rows.append(
+            {
+                "model": size,
+                "nodes": nodes_used,
+                "layout": f"dp{layout.dp}/tp{layout.tp}/pp{layout.pp}"
+                + ("/sp" if layout.sequence_parallel else ""),
+                "tokens_per_s_per_device": round(
+                    step_model.tokens_per_second_per_device(gbs), 1
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_large_models(benchmark, output_dir):
+    """13B/175B layouts and throughput on GH200 (JEDI) nodes."""
+    rows = benchmark(_sweep)
+    write_artifact(output_dir, "ablation_large_models.txt", rows_to_text(rows))
+
+    by_model = {(r["model"], r["nodes"]): r for r in rows}
+    # 800M runs pure DP; the big models need model parallelism.
+    assert by_model[("800M", 1)]["layout"].startswith("dp4/tp1/pp1")
+    assert "tp1/pp1" not in by_model[("13B", 1)]["layout"]
+    # Per-device throughput drops with model size (more comm, bubbles).
+    assert (
+        by_model[("800M", 1)]["tokens_per_s_per_device"]
+        > by_model[("13B", 1)]["tokens_per_s_per_device"]
+        > by_model[("175B", 8)]["tokens_per_s_per_device"]
+    )

@@ -1,0 +1,56 @@
+"""Ablation A7: the selectable CNN models (paper §III-A2).
+
+"The benchmark uses the ResNet50 model, but other models like
+inception3, vgg16, and alexnet can also be utilized" -- this ablation
+runs all six supported models on two systems and checks that the
+throughput ordering follows the per-image FLOP cost, with the memory
+boundary moving accordingly.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.engine.oom import check_cnn_memory
+from repro.engine.perf import CNNStepModel
+from repro.hardware.systems import get_system
+from repro.models.resnet import CNN_PRESETS, get_cnn_preset
+
+SYSTEMS = ("A100", "GH200")
+BATCH = 256
+
+
+def _sweep():
+    rows = []
+    for tag in SYSTEMS:
+        node = get_system(tag)
+        for name in CNN_PRESETS:
+            model = get_cnn_preset(name)
+            fits = check_cnn_memory(node, model, BATCH).fits
+            rate = (
+                CNNStepModel(node, model).images_per_second(BATCH) if fits else 0.0
+            )
+            rows.append(
+                {
+                    "system": tag,
+                    "model": name,
+                    "gflop_per_image": round(model.flops_per_image_forward / 1e9, 2),
+                    "feasible_b256": fits,
+                    "images_per_s": round(rate, 1),
+                }
+            )
+    return rows
+
+
+def test_ablation_cnn_models(benchmark, output_dir):
+    """All six tf_cnn_benchmarks models on two systems."""
+    rows = benchmark(_sweep)
+    write_artifact(output_dir, "ablation_models.txt", rows_to_text(rows))
+
+    for tag in SYSTEMS:
+        by_model = {
+            r["model"]: r for r in rows if r["system"] == tag and r["feasible_b256"]
+        }
+        # Throughput inversely tracks the per-image FLOP cost.
+        ordered = sorted(by_model.values(), key=lambda r: r["gflop_per_image"])
+        rates = [r["images_per_s"] for r in ordered]
+        assert rates == sorted(rates, reverse=True), tag
+        assert by_model["alexnet"]["images_per_s"] > by_model["vgg16"]["images_per_s"]

@@ -1,0 +1,50 @@
+"""Ablation A2: pipeline bubble vs micro-batch count.
+
+The paper attributes the IPU's low GPT throughput to the pipeline
+bubble; this ablation quantifies the bubble fraction over micro-batch
+counts and pipeline depths, and shows the IPU engine's throughput
+follows it exactly.
+"""
+
+import pytest
+
+from conftest import rows_to_text, write_artifact
+
+from repro.engine.poplar import GPT_MICRO_BATCH, PoplarGPTEngine
+from repro.hardware.systems import get_system
+from repro.models.parallelism import pipeline_bubble_fraction
+
+
+def _sweep():
+    rows = []
+    for pp in (2, 4, 8):
+        for m in (1, 2, 4, 16, 64, 512):
+            rows.append(
+                {
+                    "pipeline_stages": pp,
+                    "micro_batches": m,
+                    "bubble_fraction": round(pipeline_bubble_fraction(pp, m), 4),
+                }
+            )
+    return rows
+
+
+def test_ablation_pipeline_bubble(benchmark, output_dir):
+    """Bubble fraction sweep plus IPU-throughput consistency check."""
+    rows = benchmark(_sweep)
+    write_artifact(output_dir, "ablation_pipeline.txt", rows_to_text(rows))
+
+    # Bubble shrinks monotonically with micro-batch count.
+    for pp in (2, 4, 8):
+        fractions = [r["bubble_fraction"] for r in rows if r["pipeline_stages"] == pp]
+        assert fractions == sorted(fractions, reverse=True)
+
+    # The IPU engine's saturation curve is the bubble curve: relative
+    # throughput ~ m / (m + p - 1 + fill).
+    engine = PoplarGPTEngine(get_system("GC200"))
+    asymptote = GPT_MICRO_BATCH / 0.164187
+    for gbs in (64, 1024, 16384):
+        m = gbs // GPT_MICRO_BATCH
+        expected_fraction = m / (m + 4)  # p-1=3 plus 1 fill overhead
+        measured = engine.tokens_per_second(gbs) / asymptote
+        assert measured == pytest.approx(expected_fraction, rel=1e-6)

@@ -1,0 +1,53 @@
+"""Ablation A4: jpwr sampling interval vs energy error.
+
+The paper's jpwr samples power at a configurable period (100 ms in its
+example).  This ablation measures the trapezoidal-integration error as
+a function of the sampling interval against the exact analytic energy.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.hardware.systems import get_system
+from repro.power.sensors import DeviceRegistry
+from repro.power.trace import PowerTrace, UtilisationTimeline
+
+INTERVALS_MS = (10, 50, 100, 500, 1000, 5000)
+
+
+def _workload_timeline() -> UtilisationTimeline:
+    """A bursty training-like profile: 60 steps of compute + sync."""
+    tl = UtilisationTimeline()
+    for _ in range(60):
+        tl.append(0.9, 0.85)  # compute phase
+        tl.append(0.1, 0.25)  # comm/optimizer phase
+    return tl
+
+
+def _sweep():
+    model = DeviceRegistry.for_node(get_system("A100")).get(0).model
+    tl = _workload_timeline()
+    exact = tl.exact_energy_j(model)
+    rows = []
+    for interval_ms in INTERVALS_MS:
+        trace = PowerTrace.from_timeline(tl, model, interval_s=interval_ms / 1000.0)
+        err = abs(trace.energy_j() - exact) / exact
+        rows.append(
+            {
+                "interval_ms": interval_ms,
+                "samples": len(trace),
+                "rel_error_pct": round(100 * err, 4),
+            }
+        )
+    return rows
+
+
+def test_ablation_sampling_interval(benchmark, output_dir):
+    """Energy error grows with the sampling interval."""
+    rows = benchmark(_sweep)
+    write_artifact(output_dir, "ablation_sampling.txt", rows_to_text(rows))
+
+    # The paper's default 100 ms stays below 2 % error on this profile.
+    by_interval = {r["interval_ms"]: r["rel_error_pct"] for r in rows}
+    assert by_interval[100] < 2.0
+    # Coarser sampling is never *more* accurate by an order of magnitude.
+    assert by_interval[5000] > by_interval[10]

@@ -1,0 +1,60 @@
+"""Ablation A6: sequence-length scaling of the LLM benchmark.
+
+The attention term of the per-token FLOPs is quadratic in the sequence
+length (paper §II-A: attention is "characterized by its quadratic
+complexity in the sequence length").  This ablation sweeps the
+sequence length of the 800M model and separates the linear weight-FLOP
+share from the quadratic attention share, including the effect on
+tokens/s and the activation footprint.
+"""
+
+from dataclasses import replace
+
+from conftest import rows_to_text, write_artifact
+
+from repro.engine.perf import LLMStepModel
+from repro.hardware.systems import get_system
+from repro.models.activation import transformer_activation_bytes
+from repro.models.parallelism import ParallelLayout
+from repro.models.transformer import get_gpt_preset
+
+SEQ_LENGTHS = (512, 1024, 2048, 4096, 8192)
+
+
+def _sweep():
+    base = get_gpt_preset("800M")
+    node = get_system("GH200")
+    rows = []
+    for seq in SEQ_LENGTHS:
+        model = replace(base, seq_length=seq)
+        attention = 12.0 * model.layers * seq * model.hidden  # fwd+bwd
+        total = model.flops_per_token_train
+        step_model = LLMStepModel(node, model, ParallelLayout(dp=1))
+        rows.append(
+            {
+                "seq_length": seq,
+                "flops_per_token_G": round(total / 1e9, 2),
+                "attention_share_pct": round(100 * attention / total, 1),
+                "tokens_per_s": round(step_model.tokens_per_second(256), 1),
+                "activation_gb_mbs4": round(
+                    transformer_activation_bytes(model, 4) / 1e9, 2
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_sequence_length(benchmark, output_dir):
+    """Quadratic attention share vs sequence length."""
+    rows = benchmark(_sweep)
+    write_artifact(output_dir, "ablation_seqlen.txt", rows_to_text(rows))
+
+    shares = [r["attention_share_pct"] for r in rows]
+    assert shares == sorted(shares)  # attention share grows with seq
+    rates = [r["tokens_per_s"] for r in rows]
+    assert rates == sorted(rates, reverse=True)  # tokens/s drops
+    # Activation footprint is linear in seq (flash attention removed
+    # the quadratic term); allow for table rounding.
+    ratio = rows[-1]["activation_gb_mbs4"] / rows[0]["activation_gb_mbs4"]
+    expected = rows[-1]["seq_length"] / rows[0]["seq_length"]
+    assert abs(ratio / expected - 1) < 0.01

@@ -1,0 +1,29 @@
+"""Experiments E7/E8: the paper's headline comparison claims.
+
+Evaluates every quantitative cross-system claim of §IV against the
+model and prints paper-vs-measured for each.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis.compare import llm_claims, resnet_claims
+
+
+def test_llm_claims(benchmark, output_dir):
+    """§IV-A claims over the Figure 2 data (E7)."""
+    checks = benchmark(llm_claims)
+    write_artifact(
+        output_dir, "claims_llm.txt", "\n".join(c.describe() for c in checks)
+    )
+    failed = [c.describe() for c in checks if not c.holds]
+    assert not failed, "\n".join(failed)
+
+
+def test_resnet_claims(benchmark, output_dir):
+    """§IV-B claims over the Figure 3 data (E8)."""
+    checks = benchmark(resnet_claims)
+    write_artifact(
+        output_dir, "claims_resnet.txt", "\n".join(c.describe() for c in checks)
+    )
+    failed = [c.describe() for c in checks if not c.holds]
+    assert not failed, "\n".join(failed)

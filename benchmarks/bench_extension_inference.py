@@ -1,0 +1,50 @@
+"""Extension benchmark: LLM inference across the GPU systems.
+
+Not a paper table (inference is named as future work in §VI); sweeps
+decode batch size per system and reports tokens/s and tokens/Wh,
+showing the bandwidth-bound-to-compute-bound transition and the
+GH200's 4 TB/s HBM3 advantage at small batch.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.engine.inference import InferenceEngine, InferenceWorkload
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+
+SYSTEMS = ("A100", "H100", "WAIH100", "GH200", "MI250")
+BATCHES = (1, 4, 16, 64)
+
+
+def _sweep():
+    model = get_gpt_preset("800M")
+    rows = []
+    for tag in SYSTEMS:
+        engine = InferenceEngine(get_system(tag), model)
+        for batch in BATCHES:
+            result = engine.serve(InferenceWorkload(batch_size=batch), requests=2)
+            rows.append(
+                {
+                    "system": tag,
+                    "batch": batch,
+                    "tokens_per_s": round(result.throughput, 1),
+                    "ttft_ms": round(result.extra["time_to_first_token_s"] * 1e3, 1),
+                    "tokens_per_wh": round(result.extra["tokens_per_wh"], 1),
+                }
+            )
+    return rows
+
+
+def test_extension_inference(benchmark, output_dir):
+    """Inference sweep: throughput, TTFT and energy efficiency."""
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_artifact(output_dir, "extension_inference.txt", rows_to_text(rows))
+
+    by_key = {(r["system"], r["batch"]): r for r in rows}
+    # Decode is bandwidth-bound at batch 1: GH200 (4 TB/s) leads.
+    batch1 = {tag: by_key[(tag, 1)]["tokens_per_s"] for tag in SYSTEMS}
+    assert max(batch1, key=batch1.get) == "GH200"
+    # Larger batches always help aggregate throughput.
+    for tag in SYSTEMS:
+        rates = [by_key[(tag, b)]["tokens_per_s"] for b in BATCHES]
+        assert rates == sorted(rates), tag

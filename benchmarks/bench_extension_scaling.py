@@ -1,0 +1,37 @@
+"""Extension benchmark: multi-node LLM scaling curves.
+
+Weak and strong data-parallel scaling of the 800M GPT benchmark on the
+systems with an inter-node fabric -- the LLM counterpart of the
+Figure 4 device axis.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.analysis.scaling import scaling_rows, strong_scaling, weak_scaling
+
+MULTINODE = ("JEDI", "WAIH100", "MI250", "A100")
+
+
+def _sweep():
+    out = {}
+    for tag in MULTINODE:
+        out[f"{tag} weak"] = scaling_rows(weak_scaling(tag))
+        out[f"{tag} strong"] = scaling_rows(strong_scaling(tag, global_batch_size=4096))
+    return out
+
+
+def test_extension_scaling(benchmark, output_dir):
+    """Weak/strong scaling sweep on the multi-node systems."""
+    curves = benchmark(_sweep)
+    text = "\n\n".join(
+        f"--- {name} ---\n{rows_to_text(rows)}" for name, rows in curves.items()
+    )
+    write_artifact(output_dir, "extension_scaling.txt", text)
+
+    for tag in MULTINODE:
+        weak = curves[f"{tag} weak"]
+        # Weak scaling stays efficient over InfiniBand.
+        assert weak[-1]["efficiency"] > 0.75, tag
+        # Strong scaling efficiency never beats weak scaling's.
+        strong = curves[f"{tag} strong"]
+        assert strong[-1]["efficiency"] <= weak[-1]["efficiency"] + 1e-9, tag

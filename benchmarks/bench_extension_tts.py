@@ -1,0 +1,39 @@
+"""Extension benchmark: time-to-solution vs batch size (§II-D / §IV-A).
+
+The MLPerf-style metric the paper skips for cost reasons, affordable on
+the simulator: wall-clock and node energy to train the 800M model to a
+target loss, across batch sizes.  Quantifies §IV-A's caveat that
+large-batch throughput "must be balanced against the potential drawback
+of slower convergence": throughput is maximal at GBS 4096, wall-clock
+to solution is not.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.analysis.tts import batch_size_tradeoff, optimal_batch_size, tts_rows
+
+SYSTEMS = ("GH200", "A100", "H100")
+BATCHES = (64, 256, 512, 1024, 2048, 4096)
+
+
+def _sweep():
+    return {tag: batch_size_tradeoff(tag, batch_sizes=BATCHES) for tag in SYSTEMS}
+
+
+def test_extension_time_to_solution(benchmark, output_dir):
+    """Batch-size trade-off at fixed target loss."""
+    sweeps = benchmark(_sweep)
+    text = "\n\n".join(
+        f"--- {tag} (target loss 3.6) ---\n{rows_to_text(tts_rows(results))}"
+        for tag, results in sweeps.items()
+    )
+    write_artifact(output_dir, "extension_tts.txt", text)
+
+    for tag, results in sweeps.items():
+        best = optimal_batch_size(results)
+        # The wall-clock optimum is interior: neither the smallest nor
+        # the largest batch.
+        assert BATCHES[0] < best.global_batch_size < BATCHES[-1], tag
+        # Beyond the critical batch, time-to-solution strictly grows.
+        by_gbs = {r.global_batch_size: r.hours for r in results}
+        assert by_gbs[1024] < by_gbs[2048] < by_gbs[4096], tag

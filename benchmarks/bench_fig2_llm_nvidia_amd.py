@@ -1,0 +1,25 @@
+"""Experiment E1: regenerate Figure 2 (LLM training, NVIDIA + AMD).
+
+Three panels: tokens/s per device, energy per device per hour of
+training (Wh), and tokens per Wh -- for all seven series (five NVIDIA
+variants plus the two AMD MI250 normalisations) over global batch
+sizes 16..4096.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.analysis.figures import fig2_llm_series, fig2_rows
+
+
+def test_fig2_llm_series(benchmark, output_dir):
+    """Generate all Figure 2 series and check the headline shapes."""
+    series = benchmark(fig2_llm_series)
+    rows = fig2_rows(series)
+    write_artifact(output_dir, "fig2_llm_nvidia_amd.txt", rows_to_text(rows))
+
+    # Shape assertions (the paper's qualitative findings).
+    best = max(r["tokens_per_s_per_device"] for r in rows)
+    assert abs(best / 47505 - 1) < 0.15, "GH200 peak anchor"
+    for label, points in series.items():
+        rates = [p.tokens_per_s_per_device for p in points]
+        assert rates == sorted(rates), f"{label}: batch scaling must be monotone"

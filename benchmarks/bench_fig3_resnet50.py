@@ -1,0 +1,39 @@
+"""Experiment E3: regenerate Figure 3 (ResNet50, single device).
+
+Three panels: images/s, energy per ImageNet epoch (Wh), images per Wh
+-- for the five NVIDIA variants and the two AMD normalisations over
+global batch sizes 16..2048.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.analysis.figures import fig3_resnet_series, fig3_rows
+
+
+def test_fig3_resnet_series(benchmark, output_dir):
+    """Generate all Figure 3 series and check the headline shapes."""
+    series = benchmark(fig3_resnet_series)
+    rows = fig3_rows(series)
+    write_artifact(output_dir, "fig3_resnet50.txt", rows_to_text(rows))
+
+    at = lambda label, gbs: next(
+        p for p in series[label] if p.global_batch_size == gbs
+    )
+    # Generation scaling at large batch.
+    assert (
+        at("A100", 2048).images_per_s
+        < at("H100 (JRDC)", 2048).images_per_s
+        < at("H100 (WestAI)", 2048).images_per_s
+    )
+    # GH200 JRDC beats JEDI, increasingly with batch size.
+    assert at("GH200 (JRDC)", 2048).images_per_s > at("GH200 (JEDI)", 2048).images_per_s
+    # AMD wins images/Wh at the largest batch.
+    amd_best = max(
+        at("AMD MI250:GCD", 2048).images_per_wh,
+        at("AMD MI250:GPU", 2048).images_per_wh,
+    )
+    nvidia_best = max(
+        at(lbl, 2048).images_per_wh
+        for lbl in ("A100", "H100 (JRDC)", "H100 (WestAI)", "GH200 (JRDC)", "GH200 (JEDI)")
+    )
+    assert amd_best > nvidia_best

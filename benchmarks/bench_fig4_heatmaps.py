@@ -1,0 +1,41 @@
+"""Experiment E5: regenerate the Figure 4 heatmaps (4a-4g).
+
+One heatmap per Table I system: ResNet50 throughput over
+(device count x global batch size), with OOM cells exactly where the
+per-device batch exceeds device memory.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis.heatmap import (
+    best_cell,
+    best_in_row,
+    device_axis,
+    fig4_heatmap,
+    heatmap_grid_for,
+)
+from repro.hardware.systems import SYSTEM_TAGS
+
+
+def _all_heatmaps() -> dict[str, str]:
+    return {tag: heatmap_grid_for(tag) for tag in SYSTEM_TAGS}
+
+
+def test_fig4_all_heatmaps(benchmark, output_dir):
+    """Generate all seven heatmaps and check the paper's patterns."""
+    grids_text = benchmark(_all_heatmaps)
+    combined = "\n\n".join(
+        f"--- Fig 4: {tag} ---\n{text}" for tag, text in grids_text.items()
+    )
+    write_artifact(output_dir, "fig4_heatmaps.txt", combined)
+
+    # A100: OOM at gbs 2048 on a single device (Fig. 4g).
+    assert "OOM" in grids_text["A100"]
+    # GPUs: best cell = largest batch, most devices.
+    for tag in ("A100", "H100", "WAIH100", "JEDI", "MI250"):
+        grid = fig4_heatmap(tag)
+        best = best_cell(grid)
+        assert best.global_batch_size == 2048
+        assert best.devices == device_axis(tag)[-1]
+    # IPU: gbs-16 row peaks at 2 IPUs.
+    assert best_in_row(fig4_heatmap("GC200"), 16).devices == 2

@@ -1,0 +1,48 @@
+"""Synthetic microbenchmark layer across all systems (§II-D context).
+
+GEMM TFLOP/s, STREAM triad GB/s and all-reduce bus bandwidth for every
+Table I system -- the "specific yet commonly used compute patterns"
+layer the paper contrasts CARAML with, plus the roofline sanity check
+that the calibrated application engines never exceed the machine.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.engine.microbench import allreduce_busbw_gbs, gemm_tflops, stream_triad_gbs
+from repro.hardware.systems import SYSTEM_TAGS, get_system
+
+
+def _sweep():
+    rows = []
+    for tag in SYSTEM_TAGS:
+        node = get_system(tag)
+        gemm = gemm_tflops(node, 8192)
+        stream = stream_triad_gbs(node, 10**9)
+        row = {
+            "system": tag,
+            "gemm8k_tflops": round(gemm.value, 1),
+            "stream_gbs": round(stream.value, 1),
+        }
+        if node.logical_devices_per_node >= 2:
+            row["allreduce_busbw_gbs"] = round(
+                allreduce_busbw_gbs(node, 256 * 1024 * 1024).value, 1
+            )
+        else:
+            row["allreduce_busbw_gbs"] = "-"
+        rows.append(row)
+    return rows
+
+
+def test_microbenchmarks(benchmark, output_dir):
+    """Microbenchmark table across the seven systems."""
+    rows = benchmark(_sweep)
+    write_artifact(output_dir, "microbench.txt", rows_to_text(rows))
+
+    by_system = {r["system"]: r for r in rows}
+    # Peak ordering follows the spec sheet.
+    assert by_system["A100"]["gemm8k_tflops"] < by_system["H100"]["gemm8k_tflops"]
+    # GH200's HBM3 leads the GPUs; the IPU's aggregate *on-chip SRAM*
+    # bandwidth is in a different class entirely (the dataflow pitch).
+    gpu_streams = {t: by_system[t]["stream_gbs"] for t in by_system if t != "GC200"}
+    assert max(gpu_streams, key=gpu_streams.get) in ("GH200", "JEDI")
+    assert by_system["GC200"]["stream_gbs"] > 5 * by_system["GH200"]["stream_gbs"]

@@ -1,0 +1,19 @@
+"""Render every paper figure as SVG (Figures 2, 3, 4a-g).
+
+The other benches print the data series; this one produces the actual
+figure files under ``benchmarks/output/figures/``.
+"""
+
+import xml.etree.ElementTree as ET
+
+from repro.analysis.render import render_all
+
+
+def test_render_all_figures(benchmark, output_dir):
+    """Generate 13 SVG panels and validate each parses as XML."""
+    fig_dir = output_dir / "figures"
+    paths = benchmark.pedantic(render_all, args=(fig_dir,), rounds=1, iterations=1)
+    assert len(paths) == 13  # 3 (Fig2) + 3 (Fig3) + 7 (Fig4)
+    for path in paths:
+        ET.parse(path)  # valid standalone SVG
+    print(f"\nwrote {len(paths)} figure panels to {fig_dir}")

@@ -1,0 +1,34 @@
+"""Roofline placement of the benchmark workloads, per system.
+
+Explains the evaluation's shape from first principles: GPT training
+sits right of every ridge (compute-bound, so peak FLOP/s and MFU set
+Figure 2), LLM decode sits far left (bandwidth-bound, so HBM sets the
+inference extension), and ResNet50 sits near the ridge (which is why
+both peak and bandwidth moved Figure 3 between generations).
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.analysis.roofline import build_roofline, render_roofline_svg, roofline_rows
+
+GPU_SYSTEMS = ("A100", "H100", "WAIH100", "GH200", "JEDI", "MI250")
+
+
+def _sweep():
+    return {tag: build_roofline(tag) for tag in GPU_SYSTEMS}
+
+
+def test_rooflines(benchmark, output_dir):
+    """Roofline tables + SVG per GPU system."""
+    rooflines = benchmark(_sweep)
+    sections = []
+    for tag, roofline in rooflines.items():
+        sections.append(f"--- {tag} ---\n{rows_to_text(roofline_rows(roofline))}")
+        render_roofline_svg(tag, output_dir / "figures" / f"roofline_{tag.lower()}.svg")
+    write_artifact(output_dir, "rooflines.txt", "\n\n".join(sections))
+
+    for tag, roofline in rooflines.items():
+        gpt = next(p for p in roofline.points if p.label.startswith("gpt"))
+        decode = next(p for p in roofline.points if "decode" in p.label)
+        assert gpt.arithmetic_intensity > roofline.ridge_intensity, tag
+        assert decode.arithmetic_intensity < roofline.ridge_intensity, tag

@@ -1,0 +1,35 @@
+"""Calibration sensitivity: how robust is the claim reproduction?
+
+Perturbs every throughput/power-determining calibration constant of
+every GPU system by ±5 % and re-evaluates all 18 §IV claim checks.
+Expected outcome (documented in EXPERIMENTS.md): only the knife-edge
+"JEDI tokens/Wh slightly better than GH200 JRDC" claim -- a 2 % margin
+the paper itself calls "slightly better" -- is sensitive; every other
+claim survives every perturbation.
+"""
+
+from conftest import rows_to_text, write_artifact
+
+from repro.analysis.sensitivity import summarize, sweep
+
+
+def test_sensitivity(benchmark, output_dir):
+    """±5 % perturbation sweep over all calibrated constants."""
+    results = benchmark.pedantic(
+        sweep, kwargs={"factors": (0.95, 1.05)}, rounds=1, iterations=1
+    )
+    rows = summarize(results)
+    write_artifact(output_dir, "sensitivity.txt", rows_to_text(rows))
+
+    fragile = [r for r in results if not r.robust]
+    # Only the explicitly knife-edge claim may break.
+    knife_edge = "JEDI tokens/Wh >= GH200 JRDC (slightly better)"
+    for result in fragile:
+        assert result.broken_claims == (knife_edge,), result
+    # And it breaks for at most the four perturbations that move the
+    # JEDI/JRDC efficiency ratio.
+    assert len(fragile) <= 4
+    # Every hard quantitative claim survives everywhere.
+    assert all(
+        knife_edge in r.broken_claims or r.robust for r in results
+    )

@@ -1,0 +1,30 @@
+"""Experiment E2: regenerate Table II (117M GPT on the IPU-POD4).
+
+Columns: batch size, tokens/s, energy per epoch per IPU (Wh), tokens
+per Wh -- for global batch sizes 64..16384, as in the paper.
+"""
+
+import pytest
+
+from conftest import rows_to_text, write_artifact
+
+from repro.analysis.tables import PAPER_TABLE2, table2_ipu_gpt, table_rows_printable
+
+
+def test_table2_ipu_gpt(benchmark, output_dir):
+    """Regenerate Table II and compare against the paper's entries."""
+    rows = benchmark(table2_ipu_gpt)
+    printable = table_rows_printable(rows, "Tokens")
+    lines = [rows_to_text(printable), "", "paper vs measured (throughput):"]
+    for row in rows:
+        paper_rate, paper_wh = PAPER_TABLE2[row.batch_size]
+        lines.append(
+            f"  b={row.batch_size:6d}: tokens/s {row.throughput:7.2f} "
+            f"(paper {paper_rate:7.2f}), Wh {row.energy_wh:5.2f} (paper {paper_wh:5.2f})"
+        )
+    write_artifact(output_dir, "table2_ipu_gpt.txt", "\n".join(lines))
+
+    for row in rows:
+        paper_rate, paper_wh = PAPER_TABLE2[row.batch_size]
+        assert row.throughput == pytest.approx(paper_rate, rel=0.01)
+        assert row.energy_wh == pytest.approx(paper_wh, rel=0.15)

@@ -1,0 +1,30 @@
+"""Experiment E4: regenerate Table III (ResNet50 on a single GC200).
+
+Columns: batch size, images/s, energy per epoch (Wh), images per Wh --
+for global batch sizes 16..4096.
+"""
+
+import pytest
+
+from conftest import rows_to_text, write_artifact
+
+from repro.analysis.tables import PAPER_TABLE3, table3_ipu_resnet, table_rows_printable
+
+
+def test_table3_ipu_resnet(benchmark, output_dir):
+    """Regenerate Table III and compare against the paper's entries."""
+    rows = benchmark(table3_ipu_resnet)
+    printable = table_rows_printable(rows, "Images")
+    lines = [rows_to_text(printable), "", "paper vs measured:"]
+    for row in rows:
+        paper_rate, paper_wh = PAPER_TABLE3[row.batch_size]
+        lines.append(
+            f"  b={row.batch_size:5d}: img/s {row.throughput:7.1f} "
+            f"(paper {paper_rate:7.1f}), Wh {row.energy_wh:5.2f} (paper {paper_wh:5.2f})"
+        )
+    write_artifact(output_dir, "table3_ipu_resnet.txt", "\n".join(lines))
+
+    for row in rows:
+        paper_rate, paper_wh = PAPER_TABLE3[row.batch_size]
+        assert row.throughput == pytest.approx(paper_rate, rel=0.01)
+        assert row.energy_wh == pytest.approx(paper_wh, rel=0.02)

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md) and prints the same rows/series the
+paper reports.  ``pytest benchmarks/ --benchmark-only`` runs them all;
+each bench writes its artefact to ``benchmarks/output/`` as well.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory benchmark artefacts are written to."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(output_dir: Path, name: str, text: str) -> None:
+    """Persist one benchmark artefact and echo it to stdout."""
+    path = output_dir / name
+    path.write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+def rows_to_text(rows: list[dict]) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(empty)"
+    keys = list(rows[0])
+    widths = {k: max(len(str(k)), *(len(str(r[k])) for r in rows)) for k in keys}
+    lines = ["  ".join(str(k).rjust(widths[k]) for k in keys)]
+    for row in rows:
+        lines.append("  ".join(str(row[k]).rjust(widths[k]) for k in keys))
+    return "\n".join(lines)

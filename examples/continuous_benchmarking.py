@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Continuous benchmarking (paper §VI future work).
+
+Records a performance baseline for a tracked benchmark suite, then
+re-measures and gates on regressions -- the CI-style loop the paper
+plans for CARAML.  A synthetic regression is injected to show the
+detection path.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core.continuous import BenchmarkPoint, ContinuousBenchmark
+
+SUITE = (
+    BenchmarkPoint("llm", "A100", 256),
+    BenchmarkPoint("llm", "GC200", 1024),
+    BenchmarkPoint("resnet", "H100", 256),
+)
+
+
+def main() -> None:
+    cb = ContinuousBenchmark(points=SUITE)
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = Path(tmp) / "baseline.json"
+
+        print("recording baseline...")
+        cb.record_baseline(baseline)
+        for key, metrics in json.loads(baseline.read_text()).items():
+            print(f"  {key}: {metrics['throughput']:.1f}")
+
+        print("\nre-measuring against the baseline:")
+        for comparison in cb.compare(baseline):
+            print(f"  {comparison.describe()}")
+        print(f"regressions: {len(cb.check(baseline))}")
+
+        print("\ninjecting a synthetic 20% slowdown into the baseline:")
+        data = json.loads(baseline.read_text())
+        for entry in data.values():
+            entry["throughput"] *= 1.25
+        baseline.write_text(json.dumps(data))
+        for comparison in cb.compare(baseline):
+            print(f"  {comparison.describe()}")
+        regressions = cb.check(baseline)
+        print(f"regressions detected: {len(regressions)} (CI would fail here)")
+
+
+if __name__ == "__main__":
+    main()

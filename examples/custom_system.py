@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Evaluating a hypothetical accelerator with CARAML.
+
+The suite's point is letting users assess hardware *they* care about.
+This example defines a hypothetical next-generation system -- an
+8-device node with 1.6 PFLOP/s FP16 devices, 192 GB of HBM at 6 TB/s --
+registers it alongside the seven paper systems, and runs the full
+benchmark set against it, comparing with the GH200 baseline.
+"""
+
+from repro.core.suite import CaramlSuite
+from repro.engine.calibration import SystemCalibration
+from repro.hardware.accelerator import AcceleratorKind, AcceleratorSpec, Vendor
+from repro.hardware.cpu import get_cpu
+from repro.hardware.custom import temporary_system
+from repro.hardware.interconnect import LinkSpec, LinkTechnology, get_link
+from repro.hardware.node import NodeSpec
+from repro.units import gb, gbps, tflops
+
+
+def build_hypothetical_node() -> NodeSpec:
+    accelerator = AcceleratorSpec(
+        name="X200",
+        vendor=Vendor.NVIDIA,  # reuses the NVML measurement path
+        kind=AcceleratorKind.GPU,
+        compute_units=160,
+        cores_per_unit=128,
+        matrix_units_per_unit=4,
+        peak_fp16_flops=tflops(1600),
+        memory_bytes=gb(192),
+        memory_bandwidth=gbps(6000),
+        tdp_watts=1000.0,
+    )
+    return NodeSpec(
+        name="Hypothetical X200 node",
+        jube_tag="X200",
+        accelerator=accelerator,
+        accelerators_per_node=8,
+        cpu=get_cpu("Grace"),
+        cpu_sockets=2,
+        cpu_memory_bytes=gb(960),
+        cpu_accel_link=LinkSpec(LinkTechnology.NVLINK_C2C, gbps(1800), 0.4e-6),
+        accel_accel_link=LinkSpec(LinkTechnology.NVLINK4, gbps(1800), 1.0e-6),
+        internode_link=get_link(LinkTechnology.NONE),
+        package_tdp_watts=1000.0,
+    )
+
+
+def main() -> None:
+    node = build_hypothetical_node()
+    calibration = SystemCalibration(
+        mfu_llm=0.30,  # optimistic next-gen software maturity
+        mfu_cnn=0.06,
+        cnn_batch_half=8.0,
+        util_full_llm=0.75,
+        util_full_cnn=0.55,
+    )
+    suite = CaramlSuite()
+
+    with temporary_system(node, calibration):
+        print(node.describe())
+        print()
+        x200 = suite.run_llm("X200", global_batch_size=4096, exit_duration_s=60)
+        gh200 = suite.run_llm("GH200", global_batch_size=4096, exit_duration_s=60)
+        print("LLM 800M @ GBS 4096:")
+        for result in (x200, gh200):
+            print(
+                f"  {result.system_tag:>6}: "
+                f"{result.throughput_per_device:9.0f} tokens/s/dev, "
+                f"{result.mean_power_per_device_w:6.0f} W, "
+                f"{result.efficiency_per_wh:9.0f} tokens/Wh"
+            )
+        speedup = x200.throughput_per_device / gh200.throughput_per_device
+        print(f"  -> X200 is {speedup:.2f}x a GH200 per device on this workload")
+
+        cnn = suite.run_resnet("X200", global_batch_size=2048)
+        print(
+            f"\nResNet50 @ GBS 2048: {cnn.throughput:.0f} images/s, "
+            f"{cnn.extra['images_per_wh']:.0f} images/Wh"
+        )
+
+
+if __name__ == "__main__":
+    main()

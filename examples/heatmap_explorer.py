@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Figure-4-style heatmap exploration.
+
+Prints the ResNet50 throughput heatmap (devices x global batch size,
+with OOM cells) for any Table I system, plus the best configuration --
+the scaling/ablation exploration the paper positions CARAML for.
+
+Usage::
+
+    python examples/heatmap_explorer.py [SYSTEM_TAG ...]
+"""
+
+import sys
+
+from repro.analysis.heatmap import best_cell, fig4_heatmap, heatmap_grid_for
+from repro.hardware.systems import SYSTEM_TAGS
+
+
+def main() -> None:
+    tags = sys.argv[1:] or list(SYSTEM_TAGS)
+    for tag in tags:
+        print(f"--- {tag}: ResNet50 images/s (rows = global batch size) ---")
+        print(heatmap_grid_for(tag))
+        best = best_cell(fig4_heatmap(tag))
+        print(
+            f"best: {best.images_per_s:.0f} images/s at "
+            f"{best.devices} device(s), GBS {best.global_batch_size}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

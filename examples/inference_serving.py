@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Extension example: LLM inference serving across accelerators.
+
+The paper's future work names inference benchmarks; this example
+serves the 800M GPT model on every GPU system, sweeping the decode
+batch size, and prints throughput, time-to-first-token and tokens/Wh.
+"""
+
+from repro.engine.inference import InferenceEngine, InferenceWorkload
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+
+
+def main() -> None:
+    model = get_gpt_preset("800M")
+    print(f"serving {model.describe()}\n")
+    header = f"{'system':<8} {'batch':>5} {'tok/s':>9} {'TTFT ms':>8} {'tok/Wh':>9} {'regime':>10}"
+    print(header)
+    print("-" * len(header))
+    for tag in ("A100", "H100", "WAIH100", "GH200", "MI250"):
+        engine = InferenceEngine(get_system(tag), model)
+        saturation = engine.saturation_batch_size()
+        for batch in (1, 8, 64):
+            result = engine.serve(InferenceWorkload(batch_size=batch), requests=2)
+            regime = "bandwidth" if batch < saturation else "compute"
+            print(
+                f"{tag:<8} {batch:>5} {result.throughput:>9.0f} "
+                f"{result.extra['time_to_first_token_s'] * 1e3:>8.1f} "
+                f"{result.extra['tokens_per_wh']:>9.0f} {regime:>10}"
+            )
+        print(
+            f"{'':8} max batch (KV cache): "
+            f"{engine.max_batch_size(InferenceWorkload())}, "
+            f"compute-bound beyond batch ~{saturation:.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

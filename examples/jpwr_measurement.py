@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Using jpwr directly, exactly as the paper's §III-A4 example does.
+
+Builds a GH200 node, drives a synthetic load, and measures it with two
+backends at once (pynvml + the Grace-Hopper sysfs method), then exports
+the DataFrames -- the multi-backend setup the paper highlights for
+GH200 superchips.
+"""
+
+from repro.hardware.systems import get_system
+from repro.jpwr.ctxmgr import get_power
+from repro.jpwr.export import export_measurement
+from repro.jpwr.methods.gh import GraceHopperMethod
+from repro.jpwr.methods.pynvml import PynvmlMethod
+from repro.power.sensors import DeviceRegistry
+from repro.simcluster.clock import VirtualClock
+
+
+def application_call(clock, registry, scope) -> None:
+    """A fake application: 30 s ramp-up, 120 s steady compute, 10 s idle."""
+    phases = [(30.0, 0.4), (120.0, 0.9), (10.0, 0.05)]
+    for duration, util in phases:
+        for dev in registry:
+            dev.set_utilisation(util)
+        scope.sample()
+        # Sample at the paper's 100 ms period through the phase.
+        remaining = duration
+        while remaining > 0:
+            step = min(0.1, remaining)
+            clock.advance(step)
+            remaining -= step
+        scope.sample()
+
+
+def main() -> None:
+    clock = VirtualClock()
+    registry = DeviceRegistry.for_node(get_system("GH200"), clock=clock)
+
+    # The paper's usage pattern:
+    #   met_list = [power(), gh_power()]
+    #   with get_power(met_list, 100) as measured_scope: ...
+    met_list = [PynvmlMethod(registry), GraceHopperMethod(registry)]
+    with get_power(met_list, 100, clock=clock, manual=True) as measured_scope:
+        application_call(clock, registry, measured_scope)
+
+    print("sampled power frame (first rows):")
+    for i, row in enumerate(measured_scope.df.rows()):
+        if i >= 5:
+            print(f"  ... {len(measured_scope.df)} samples total")
+            break
+        print("  " + ", ".join(f"{k}={v:.1f}" for k, v in row.items()))
+
+    energy_df, additional_data = measured_scope.energy()
+    print("\nenergy per measured quantity (Wh):")
+    for label, wh in energy_df.row(0).items():
+        print(f"  {label}: {wh:.4f}")
+    print(f"\nadditional data frames: {sorted(additional_data)}")
+
+    paths = export_measurement(
+        measured_scope.df, energy_df, additional_data, "jpwr_out", "csv"
+    )
+    print("\nwrote:")
+    for path in paths:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Driving a full JUBE workflow programmatically.
+
+Replays the paper's Appendix command sequence through the Python API::
+
+    jube run llm_training/llm_benchmark_ipu.yaml --tag 117M synthetic
+    jube continue llm_training/llm_benchmark_ipu_run -i last
+    jube result llm_training/llm_benchmark_ipu_run -i last
+
+and prints the compact result table JUBE would print -- which for the
+IPU GPT benchmark is the paper's Table II.
+"""
+
+from repro.core.suite import CaramlSuite
+
+
+def main() -> None:
+    suite = CaramlSuite()
+
+    print("$ jube run llm_benchmark_ipu.yaml --tag synthetic")
+    run = suite.jube_run("llm_benchmark_ipu.yaml", tags=["synthetic"])
+    print(f"  -> run {run.id}: {len(run.workpackages)} workpackages\n")
+
+    print("$ jube continue (post-processing)")
+    suite.jube_continue(run)
+    print(f"  -> steps completed: {sorted(run.completed_steps)}\n")
+
+    print("$ jube result (throughput table = paper Table II)")
+    print(suite.jube_result(run, "throughput"))
+
+    print("\n$ jube run resnet50_benchmark.xml --tag A100")
+    cnn_run = suite.jube_run("resnet50_benchmark.xml", tags=["A100"])
+    print(suite.jube_result(cnn_run, "throughput"))
+    print("\nNote the OOM row: global batch 2048 does not fit one 40 GB A100")
+    print("(the Figure 4g OOM cell).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Figure-2-style batch-size sweep of the LLM benchmark.
+
+Runs the 800M GPT benchmark over the paper's global batch sizes on a
+set of systems, printing tokens/s per device, Wh per device-hour, and
+tokens/Wh -- the three panels of Figure 2 -- and writes a CSV.
+
+Usage::
+
+    python examples/llm_batch_sweep.py [output.csv]
+"""
+
+import csv
+import sys
+
+from repro.analysis.figures import FIG2_BATCH_SIZES, fig2_llm_series, fig2_rows
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "llm_batch_sweep.csv"
+    series = fig2_llm_series(FIG2_BATCH_SIZES)
+    rows = fig2_rows(series)
+
+    header = f"{'series':<16} {'gbs':>5} {'tok/s/dev':>11} {'Wh/h/dev':>9} {'tok/Wh':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['series']:<16} {row['gbs']:>5} "
+            f"{row['tokens_per_s_per_device']:>11} "
+            f"{row['energy_per_hour_wh']:>9} {row['tokens_per_wh']:>9}"
+        )
+
+    with open(out_path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"\nwrote {out_path}")
+
+    best = max(rows, key=lambda r: r["tokens_per_s_per_device"])
+    print(
+        f"peak: {best['series']} at GBS {best['gbs']} -> "
+        f"{best['tokens_per_s_per_device']} tokens/s/device "
+        f"(paper: GH200 up to 47505)"
+    )
+
+
+if __name__ == "__main__":
+    main()

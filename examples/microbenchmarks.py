@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Synthetic microbenchmarks across the seven systems (paper §II-D).
+
+Prints the GEMM / STREAM / all-reduce-busbw table for every Table I
+system — the "specific yet commonly used compute patterns" layer the
+paper positions CARAML's application benchmarks against — and the
+roofline placement of the two application workloads on one system.
+"""
+
+from repro.analysis.roofline import build_roofline, roofline_rows
+from repro.engine.microbench import (
+    allreduce_busbw_gbs,
+    gemm_tflops,
+    stream_triad_gbs,
+)
+from repro.hardware.systems import SYSTEM_TAGS, get_system
+
+
+def main() -> None:
+    header = f"{'system':<8} {'GEMM 8k TFLOP/s':>16} {'STREAM GB/s':>12} {'busbw GB/s':>11}"
+    print(header)
+    print("-" * len(header))
+    for tag in SYSTEM_TAGS:
+        node = get_system(tag)
+        gemm = gemm_tflops(node, 8192).value
+        stream = stream_triad_gbs(node, 10**9).value
+        if node.logical_devices_per_node >= 2:
+            busbw = f"{allreduce_busbw_gbs(node, 256 * 1024 * 1024).value:11.1f}"
+        else:
+            busbw = f"{'-':>11}"
+        print(f"{tag:<8} {gemm:>16.1f} {stream:>12.1f} {busbw}")
+
+    print("\nroofline placement on GH200 (see benchmarks/bench_roofline.py):")
+    for row in roofline_rows(build_roofline("GH200")):
+        print(
+            f"  {row['label']:<18} intensity {row['intensity_flop_per_byte']:>7} "
+            f"FLOP/B -> {row['achieved_tflops']:>7} TFLOP/s ({row['bound']})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: run both CARAML benchmarks on one system and print the
+JUBE-style result rows.
+
+Usage::
+
+    python examples/quickstart.py [SYSTEM_TAG]
+
+SYSTEM_TAG is one of the paper's Table I tags (default A100):
+JEDI, GH200, H100, WAIH100, MI250, GC200, A100.
+"""
+
+import sys
+
+from repro.core.suite import CaramlSuite
+from repro.hardware.systems import get_system
+
+
+def main() -> None:
+    tag = sys.argv[1] if len(sys.argv) > 1 else "A100"
+    suite = CaramlSuite()
+
+    node = get_system(tag)
+    print(node.describe())
+    print()
+
+    print("LLM training benchmark (GPT, Megatron-style):")
+    model_size = "117M" if node.is_ipu_pod else "800M"
+    llm = suite.run_llm(
+        tag, model_size=model_size, global_batch_size=256, exit_duration_s=60
+    )
+    for key, value in llm.row().items():
+        print(f"  {key}: {value}")
+    print()
+
+    print("ResNet50 training benchmark (tf_cnn_benchmarks-style):")
+    cnn = suite.run_resnet(tag, global_batch_size=256)
+    for key, value in cnn.row().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as SVG files.
+
+Produces all 13 panels (Figure 2 x3, Figure 3 x3, Figure 4a-g) under
+``figures/`` using the dependency-free SVG renderer.
+
+Usage::
+
+    python examples/render_figures.py [output_dir]
+"""
+
+import sys
+
+from repro.analysis.render import render_all
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "figures"
+    paths = render_all(out_dir)
+    print(f"rendered {len(paths)} panels:")
+    for path in paths:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

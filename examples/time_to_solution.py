@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The throughput-vs-convergence trade-off (paper §II-D / §IV-A).
+
+The paper measures throughput and notes that large-batch gains "must
+be balanced against the potential drawback of slower convergence";
+MLPerf's time-to-solution metric captures that but is expensive on real
+hardware.  On the simulator it is free: this example sweeps the batch
+size at a fixed target loss and shows that the wall-clock optimum is
+the critical batch size, not the throughput-maximising one.
+"""
+
+from repro.analysis.tts import batch_size_tradeoff, optimal_batch_size, tts_rows
+from repro.engine.perf import LLMStepModel
+from repro.hardware.systems import get_system
+from repro.models.parallelism import ParallelLayout
+from repro.models.transformer import get_gpt_preset
+
+BATCHES = (64, 256, 512, 1024, 2048, 4096)
+
+
+def main() -> None:
+    for tag in ("GH200", "A100"):
+        node = get_system(tag)
+        layout = ParallelLayout(dp=node.logical_devices_per_node)
+        step_model = LLMStepModel(node, get_gpt_preset("800M"), layout)
+        results = batch_size_tradeoff(tag, batch_sizes=BATCHES)
+
+        print(f"--- {tag}: 800M GPT to loss 3.6 ---")
+        header = f"{'gbs':>5} {'tokens/s':>10} {'tokens_B':>9} {'hours':>7} {'node kWh':>9}"
+        print(header)
+        for result in results:
+            rate = step_model.tokens_per_second(result.global_batch_size)
+            print(
+                f"{result.global_batch_size:>5} {rate:>10.0f} "
+                f"{result.tokens_needed / 1e9:>9.2f} {result.hours:>7.2f} "
+                f"{result.node_energy_kwh:>9.1f}"
+            )
+        best = optimal_batch_size(results)
+        peak_rate_gbs = max(
+            BATCHES, key=lambda b: step_model.tokens_per_second(b)
+        )
+        print(
+            f"throughput peaks at GBS {peak_rate_gbs}, but wall-clock to "
+            f"solution is best at GBS {best.global_batch_size} "
+            f"({best.hours:.1f} h)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

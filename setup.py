@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, which modern pip
+needs for PEP 660 editable installs.  This shim keeps
+``python setup.py develop`` (and therefore offline editable installs)
+working; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

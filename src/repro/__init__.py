@@ -1,0 +1,45 @@
+"""CARAML reproduction package.
+
+This package re-implements, from scratch and on top of a simulated
+hardware substrate, the CARAML benchmark suite described in
+
+    John, Nassyr, Penke, Herten:
+    "Performance and Power: Systematic Evaluation of AI Workloads on
+    Accelerators with CARAML", SC 2024.
+
+Layout
+------
+``repro.hardware``
+    Catalog of accelerators, CPUs, interconnects and the seven node
+    configurations of the paper's Table I.
+``repro.power``
+    Utilisation-driven analytic power model and simulated power sensors.
+``repro.jpwr``
+    Re-implementation of the paper's ``jpwr`` power measurement tool
+    (context manager, CLI, pluggable vendor backends, energy export).
+``repro.simcluster``
+    Cluster substrate: virtual clock, Slurm-like scheduler, NCCL-like
+    collective cost models, NUMA/affinity effects, containers.
+``repro.models``
+    Analytic workload models (GPT transformer, ResNet) including FLOP,
+    parameter and memory accounting and parallelism layouts.
+``repro.engine``
+    Training engines (Megatron-like, tf_cnn_benchmarks-like, Poplar-like)
+    that drive the performance and power models step by step.
+``repro.data``
+    Synthetic data substrates (OSCAR-like corpus, BPE-lite tokenizer,
+    ImageNet-sized dataset descriptors).
+``repro.jube``
+    JUBE-like workflow engine: parameter sets, tag filtering, step DAGs,
+    YAML/XML benchmark scripts and result tables.
+``repro.core``
+    The CARAML suite proper: the LLM-training and ResNet50 benchmarks,
+    system tags, and the ``caraml`` command line interface.
+``repro.analysis``
+    Metric derivation and regeneration of every table and figure of the
+    paper's evaluation section.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,123 @@
+"""Energy-to-carbon accounting (paper §II-D related work [27], [28]).
+
+The paper motivates energy measurement with the environmental impact
+of AI training; this module closes the loop from the measured Wh to
+site-level energy and CO2-equivalent estimates, in the style of
+Patterson et al. [27] and the BLOOM footprint study [28]:
+
+    site energy = device energy * PUE
+    emissions   = site energy * grid carbon intensity
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import wh_to_joules
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """Datacentre energy profile.
+
+    ``pue`` is the power usage effectiveness (total facility power over
+    IT power); ``grid_gco2_per_kwh`` the grid carbon intensity in
+    grams CO2e per kWh.
+    """
+
+    name: str
+    pue: float
+    grid_gco2_per_kwh: float
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0:
+            raise ConfigError("PUE cannot be below 1.0")
+        if self.grid_gco2_per_kwh < 0:
+            raise ConfigError("carbon intensity must be >= 0")
+
+
+#: Representative sites.  JSC: hot-water-cooled JUWELS-class facility
+#: on the 2023 German grid mix; the others bracket the range [27] uses.
+SITES: dict[str, SiteProfile] = {
+    s.name: s
+    for s in [
+        SiteProfile("jsc", pue=1.1, grid_gco2_per_kwh=380.0),
+        SiteProfile("hydro", pue=1.1, grid_gco2_per_kwh=20.0),
+        SiteProfile("us-average", pue=1.4, grid_gco2_per_kwh=390.0),
+        SiteProfile("coal-heavy", pue=1.6, grid_gco2_per_kwh=820.0),
+    ]
+}
+
+
+def get_site(name: str) -> SiteProfile:
+    """Look up a site profile."""
+    try:
+        return SITES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown site {name!r}; known: {', '.join(sorted(SITES))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CarbonEstimate:
+    """Energy and emissions of one (possibly multi-device) run."""
+
+    device_energy_wh: float
+    site_energy_wh: float
+    emissions_gco2: float
+
+    def describe(self) -> str:
+        """One-line report."""
+        return (
+            f"{self.device_energy_wh:.1f} Wh device, "
+            f"{self.site_energy_wh:.1f} Wh site, "
+            f"{self.emissions_gco2:.1f} gCO2e"
+        )
+
+
+def estimate(
+    device_energy_wh: float,
+    site: SiteProfile,
+    *,
+    devices: int = 1,
+) -> CarbonEstimate:
+    """Carbon estimate for a per-device energy over N devices."""
+    if device_energy_wh < 0:
+        raise ConfigError("energy must be >= 0")
+    if devices < 1:
+        raise ConfigError("devices must be >= 1")
+    total_device = device_energy_wh * devices
+    site_energy = total_device * site.pue
+    emissions = site_energy / 1000.0 * site.grid_gco2_per_kwh
+    return CarbonEstimate(
+        device_energy_wh=total_device,
+        site_energy_wh=site_energy,
+        emissions_gco2=emissions,
+    )
+
+
+def full_training_estimate(
+    tokens_target: float,
+    tokens_per_second: float,
+    mean_power_w: float,
+    site: SiteProfile,
+    *,
+    devices: int = 1,
+) -> CarbonEstimate:
+    """Extrapolate a benchmark point to a full training run.
+
+    E.g. training the 800M model on 300B tokens at the measured
+    per-node throughput and power.
+    """
+    if tokens_target <= 0 or tokens_per_second <= 0 or mean_power_w <= 0:
+        raise ConfigError("targets, rates and power must be positive")
+    seconds = tokens_target / tokens_per_second
+    per_device_wh = mean_power_w * seconds / 3600.0
+    return estimate(per_device_wh, site, devices=devices)
+
+
+def joules(estimate_result: CarbonEstimate) -> float:
+    """Site energy of an estimate in joules."""
+    return wh_to_joules(estimate_result.site_energy_wh)

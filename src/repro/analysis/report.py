@@ -1,0 +1,90 @@
+"""Full evaluation report generation (``caraml report``).
+
+Builds a single markdown report containing every regenerated table and
+figure series plus the claim checks -- the artefact a user would attach
+to a procurement study, which is the use case the paper motivates
+("e.g. for purchase decisions in an academic or industrial setting").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.compare import llm_claims, resnet_claims
+from repro.analysis.figures import (
+    fig2_llm_series,
+    fig2_rows,
+    fig3_resnet_series,
+    fig3_rows,
+)
+from repro.analysis.heatmap import heatmap_grid_for
+from repro.analysis.render import render_all
+from repro.analysis.tables import (
+    table2_ipu_gpt,
+    table3_ipu_resnet,
+    table_rows_printable,
+)
+from repro.hardware.systems import SYSTEM_TAGS, get_system
+
+
+def _md_table(rows: list[dict[str, object]]) -> str:
+    if not rows:
+        return "(empty)"
+    keys = list(rows[0])
+    lines = [
+        "| " + " | ".join(str(k) for k in keys) + " |",
+        "|" + "|".join("---" for _ in keys) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row[k]) for k in keys) + " |")
+    return "\n".join(lines)
+
+
+def build_report(*, include_figures: bool = False, figure_dir: str = "figures") -> str:
+    """The full evaluation report as markdown text."""
+    sections = ["# CARAML evaluation report\n"]
+
+    sections.append("## Systems under test (Table I)\n")
+    for tag in SYSTEM_TAGS:
+        sections.append("```\n" + get_system(tag).describe() + "\n```")
+
+    sections.append("\n## Figure 2: LLM training (800M GPT)\n")
+    sections.append(_md_table(fig2_rows(fig2_llm_series())))
+
+    sections.append("\n## Table II: GPT-117M on the IPU-POD4\n")
+    sections.append(_md_table(table_rows_printable(table2_ipu_gpt(), "Tokens")))
+
+    sections.append("\n## Figure 3: ResNet50 (single device)\n")
+    sections.append(_md_table(fig3_rows(fig3_resnet_series())))
+
+    sections.append("\n## Table III: ResNet50 on one GC200\n")
+    sections.append(_md_table(table_rows_printable(table3_ipu_resnet(), "Images")))
+
+    sections.append("\n## Figure 4: throughput heatmaps\n")
+    for tag in SYSTEM_TAGS:
+        sections.append(f"### {tag}\n```\n{heatmap_grid_for(tag)}\n```")
+
+    sections.append("\n## Paper claim checks (sections IV-A / IV-B)\n")
+    for check in [*llm_claims(), *resnet_claims()]:
+        sections.append(f"- `{check.describe()}`")
+
+    if include_figures:
+        paths = render_all(figure_dir)
+        sections.append("\n## Rendered figures\n")
+        for path in paths:
+            sections.append(f"![{path.stem}]({path})")
+
+    return "\n".join(sections) + "\n"
+
+
+def write_report(
+    path: str | Path, *, include_figures: bool = False
+) -> Path:
+    """Write the report (and optionally the SVG figures next to it)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    figure_dir = str(out.parent / "figures")
+    out.write_text(
+        build_report(include_figures=include_figures, figure_dir=figure_dir)
+    )
+    return out

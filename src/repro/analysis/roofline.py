@@ -1,0 +1,168 @@
+"""Roofline model analysis per system.
+
+Places the benchmark workloads on each system's roofline -- achievable
+FLOP/s as a function of arithmetic intensity (FLOP per byte of device
+memory traffic), capped by the memory-bandwidth slope and the compute
+peak.  Shows at a glance *why* the workloads behave as they do: GPT
+training sits far right of the ridge (compute-bound, MFU-limited),
+single-stream LLM decode sits far left (bandwidth-bound, which is why
+the GH200's HBM3 wins it), and ResNet50 training sits near the ridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.calibration import get_calibration
+from repro.errors import ConfigError
+from repro.hardware.node import NodeSpec
+from repro.hardware.systems import get_system
+from repro.models.resnet import get_cnn_preset
+from repro.models.transformer import get_gpt_preset
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload on the roofline."""
+
+    label: str
+    arithmetic_intensity: float  # FLOP per byte
+    achieved_flops: float
+    bound: str  # "memory" or "compute"
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """One system's roofline with workload points."""
+
+    system: str
+    peak_flops: float
+    memory_bandwidth: float
+    points: tuple[RooflinePoint, ...]
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the bandwidth slope meets the compute peak."""
+        return self.peak_flops / self.memory_bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """Roofline ceiling at an arithmetic intensity."""
+        if intensity <= 0:
+            raise ConfigError("arithmetic intensity must be positive")
+        return min(self.peak_flops, self.memory_bandwidth * intensity)
+
+
+def _gpt_train_point(node: NodeSpec) -> RooflinePoint:
+    """GPT training: weight-stationary GEMMs; traffic ~ activations."""
+    model = get_gpt_preset("800M")
+    cal = get_calibration(node.jube_tag)
+    # Per token: ~6N+12Lsh FLOPs against ~activation traffic of
+    # 34*h bytes/layer plus one weight pass amortised over the batch.
+    micro_tokens = 4 * model.seq_length
+    flops = micro_tokens * model.flops_per_token_train
+    traffic = (
+        34.0 * model.hidden * model.layers * micro_tokens * 2  # activations r/w
+        + 3 * model.weight_bytes()  # weights + grads streamed per micro-batch
+    )
+    intensity = flops / traffic
+    achieved = node.device_peak_flops * cal.mfu_llm
+    return RooflinePoint("gpt-800M train", intensity, achieved, "compute")
+
+
+def _resnet_train_point(node: NodeSpec) -> RooflinePoint:
+    """ResNet training: conv layers with moderate intensity."""
+    model = get_cnn_preset("resnet50")
+    cal = get_calibration(node.jube_tag)
+    flops = model.flops_per_image_train
+    traffic = 10.0 * model.activation_bytes_per_image  # fwd+bwd feature maps
+    intensity = flops / traffic
+    achieved = node.device_peak_flops * cal.mfu_cnn
+    bound = "compute" if intensity >= node.device_peak_flops / node.device_memory_bandwidth else "memory"
+    return RooflinePoint("resnet50 train", intensity, achieved, bound)
+
+
+def _decode_point(node: NodeSpec) -> RooflinePoint:
+    """Single-stream LLM decode: one token against all weights."""
+    from repro.engine.inference import DECODE_BANDWIDTH_EFFICIENCY
+
+    model = get_gpt_preset("800M")
+    flops = model.flops_per_token_forward
+    traffic = float(model.weight_bytes())
+    intensity = flops / traffic
+    achieved = (
+        node.device_memory_bandwidth * DECODE_BANDWIDTH_EFFICIENCY * intensity
+    )
+    return RooflinePoint("llm decode (bs=1)", intensity, achieved, "memory")
+
+
+def build_roofline(tag: str) -> Roofline:
+    """The roofline of one system with the three workload points."""
+    node = get_system(tag)
+    if node.is_ipu_pod:
+        raise ConfigError(
+            "the roofline model assumes a shared-memory hierarchy; the IPU's "
+            "distributed SRAM needs a different treatment"
+        )
+    points = (
+        _gpt_train_point(node),
+        _resnet_train_point(node),
+        _decode_point(node),
+    )
+    for p in points:
+        if p.achieved_flops > node.device_peak_flops * 1.0000001:
+            raise ConfigError(f"{tag}: point {p.label} exceeds the roofline")
+    return Roofline(
+        system=tag,
+        peak_flops=node.device_peak_flops,
+        memory_bandwidth=node.device_memory_bandwidth,
+        points=points,
+    )
+
+
+def roofline_rows(roofline: Roofline) -> list[dict[str, object]]:
+    """Printable description of one roofline."""
+    rows = [
+        {
+            "label": "ridge point",
+            "intensity_flop_per_byte": round(roofline.ridge_intensity, 1),
+            "achieved_tflops": round(roofline.peak_flops / 1e12, 1),
+            "bound": "-",
+        }
+    ]
+    for p in roofline.points:
+        rows.append(
+            {
+                "label": p.label,
+                "intensity_flop_per_byte": round(p.arithmetic_intensity, 1),
+                "achieved_tflops": round(p.achieved_flops / 1e12, 2),
+                "bound": p.bound,
+            }
+        )
+    return rows
+
+
+def render_roofline_svg(tag: str, path) -> "object":
+    """Render one system's roofline as an SVG chart; returns the path."""
+    from pathlib import Path
+
+    from repro.analysis.svgplot import LineChart
+
+    roofline = build_roofline(tag)
+    chart = LineChart(
+        title=f"Roofline: {tag} (FP16)",
+        x_label="Arithmetic intensity (FLOP/byte)",
+        y_label="Attainable TFLOP/s",
+        log2_x=True,
+    )
+    intensities = [2.0**k for k in range(-2, 13)]
+    chart.add(
+        "roofline",
+        intensities,
+        [roofline.attainable(i) / 1e12 for i in intensities],
+    )
+    for p in roofline.points:
+        chart.add(p.label, [p.arithmetic_intensity], [p.achieved_flops / 1e12])
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(chart.render())
+    return out

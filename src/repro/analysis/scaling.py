@@ -1,0 +1,141 @@
+"""Multi-node LLM scaling analysis (extension of the Figure 4 idea).
+
+The paper's heatmaps explore data-parallel scaling for ResNet50; this
+module produces the equivalent curves for the LLM benchmark -- weak
+scaling (fixed per-device batch) and strong scaling (fixed global
+batch) across nodes -- on the systems with an inter-node fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.perf import LLMStepModel
+from repro.errors import ConfigError
+from repro.hardware.interconnect import LinkTechnology
+from repro.hardware.systems import get_system
+from repro.models.parallelism import ParallelLayout
+from repro.models.transformer import GPTConfig, get_gpt_preset
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    nodes: int
+    devices: int
+    global_batch_size: int
+    tokens_per_second: float
+    tokens_per_second_per_device: float
+    efficiency: float  # vs. perfect scaling from the 1-node point
+
+
+def _check_multinode(tag: str) -> None:
+    node = get_system(tag)
+    if node.internode_link.technology is LinkTechnology.NONE:
+        raise ConfigError(f"{tag} has no inter-node interconnect")
+
+
+def weak_scaling(
+    tag: str,
+    *,
+    model: GPTConfig | None = None,
+    per_device_batch: int = 64,
+    micro_batch_size: int = 4,
+    max_nodes: int | None = None,
+) -> list[ScalingPoint]:
+    """Weak scaling: global batch grows with the device count."""
+    _check_multinode(tag)
+    node = get_system(tag)
+    gpt = model if model is not None else get_gpt_preset("800M")
+    limit = max_nodes if max_nodes is not None else node.max_nodes
+    if limit < 1:
+        raise ConfigError("need at least one node")
+    points: list[ScalingPoint] = []
+    base_rate_per_device = None
+    nodes = 1
+    while nodes <= limit:
+        devices = nodes * node.logical_devices_per_node
+        gbs = per_device_batch * devices
+        step_model = LLMStepModel(
+            node,
+            gpt,
+            ParallelLayout(dp=devices),
+            micro_batch_size=micro_batch_size,
+            nodes_used=nodes,
+        )
+        rate = step_model.tokens_per_second(gbs)
+        per_device = rate / devices
+        if base_rate_per_device is None:
+            base_rate_per_device = per_device
+        points.append(
+            ScalingPoint(
+                nodes=nodes,
+                devices=devices,
+                global_batch_size=gbs,
+                tokens_per_second=rate,
+                tokens_per_second_per_device=per_device,
+                efficiency=per_device / base_rate_per_device,
+            )
+        )
+        nodes *= 2
+    return points
+
+
+def strong_scaling(
+    tag: str,
+    *,
+    model: GPTConfig | None = None,
+    global_batch_size: int = 2048,
+    micro_batch_size: int = 4,
+    max_nodes: int | None = None,
+) -> list[ScalingPoint]:
+    """Strong scaling: fixed global batch, growing device count."""
+    _check_multinode(tag)
+    node = get_system(tag)
+    gpt = model if model is not None else get_gpt_preset("800M")
+    limit = max_nodes if max_nodes is not None else node.max_nodes
+    points: list[ScalingPoint] = []
+    base_rate = None
+    nodes = 1
+    while nodes <= limit:
+        devices = nodes * node.logical_devices_per_node
+        if global_batch_size % (micro_batch_size * devices) != 0:
+            break  # ran out of divisible accumulation depth
+        step_model = LLMStepModel(
+            node,
+            gpt,
+            ParallelLayout(dp=devices),
+            micro_batch_size=micro_batch_size,
+            nodes_used=nodes,
+        )
+        rate = step_model.tokens_per_second(global_batch_size)
+        if base_rate is None:
+            base_rate = rate
+        points.append(
+            ScalingPoint(
+                nodes=nodes,
+                devices=devices,
+                global_batch_size=global_batch_size,
+                tokens_per_second=rate,
+                tokens_per_second_per_device=rate / devices,
+                efficiency=rate / (base_rate * nodes),
+            )
+        )
+        nodes *= 2
+    return points
+
+
+def scaling_rows(points: list[ScalingPoint]) -> list[dict[str, object]]:
+    """Printable rows for a scaling curve."""
+    return [
+        {
+            "nodes": p.nodes,
+            "devices": p.devices,
+            "gbs": p.global_batch_size,
+            "tokens_per_s": round(p.tokens_per_second, 1),
+            "per_device": round(p.tokens_per_second_per_device, 1),
+            "efficiency": round(p.efficiency, 4),
+        }
+        for p in points
+    ]

@@ -1,0 +1,113 @@
+"""Calibration sensitivity analysis.
+
+The reproduction rests on a handful of calibrated constants
+(:mod:`repro.engine.calibration`).  A fair question is how fragile the
+paper-claim reproduction is to those choices; this module perturbs each
+constant by a relative factor and re-evaluates the §IV claim checks,
+reporting which (if any) claims break.  The benchmark harness runs it
+at ±5 % to document robustness in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+from repro.analysis.compare import llm_claims, resnet_claims
+from repro.engine.calibration import CALIBRATIONS
+from repro.errors import ConfigError
+
+#: Constants worth perturbing (throughput- and power-determining).
+PERTURBABLE_FIELDS = (
+    "mfu_llm",
+    "mfu_cnn",
+    "util_full_llm",
+    "util_full_cnn",
+    "cnn_batch_half",
+)
+
+
+@contextmanager
+def perturbed_calibration(tag: str, field: str, factor: float):
+    """Temporarily scale one calibration constant of one system."""
+    if tag not in CALIBRATIONS:
+        raise ConfigError(f"unknown system {tag!r}")
+    if field not in PERTURBABLE_FIELDS:
+        raise ConfigError(
+            f"field {field!r} is not perturbable (valid: {PERTURBABLE_FIELDS})"
+        )
+    if factor <= 0:
+        raise ConfigError("perturbation factor must be positive")
+    original = CALIBRATIONS[tag]
+    value = getattr(original, field) * factor
+    # Utilisations are capped at 1.0 by construction.
+    if field.startswith("util") or field.startswith("mfu"):
+        value = min(value, 1.0)
+    CALIBRATIONS[tag] = replace(original, **{field: value})
+    try:
+        yield CALIBRATIONS[tag]
+    finally:
+        CALIBRATIONS[tag] = original
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Claim robustness under one perturbation."""
+
+    tag: str
+    field: str
+    factor: float
+    broken_claims: tuple[str, ...]
+
+    @property
+    def robust(self) -> bool:
+        """True when every claim still holds."""
+        return not self.broken_claims
+
+
+def _broken_claims() -> tuple[str, ...]:
+    return tuple(
+        c.claim for c in [*llm_claims(), *resnet_claims()] if not c.holds
+    )
+
+
+def sweep(
+    *,
+    tags: tuple[str, ...] | None = None,
+    fields: tuple[str, ...] = PERTURBABLE_FIELDS,
+    factors: tuple[float, ...] = (0.95, 1.05),
+) -> list[SensitivityResult]:
+    """Perturb each (system, field) pair and re-check every claim."""
+    targets = tags if tags is not None else tuple(
+        t for t in CALIBRATIONS if t != "GC200"  # IPU engines are table-fit
+    )
+    results = []
+    for tag in targets:
+        for field in fields:
+            for factor in factors:
+                with perturbed_calibration(tag, field, factor):
+                    results.append(
+                        SensitivityResult(
+                            tag=tag,
+                            field=field,
+                            factor=factor,
+                            broken_claims=_broken_claims(),
+                        )
+                    )
+    return results
+
+
+def summarize(results: list[SensitivityResult]) -> list[dict[str, object]]:
+    """Printable rows, fragile perturbations first."""
+    rows = [
+        {
+            "system": r.tag,
+            "field": r.field,
+            "factor": r.factor,
+            "robust": r.robust,
+            "broken": "; ".join(r.broken_claims) or "-",
+        }
+        for r in results
+    ]
+    rows.sort(key=lambda row: (row["robust"], row["system"], row["field"]))
+    return rows

@@ -1,0 +1,98 @@
+"""Reproduction validation gate (``caraml validate``).
+
+Runs every quantitative check the reproduction makes against the paper
+-- the Table II/III numeric comparisons and the 18 §IV claim checks --
+and reports a single pass/fail verdict.  Intended as a CI gate for the
+repository itself and for anyone re-calibrating the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.compare import llm_claims, resnet_claims
+from repro.analysis.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    table2_ipu_gpt,
+    table3_ipu_resnet,
+)
+
+#: Tolerances of the numeric table comparisons (see EXPERIMENTS.md).
+TABLE_THROUGHPUT_RTOL = 0.01
+TABLE2_ENERGY_RTOL = 0.15
+TABLE3_ENERGY_RTOL = 0.02
+
+
+@dataclass(frozen=True)
+class ValidationItem:
+    """One validated quantity."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def describe(self) -> str:
+        """One-line report."""
+        return f"[{'PASS' if self.passed else 'FAIL'}] {self.name}: {self.detail}"
+
+
+def _check_table(
+    name: str,
+    measured_rows,
+    paper: dict[int, tuple[float, float]],
+    energy_rtol: float,
+) -> list[ValidationItem]:
+    items = []
+    for row in measured_rows:
+        paper_rate, paper_wh = paper[row.batch_size]
+        rate_err = abs(row.throughput / paper_rate - 1)
+        energy_err = abs(row.energy_wh / paper_wh - 1)
+        items.append(
+            ValidationItem(
+                name=f"{name} b={row.batch_size} throughput",
+                passed=rate_err <= TABLE_THROUGHPUT_RTOL,
+                detail=f"{row.throughput:.2f} vs {paper_rate:.2f} ({rate_err:+.2%})",
+            )
+        )
+        items.append(
+            ValidationItem(
+                name=f"{name} b={row.batch_size} energy",
+                passed=energy_err <= energy_rtol,
+                detail=f"{row.energy_wh:.2f} vs {paper_wh:.2f} Wh ({energy_err:+.2%})",
+            )
+        )
+    return items
+
+
+def validate_reproduction() -> list[ValidationItem]:
+    """Every paper-vs-measured check, as a flat list of items."""
+    items: list[ValidationItem] = []
+    items.extend(
+        _check_table("Table II", table2_ipu_gpt(), PAPER_TABLE2, TABLE2_ENERGY_RTOL)
+    )
+    items.extend(
+        _check_table("Table III", table3_ipu_resnet(), PAPER_TABLE3, TABLE3_ENERGY_RTOL)
+    )
+    for check in [*llm_claims(), *resnet_claims()]:
+        items.append(
+            ValidationItem(
+                name=check.claim,
+                passed=check.holds,
+                detail=f"measured {check.measured_value:.3g}"
+                + (f" (paper {check.paper_value:g})" if check.paper_value else ""),
+            )
+        )
+    return items
+
+
+def validation_summary(items: list[ValidationItem]) -> str:
+    """Multi-line report plus a verdict line."""
+    lines = [item.describe() for item in items]
+    failed = sum(1 for item in items if not item.passed)
+    lines.append("")
+    lines.append(
+        f"{len(items) - failed}/{len(items)} checks passed"
+        + ("" if failed == 0 else f" -- {failed} FAILED")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""The CARAML suite: benchmark definitions, JUBE integration, CLI."""
+
+from repro.core.config import LLMBenchmarkConfig, ResNetBenchmarkConfig, AMDVariant
+from repro.core.llm_training import run_llm_benchmark
+from repro.core.resnet50 import run_resnet_benchmark
+from repro.core.registry import build_operation_registry
+from repro.core.suite import CaramlSuite, script_path
+
+__all__ = [
+    "LLMBenchmarkConfig",
+    "ResNetBenchmarkConfig",
+    "AMDVariant",
+    "run_llm_benchmark",
+    "run_resnet_benchmark",
+    "build_operation_registry",
+    "CaramlSuite",
+    "script_path",
+]

@@ -1,0 +1,234 @@
+"""The ``caraml`` command-line interface.
+
+Subcommands::
+
+    caraml systems                     # list Table I systems
+    caraml run-llm --system A100 --gbs 256 [...]
+    caraml run-resnet --system A100 --gbs 256 [...]
+    caraml jube run <script> [--tag T ...]   # run a JUBE script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import AMDVariant
+from repro.core.suite import SHIPPED_SCRIPTS, CaramlSuite
+from repro.errors import ReproError
+from repro.hardware.systems import SYSTEM_TAGS, get_system
+from repro.simcluster.affinity import BindingPolicy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the caraml CLI."""
+    parser = argparse.ArgumentParser(
+        prog="caraml",
+        description="CARAML: assess AI workloads on (simulated) accelerators.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list the Table I systems")
+
+    llm = sub.add_parser("run-llm", help="run one LLM benchmark point")
+    llm.add_argument("--system", required=True, choices=SYSTEM_TAGS)
+    llm.add_argument("--model", default="800M")
+    llm.add_argument("--gbs", type=int, default=256)
+    llm.add_argument("--mbs", type=int, default=4)
+    llm.add_argument("--duration", type=float, default=120.0, help="seconds")
+    llm.add_argument("--amd-variant", default="gcd", choices=["gcd", "gpu"])
+
+    cnn = sub.add_parser("run-resnet", help="run one ResNet benchmark point")
+    cnn.add_argument("--system", required=True, choices=SYSTEM_TAGS)
+    cnn.add_argument("--model", default="resnet50")
+    cnn.add_argument("--gbs", type=int, default=256)
+    cnn.add_argument("--devices", type=int, default=1)
+    cnn.add_argument("--amd-variant", default="gcd", choices=["gcd", "gpu"])
+    cnn.add_argument("--synthetic", action="store_true")
+    cnn.add_argument(
+        "--binding",
+        default="gpu-affine",
+        choices=[p.value for p in BindingPolicy],
+        help="CPU binding policy (paper section V-C)",
+    )
+
+    infer = sub.add_parser(
+        "run-infer", help="run the LLM inference extension benchmark"
+    )
+    infer.add_argument("--system", required=True, choices=SYSTEM_TAGS)
+    infer.add_argument("--model", default="800M")
+    infer.add_argument("--batch", type=int, default=8)
+    infer.add_argument("--prompt-tokens", type=int, default=512)
+    infer.add_argument("--generate-tokens", type=int, default=256)
+
+    report = sub.add_parser(
+        "report", help="write the full evaluation report (all tables/figures)"
+    )
+    report.add_argument("--out", default="caraml_report.md")
+    report.add_argument(
+        "--figures", action="store_true", help="also render the SVG figure panels"
+    )
+
+    explore = sub.add_parser(
+        "explore", help="hyperparameter sweep to find optimal settings"
+    )
+    explore.add_argument("--system", required=True, choices=SYSTEM_TAGS)
+    explore.add_argument("--benchmark", default="llm", choices=["llm", "resnet"])
+    explore.add_argument(
+        "--objective", default="throughput", choices=["throughput", "efficiency"]
+    )
+
+    sub.add_parser(
+        "validate",
+        help="run every paper-vs-measured check; nonzero exit on failure",
+    )
+
+    continuous = sub.add_parser(
+        "continuous", help="continuous benchmarking (record/check a baseline)"
+    )
+    continuous.add_argument("action", choices=["record", "check"])
+    continuous.add_argument("--baseline", default="caraml_baseline.json")
+    continuous.add_argument(
+        "--tolerance", type=float, default=0.05, help="regression threshold"
+    )
+
+    jube = sub.add_parser("jube", help="drive the JUBE workflow engine")
+    jube_sub = jube.add_subparsers(dest="jube_command", required=True)
+    jr = jube_sub.add_parser("run", help="run a benchmark script")
+    jr.add_argument("script", help=f"path or one of: {', '.join(SHIPPED_SCRIPTS)}")
+    jr.add_argument("--tag", action="append", default=[], dest="tags")
+    jr.add_argument(
+        "--skip-continue",
+        action="store_true",
+        help="do not run the deferred post-processing steps",
+    )
+    jr.add_argument("--table", default=None, help="result table to print")
+    return parser
+
+
+def _print_result_row(result, out) -> None:
+    for key, value in result.row().items():
+        print(f"  {key}: {value}", file=out)
+
+
+def run(argv: list[str] | None = None, *, stdout=None) -> int:
+    """CLI body; returns the exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    suite = CaramlSuite()
+
+    if args.command == "systems":
+        for tag in SYSTEM_TAGS:
+            print(get_system(tag).describe(), file=out)
+            print(file=out)
+        return 0
+
+    if args.command == "run-llm":
+        result = suite.run_llm(
+            args.system,
+            model_size=args.model,
+            global_batch_size=args.gbs,
+            micro_batch_size=args.mbs,
+            exit_duration_s=args.duration,
+            amd_variant=AMDVariant(args.amd_variant),
+        )
+        _print_result_row(result, out)
+        return 0
+
+    if args.command == "run-resnet":
+        result = suite.run_resnet(
+            args.system,
+            model=args.model,
+            global_batch_size=args.gbs,
+            devices=args.devices,
+            amd_variant=AMDVariant(args.amd_variant),
+            synthetic_data=args.synthetic,
+            binding=BindingPolicy(args.binding),
+        )
+        _print_result_row(result, out)
+        return 0
+
+    if args.command == "run-infer":
+        from repro.engine.inference import InferenceEngine, InferenceWorkload
+        from repro.models.transformer import get_gpt_preset
+
+        engine = InferenceEngine(get_system(args.system), get_gpt_preset(args.model))
+        result = engine.serve(
+            InferenceWorkload(
+                prompt_tokens=args.prompt_tokens,
+                generate_tokens=args.generate_tokens,
+                batch_size=args.batch,
+            )
+        )
+        _print_result_row(result, out)
+        return 0
+
+    if args.command == "report":
+        from repro.analysis.report import write_report
+
+        path = write_report(args.out, include_figures=args.figures)
+        print(f"wrote {path}", file=out)
+        return 0
+
+    if args.command == "explore":
+        from repro.analysis.explore import Objective, explore_cnn, explore_llm
+
+        objective = Objective(args.objective)
+        if args.benchmark == "llm":
+            result = explore_llm(args.system, objective=objective)
+        else:
+            result = explore_cnn(args.system, objective=objective)
+        for row in result.rows():
+            print("  " + "  ".join(f"{k}={v}" for k, v in row.items()), file=out)
+        best = result.best
+        print(
+            f"best ({objective.value}): mbs={best.micro_batch_size} "
+            f"gbs={best.global_batch_size} -> throughput {best.throughput:.1f}, "
+            f"{best.efficiency_per_wh:.1f} per Wh",
+            file=out,
+        )
+        return 0
+
+    if args.command == "continuous":
+        from repro.core.continuous import ContinuousBenchmark
+
+        cb = ContinuousBenchmark(suite=suite)
+        if args.action == "record":
+            path = cb.record_baseline(args.baseline)
+            print(f"recorded baseline {path}", file=out)
+            return 0
+        comparisons = cb.compare(args.baseline)
+        for comparison in comparisons:
+            print(comparison.describe(), file=out)
+        regressions = [c for c in comparisons if c.regressed(args.tolerance)]
+        print(f"regressions: {len(regressions)}", file=out)
+        return 0 if not regressions else 1
+
+    if args.command == "validate":
+        from repro.analysis.validate import validate_reproduction, validation_summary
+
+        items = validate_reproduction()
+        print(validation_summary(items), file=out)
+        return 0 if all(item.passed for item in items) else 1
+
+    if args.command == "jube" and args.jube_command == "run":
+        jube_run = suite.jube_run(args.script, tags=args.tags)
+        if not args.skip_continue:
+            suite.jube_continue(jube_run)
+        print(suite.jube_result(jube_run, args.table), file=out)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def main() -> None:
+    """Console-script entry point."""
+    try:
+        sys.exit(run())
+    except ReproError as exc:
+        print(f"caraml: error: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main()

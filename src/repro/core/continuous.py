@@ -1,0 +1,159 @@
+"""Continuous benchmarking (paper §VI future work).
+
+"As future work, we plan to further develop CARAML by incorporating
+continuous benchmarking capabilities."  This module provides that: a
+baseline file records a suite of benchmark figures of merit; later runs
+are compared against it and regressions beyond a tolerance are
+reported, in the style of asv / CI perf gates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.suite import CaramlSuite
+from repro.errors import ConfigError
+
+#: Default relative slowdown that counts as a regression.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class BenchmarkPoint:
+    """One tracked benchmark configuration."""
+
+    benchmark: str  # "llm" or "resnet"
+    system: str
+    global_batch_size: int
+
+    @property
+    def key(self) -> str:
+        """Stable dictionary key for baseline files."""
+        return f"{self.benchmark}:{self.system}:gbs{self.global_batch_size}"
+
+
+#: The default tracked suite: one representative point per system class.
+DEFAULT_SUITE = (
+    BenchmarkPoint("llm", "A100", 256),
+    BenchmarkPoint("llm", "GH200", 256),
+    BenchmarkPoint("llm", "MI250", 256),
+    BenchmarkPoint("llm", "GC200", 1024),
+    BenchmarkPoint("resnet", "H100", 256),
+    BenchmarkPoint("resnet", "GC200", 256),
+)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Baseline-vs-current for one point."""
+
+    point: BenchmarkPoint
+    baseline_throughput: float
+    current_throughput: float
+    baseline_efficiency: float
+    current_efficiency: float
+
+    @property
+    def throughput_ratio(self) -> float:
+        """current / baseline throughput."""
+        return self.current_throughput / self.baseline_throughput
+
+    def regressed(self, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+        """True when throughput dropped beyond the tolerance."""
+        return self.throughput_ratio < 1.0 - tolerance
+
+    def describe(self) -> str:
+        """One-line report."""
+        status = "REGRESSION" if self.regressed() else "ok"
+        return (
+            f"[{status:>10}] {self.point.key}: "
+            f"{self.baseline_throughput:.1f} -> {self.current_throughput:.1f} "
+            f"({(self.throughput_ratio - 1) * 100:+.2f}%)"
+        )
+
+
+class ContinuousBenchmark:
+    """Runs a tracked suite and compares against a stored baseline."""
+
+    def __init__(
+        self,
+        suite: CaramlSuite | None = None,
+        points: tuple[BenchmarkPoint, ...] = DEFAULT_SUITE,
+    ) -> None:
+        if not points:
+            raise ConfigError("continuous benchmarking needs at least one point")
+        self.suite = suite if suite is not None else CaramlSuite()
+        self.points = points
+
+    def _run_point(self, point: BenchmarkPoint) -> dict[str, float]:
+        if point.benchmark == "llm":
+            node_is_ipu = point.system == "GC200"
+            result = self.suite.run_llm(
+                point.system,
+                model_size="117M" if node_is_ipu else "800M",
+                global_batch_size=point.global_batch_size,
+                exit_duration_s=30.0,
+            )
+        elif point.benchmark == "resnet":
+            result = self.suite.run_resnet(
+                point.system, global_batch_size=point.global_batch_size
+            )
+        else:
+            raise ConfigError(f"unknown benchmark {point.benchmark!r}")
+        return {
+            "throughput": result.throughput,
+            "efficiency_per_wh": result.efficiency_per_wh,
+        }
+
+    def measure(self) -> dict[str, dict[str, float]]:
+        """Run every tracked point; returns key -> figures of merit."""
+        return {p.key: self._run_point(p) for p in self.points}
+
+    # -- baseline management ------------------------------------------------
+
+    def record_baseline(self, path: str | Path) -> Path:
+        """Measure the suite and store it as the baseline file."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps(self.measure(), indent=2, sort_keys=True))
+        return p
+
+    def load_baseline(self, path: str | Path) -> dict[str, dict[str, float]]:
+        """Load a baseline file, validating its shape."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except FileNotFoundError:
+            raise ConfigError(f"no baseline at {path}; record one first") from None
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"corrupt baseline {path}: {exc}") from None
+        for point in self.points:
+            if point.key not in data:
+                raise ConfigError(f"baseline {path} lacks point {point.key}")
+        return data
+
+    def compare(self, baseline_path: str | Path) -> list[Comparison]:
+        """Re-measure and compare every point against the baseline."""
+        baseline = self.load_baseline(baseline_path)
+        current = self.measure()
+        out = []
+        for point in self.points:
+            base = baseline[point.key]
+            cur = current[point.key]
+            out.append(
+                Comparison(
+                    point=point,
+                    baseline_throughput=base["throughput"],
+                    current_throughput=cur["throughput"],
+                    baseline_efficiency=base["efficiency_per_wh"],
+                    current_efficiency=cur["efficiency_per_wh"],
+                )
+            )
+        return out
+
+    def check(
+        self, baseline_path: str | Path, tolerance: float = DEFAULT_TOLERANCE
+    ) -> list[Comparison]:
+        """Compare and return only the regressions."""
+        return [c for c in self.compare(baseline_path) if c.regressed(tolerance)]

@@ -1,0 +1,48 @@
+"""The LLM training benchmark (paper §III-A1).
+
+Dispatches per system: NVIDIA and AMD nodes run the Megatron engine
+(the real suite uses Megatron-LM and the BigCode ROCm fork on the same
+baseline code); Graphcore runs the Poplar pipeline engine (the vendor
+application example).  Power measurement is always wrapped in by the
+engines through jpwr, as the real benchmark patches in.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LLMBenchmarkConfig
+from repro.engine.megatron import MegatronEngine
+from repro.engine.poplar import PoplarGPTEngine
+from repro.engine.trainer import TrainResult
+from repro.errors import ConfigError
+from repro.models.transformer import get_gpt_preset
+
+
+def run_llm_benchmark(config: LLMBenchmarkConfig) -> TrainResult:
+    """Execute one LLM benchmark point and return its result row."""
+    node = config.node
+    model = get_gpt_preset(config.model_size)
+    if node.is_ipu_pod:
+        if config.model_size != "117M":
+            raise ConfigError(
+                "the IPU-POD4 runs the 117M GPT model (paper §III-A1); "
+                f"got {config.model_size!r}"
+            )
+        engine = PoplarGPTEngine(node, model)
+        return engine.train_epoch(config.global_batch_size)
+    engine = MegatronEngine(
+        node,
+        model,
+        config.layout(),
+        micro_batch_size=config.micro_batch_size,
+        nodes_used=config.nodes,
+    )
+    return engine.train(
+        config.global_batch_size, exit_duration_s=config.exit_duration_s
+    )
+
+
+def llm_result_outputs(result: TrainResult) -> dict[str, float | str]:
+    """Flatten a result into the JUBE result-table columns."""
+    out = result.row()
+    out["tokens_per_s_per_device"] = round(result.throughput_per_device, 2)
+    return out

@@ -1,0 +1,160 @@
+"""JUBE operation registry for the CARAML benchmarks.
+
+The shipped JUBE scripts invoke these operations from their ``do``
+strings.  Operations mirror the real suite's step contents: pulling
+containers, preprocessing data, training with jpwr measurement, and
+combining per-rank energy files.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AMDVariant, LLMBenchmarkConfig, ResNetBenchmarkConfig
+from repro.core.llm_training import llm_result_outputs, run_llm_benchmark
+from repro.core.resnet50 import resnet_result_outputs, run_resnet_benchmark
+from repro.data.oscar import generate_oscar_subset
+from repro.data.tokenizer import BPETokenizer
+from repro.errors import JubeError, OutOfMemoryError
+from repro.hardware.accelerator import Vendor
+from repro.hardware.systems import get_system
+from repro.jube.runner import OperationRegistry
+from repro.jube.steps import Workpackage
+from repro.simcluster.container import VENDOR_IMAGES, ContainerRuntime
+
+#: Which vendor image each framework/vendor pair starts from.
+_IMAGE_BY_VENDOR = {
+    (Vendor.NVIDIA, "pytorch"): "nvcr-pytorch",
+    (Vendor.AMD, "pytorch"): "rocm-pytorch",
+    (Vendor.NVIDIA, "tensorflow"): "nvcr-tensorflow",
+    (Vendor.AMD, "tensorflow"): "rocm-tensorflow",
+    (Vendor.GRAPHCORE, "pytorch"): "graphcore-poplar",
+    (Vendor.GRAPHCORE, "tensorflow"): "graphcore-poplar",
+}
+
+
+def _require(args: dict[str, str], key: str) -> str:
+    try:
+        return args[key]
+    except KeyError:
+        raise JubeError(f"operation missing required --{key}") from None
+
+
+def build_operation_registry() -> OperationRegistry:
+    """All operations the shipped CARAML scripts use."""
+    registry = OperationRegistry()
+
+    @registry.register("pull_container")
+    def pull_container(args: dict[str, str], wp: Workpackage):
+        """Pull the vendor container and build the package overlay."""
+        system = _require(args, "system")
+        framework = args.get("framework", "pytorch")
+        node = get_system(system)
+        image_name = _IMAGE_BY_VENDOR[(node.accelerator.vendor, framework)]
+        runtime = ContainerRuntime(VENDOR_IMAGES[image_name])
+        # The CARAML overlay installs (pip --prefix --no-deps): jpwr and
+        # the patched launcher.
+        runtime.pip_install("jpwr", "1.0")
+        runtime.pip_install("torchrun-jsc", "0.0.13")
+        runtime.bind("/data")
+        runtime.set_env("MASTER_ADDR_SUFFIX", "i")
+        return {"container": image_name, "pythonpath": runtime.pythonpath()}
+
+    @registry.register("prepare_data")
+    def prepare_data(args: dict[str, str], wp: Workpackage):
+        """Download/tokenize the OSCAR subset (synthetic stand-in)."""
+        if args.get("synthetic", "false") == "true":
+            return {"dataset": "synthetic", "tokens": 0}
+        subset = generate_oscar_subset(documents=40, mean_document_words=60)
+        tokenizer = BPETokenizer()
+        tokenizer.train(subset.text()[:20000], vocab_size=512)
+        tokens = len(subset.tokenize(tokenizer))
+        return {"dataset": "oscar-subset", "tokens": tokens}
+
+    @registry.register("llm_train")
+    def llm_train(args: dict[str, str], wp: Workpackage):
+        """Train the GPT model and report throughput + energy."""
+        config = LLMBenchmarkConfig(
+            system=_require(args, "system"),
+            model_size=args.get("model", "800M"),
+            global_batch_size=int(_require(args, "gbs")),
+            micro_batch_size=int(args.get("mbs", "4")),
+            exit_duration_s=float(args.get("duration", "120")),
+            amd_variant=AMDVariant(args.get("amd-variant", "gcd")),
+            synthetic_data=args.get("synthetic", "false") == "true",
+        )
+        try:
+            result = run_llm_benchmark(config)
+        except OutOfMemoryError:
+            wp.log("CUDA out of memory")
+            return {"status": "OOM", "tokens_per_s": 0.0}
+        # Megatron-LM-style log lines; the pattern sets of
+        # repro.jube.patterns extract the figures of merit from these.
+        step_s = result.extra.get("step_time_s", result.elapsed_s)
+        wp.log(
+            f" iteration {result.iterations}/{result.iterations} | "
+            f"elapsed time per iteration (ms): {step_s * 1e3:.1f} | "
+            f"tokens per second: {result.throughput:.1f} | "
+            f"lm loss: {result.extra.get('final_loss', 0.0):.6E}"
+        )
+        out = llm_result_outputs(result)
+        out["status"] = "OK"
+        return out
+
+    @registry.register("resnet_train")
+    def resnet_train(args: dict[str, str], wp: Workpackage):
+        """Train the CNN and report throughput + energy."""
+        config = ResNetBenchmarkConfig(
+            system=_require(args, "system"),
+            model=args.get("model", "resnet50"),
+            global_batch_size=int(_require(args, "gbs")),
+            devices=int(args.get("devices", "1")),
+            amd_variant=AMDVariant(args.get("amd-variant", "gcd")),
+            synthetic_data=args.get("synthetic", "false") == "true",
+        )
+        try:
+            result = run_resnet_benchmark(config)
+        except OutOfMemoryError:
+            wp.log("Resource exhausted: OOM when allocating tensor")
+            return {"status": "OOM", "images_per_s": 0.0}
+        # tf_cnn_benchmarks-style log lines for the pattern sets.
+        wp.log(f"total images/sec: {result.throughput:.2f}")
+        if "final_top1_error" in result.extra:
+            wp.log(f"top-1 error: {result.extra['final_top1_error']:.4f}")
+        out = resnet_result_outputs(result)
+        out["status"] = "OK"
+        return out
+
+    @registry.register("analyse")
+    def analyse_op(args: dict[str, str], wp: Workpackage):
+        """Apply named pattern sets to the captured step log.
+
+        This is JUBE's analyser: ``analyse --patterns megatron`` greps
+        the training step's stdout with the Megatron pattern set and
+        records the extracted values as outputs.
+        """
+        from repro.jube.patterns import MEGATRON_PATTERNS, TFCNN_PATTERNS, analyse
+
+        known = {"megatron": MEGATRON_PATTERNS, "tf_cnn": TFCNN_PATTERNS}
+        names = _require(args, "patterns").split(",")
+        try:
+            sets = [known[n] for n in names]
+        except KeyError as exc:
+            raise JubeError(
+                f"unknown pattern set {exc.args[0]!r}; known: {sorted(known)}"
+            ) from None
+        return analyse(wp.stdout, sets)
+
+    @registry.register("combine_energy")
+    def combine_energy(args: dict[str, str], wp: Workpackage):
+        """Post-processing: summarise the energy columns of the run.
+
+        The real suite concatenates per-rank jpwr CSVs (jube continue);
+        the workpackage already carries the per-device energy from the
+        training step's outputs.
+        """
+        energy = wp.outputs.get("energy_per_device_wh")
+        if energy is None:
+            return {"combined_energy_wh": "-"}
+        devices = float(wp.outputs.get("devices", 1))
+        return {"combined_energy_wh": round(float(energy) * devices, 4)}
+
+    return registry

@@ -1,0 +1,40 @@
+"""The ResNet50 training benchmark (paper §III-A2).
+
+NVIDIA and AMD systems run the tf_cnn_benchmarks-style engine (mixed
+precision, XLA, Horovod data parallelism, 100 iterations); Graphcore
+runs the Poplar ResNet engine (micro-batch capped at 16 by SRAM, one
+epoch, compilation excluded).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ResNetBenchmarkConfig
+from repro.engine.poplar import PoplarResNetEngine
+from repro.engine.tfcnn import TFCNNEngine
+from repro.engine.trainer import TrainResult
+from repro.models.resnet import get_cnn_preset
+
+
+def run_resnet_benchmark(config: ResNetBenchmarkConfig) -> TrainResult:
+    """Execute one ResNet benchmark point and return its result row."""
+    node = config.node
+    model = get_cnn_preset(config.model)
+    if node.is_ipu_pod:
+        engine = PoplarResNetEngine(node, model, replicas=config.effective_devices())
+        return engine.train_epoch(config.global_batch_size)
+    engine = TFCNNEngine(
+        node,
+        model,
+        devices=config.effective_devices(),
+        nodes_used=config.nodes,
+        synthetic_data=config.synthetic_data,
+        binding=config.binding,
+    )
+    return engine.train(config.global_batch_size, iterations=config.iterations)
+
+
+def resnet_result_outputs(result: TrainResult) -> dict[str, float | str]:
+    """Flatten a result into the JUBE result-table columns."""
+    out = result.row()
+    out["images_per_s_per_device"] = round(result.throughput_per_device, 2)
+    return out

@@ -1,0 +1,61 @@
+"""Result collection helpers.
+
+Turns lists of :class:`~repro.engine.trainer.TrainResult` rows into the
+compact tabular artefacts JUBE prints and the CSV files the paper's
+post-processing step produces.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.engine.trainer import TrainResult
+from repro.errors import ConfigError
+
+
+def results_to_rows(results: list[TrainResult]) -> list[dict[str, object]]:
+    """Flatten results to dict rows with a common key set."""
+    rows = [r.row() for r in results]
+    keys: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+    return [{k: row.get(k, "") for k in keys} for row in rows]
+
+
+def results_to_csv(results: list[TrainResult]) -> str:
+    """CSV text of a result set."""
+    if not results:
+        raise ConfigError("no results to export")
+    rows = results_to_rows(results)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def write_results_csv(results: list[TrainResult], path: str | Path) -> Path:
+    """Write a result set to a CSV file; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(results_to_csv(results))
+    return p
+
+
+def results_to_markdown(results: list[TrainResult]) -> str:
+    """Markdown table of a result set (for EXPERIMENTS.md)."""
+    if not results:
+        raise ConfigError("no results to export")
+    rows = results_to_rows(results)
+    keys = list(rows[0])
+    lines = [
+        "| " + " | ".join(keys) + " |",
+        "|" + "|".join("---" for _ in keys) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row[k]) for k in keys) + " |")
+    return "\n".join(lines)

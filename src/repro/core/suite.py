@@ -1,0 +1,130 @@
+"""CaramlSuite: the high-level public API.
+
+Two usage levels, mirroring the real suite:
+
+* direct: ``CaramlSuite().run_llm(...)`` / ``run_resnet(...)`` execute
+  single benchmark points and return :class:`TrainResult` rows,
+* JUBE: ``suite.jube_run("llm_benchmark_nvidia_amd.yaml", tags=["A100"])``
+  executes a shipped (or user-provided) benchmark script through the
+  workflow engine, exactly like ``jube run ... --tag A100``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import AMDVariant, LLMBenchmarkConfig, ResNetBenchmarkConfig
+from repro.core.llm_training import run_llm_benchmark
+from repro.core.registry import build_operation_registry
+from repro.core.resnet50 import run_resnet_benchmark
+from repro.engine.trainer import TrainResult
+from repro.errors import JubeError
+from repro.hardware.systems import SYSTEM_TAGS
+from repro.jube.runner import JubeRun, JubeRunner
+from repro.jube.script import BenchmarkScript, load_script
+
+_SCRIPT_DIR = Path(__file__).parent / "scripts"
+
+#: Scripts shipped with the suite (paper Appendix file names).
+SHIPPED_SCRIPTS = (
+    "llm_benchmark_nvidia_amd.yaml",
+    "llm_benchmark_ipu.yaml",
+    "resnet50_benchmark.xml",
+)
+
+
+def script_path(name: str) -> Path:
+    """Path of a shipped benchmark script by file name."""
+    path = _SCRIPT_DIR / name
+    if not path.exists():
+        raise JubeError(
+            f"unknown shipped script {name!r}; shipped: {', '.join(SHIPPED_SCRIPTS)}"
+        )
+    return path
+
+
+class CaramlSuite:
+    """Entry point to the CARAML reproduction."""
+
+    def __init__(self) -> None:
+        self.registry = build_operation_registry()
+        self.runner = JubeRunner(self.registry)
+
+    # -- direct benchmark execution -----------------------------------------
+
+    def run_llm(
+        self,
+        system: str,
+        *,
+        model_size: str = "800M",
+        global_batch_size: int = 256,
+        micro_batch_size: int = 4,
+        exit_duration_s: float = 120.0,
+        amd_variant: AMDVariant | str = AMDVariant.GCD,
+    ) -> TrainResult:
+        """Run one LLM benchmark point."""
+        config = LLMBenchmarkConfig(
+            system=system,
+            model_size=model_size,
+            global_batch_size=global_batch_size,
+            micro_batch_size=micro_batch_size,
+            exit_duration_s=exit_duration_s,
+            amd_variant=AMDVariant(amd_variant),
+        )
+        return run_llm_benchmark(config)
+
+    def run_resnet(
+        self,
+        system: str,
+        *,
+        model: str = "resnet50",
+        global_batch_size: int = 256,
+        devices: int = 1,
+        amd_variant: AMDVariant | str = AMDVariant.GCD,
+        synthetic_data: bool = False,
+        binding=None,
+    ) -> TrainResult:
+        """Run one ResNet benchmark point."""
+        from repro.simcluster.affinity import BindingPolicy
+
+        config = ResNetBenchmarkConfig(
+            system=system,
+            model=model,
+            global_batch_size=global_batch_size,
+            devices=devices,
+            amd_variant=AMDVariant(amd_variant),
+            synthetic_data=synthetic_data,
+            binding=BindingPolicy(binding) if binding else BindingPolicy.GPU_AFFINE,
+        )
+        return run_resnet_benchmark(config)
+
+    # -- JUBE workflow --------------------------------------------------------
+
+    def load_script(self, name_or_path: str | Path) -> BenchmarkScript:
+        """Load a shipped script by name or any script by path."""
+        p = Path(name_or_path)
+        if p.exists():
+            return load_script(p)
+        return load_script(script_path(str(name_or_path)))
+
+    def jube_run(
+        self, name_or_path: str | Path, tags: list[str] | tuple[str, ...] = ()
+    ) -> JubeRun:
+        """``jube run <script> --tag ...``."""
+        script = self.load_script(name_or_path)
+        return self.runner.run(script, tags)
+
+    def jube_continue(self, run: JubeRun) -> JubeRun:
+        """``jube continue`` (post-processing steps)."""
+        return self.runner.continue_run(run)
+
+    def jube_result(self, run: JubeRun, table: str | None = None) -> str:
+        """``jube result``: the compact result table."""
+        return self.runner.result(run, table)
+
+    # -- introspection -----------------------------------------------------------
+
+    @staticmethod
+    def systems() -> tuple[str, ...]:
+        """The Table I system tags."""
+        return SYSTEM_TAGS

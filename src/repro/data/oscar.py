@@ -1,0 +1,133 @@
+"""Synthetic OSCAR-like text corpus.
+
+The paper trains on "a subset of the OSCAR data that is preprocessed
+using GPT-2 tokenizers".  OSCAR itself is a crawled multilingual corpus
+we cannot ship; this module generates a deterministic synthetic
+stand-in with the statistical properties that matter to the substrate:
+documents of varying length, a Zipfian word distribution over a
+synthetic vocabulary, and multiple "languages" (disjoint vocabularies)
+-- enough to train the BPE tokenizer and to fill token batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.tokenizer import BPETokenizer
+from repro.errors import DataError
+
+_CONSONANTS = "bcdfghjklmnprstvz"
+_VOWELS = "aeiou"
+
+
+def _make_word(rng: np.random.Generator, syllables: int) -> str:
+    """One pronounceable pseudo-word."""
+    parts = []
+    for _ in range(syllables):
+        parts.append(_CONSONANTS[int(rng.integers(len(_CONSONANTS)))])
+        parts.append(_VOWELS[int(rng.integers(len(_VOWELS)))])
+    return "".join(parts)
+
+
+def _make_vocabulary(rng: np.random.Generator, size: int) -> list[str]:
+    """A vocabulary of distinct pseudo-words."""
+    words: set[str] = set()
+    while len(words) < size:
+        words.add(_make_word(rng, int(rng.integers(1, 4))))
+    return sorted(words)
+
+
+@dataclass
+class OscarSubset:
+    """A generated corpus: documents plus derived statistics."""
+
+    documents: list[str]
+    languages: int
+    seed: int
+    _token_cache: list[int] | None = field(default=None, repr=False)
+
+    @property
+    def num_documents(self) -> int:
+        """Document count."""
+        return len(self.documents)
+
+    @property
+    def total_characters(self) -> int:
+        """Character count over all documents."""
+        return sum(len(d) for d in self.documents)
+
+    def text(self) -> str:
+        """All documents joined with double newlines (training text)."""
+        return "\n\n".join(self.documents)
+
+    def tokenize(self, tokenizer: BPETokenizer) -> list[int]:
+        """Tokenise the whole corpus (cached per subset instance)."""
+        if self._token_cache is None:
+            self._token_cache = tokenizer.encode(self.text())
+        return self._token_cache
+
+    def token_batches(
+        self, tokenizer: BPETokenizer, seq_length: int, batch_size: int
+    ) -> list[np.ndarray]:
+        """Pack the corpus into (batch, seq) token arrays, dropping the
+        ragged tail, exactly like a GPT data pipeline."""
+        if seq_length <= 0 or batch_size <= 0:
+            raise DataError("sequence length and batch size must be positive")
+        ids = self.tokenize(tokenizer)
+        per_batch = seq_length * batch_size
+        n_batches = len(ids) // per_batch
+        if n_batches == 0:
+            raise DataError(
+                f"corpus too small: {len(ids)} tokens < one batch of {per_batch}"
+            )
+        batches = []
+        for i in range(n_batches):
+            chunk = np.asarray(
+                ids[i * per_batch : (i + 1) * per_batch], dtype=np.int32
+            )
+            batches.append(chunk.reshape(batch_size, seq_length))
+        return batches
+
+
+def generate_oscar_subset(
+    *,
+    documents: int = 200,
+    mean_document_words: int = 120,
+    vocabulary_size: int = 800,
+    languages: int = 3,
+    seed: int = 20240917,
+) -> OscarSubset:
+    """Generate a deterministic synthetic OSCAR-like subset.
+
+    Words are drawn Zipf-distributed from per-language vocabularies;
+    document lengths are geometric around the requested mean, matching
+    the long-tailed document lengths of crawled corpora.
+    """
+    if documents <= 0 or mean_document_words <= 0:
+        raise DataError("documents and words-per-document must be positive")
+    if languages <= 0 or vocabulary_size < languages * 10:
+        raise DataError("need >= 10 vocabulary words per language")
+    rng = np.random.default_rng(seed)
+    per_lang = vocabulary_size // languages
+    vocabularies = [_make_vocabulary(rng, per_lang) for _ in range(languages)]
+
+    # Zipf ranks: probability ~ 1/rank.
+    ranks = np.arange(1, per_lang + 1, dtype=float)
+    zipf = (1.0 / ranks) / np.sum(1.0 / ranks)
+
+    docs: list[str] = []
+    for _ in range(documents):
+        lang = int(rng.integers(languages))
+        vocab = vocabularies[lang]
+        n_words = max(5, int(rng.geometric(1.0 / mean_document_words)))
+        idx = rng.choice(per_lang, size=n_words, p=zipf)
+        words = [vocab[i] for i in idx]
+        # Sentence structure: capitalise every ~12 words, add periods.
+        sentences: list[str] = []
+        for start in range(0, len(words), 12):
+            chunk = words[start : start + 12]
+            sentences.append(chunk[0].capitalize() + " " + " ".join(chunk[1:]) + ".")
+        docs.append(" ".join(sentences))
+    return OscarSubset(documents=docs, languages=languages, seed=seed)

@@ -1,0 +1,156 @@
+"""A byte-level BPE tokenizer (GPT-2 style, trained from scratch).
+
+The LLM benchmark preprocesses its OSCAR subset "using GPT-2
+tokenizers" (paper §III-A1).  This is a from-scratch byte-pair-encoding
+implementation with the two properties that matter for the benchmark
+substrate:
+
+* **losslessness** -- byte-level base vocabulary means any string
+  round-trips exactly (property-tested),
+* **determinism** -- merges are learned greedily with lexicographic
+  tie-breaking, so the same corpus always yields the same vocabulary.
+
+It is intentionally a compact reference implementation; tokenisation
+throughput is not the benchmark's figure of merit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import DataError
+
+#: Number of base byte tokens.
+BYTE_VOCAB = 256
+
+
+class BPETokenizer:
+    """Byte-level BPE tokenizer with greedy merge training."""
+
+    def __init__(self) -> None:
+        # merges[(a, b)] = merged-token id, in training order.
+        self.merges: dict[tuple[int, int], int] = {}
+        # token id -> byte string it decodes to.
+        self.vocab: dict[int, bytes] = {i: bytes([i]) for i in range(BYTE_VOCAB)}
+
+    # -- training -----------------------------------------------------------
+
+    @property
+    def vocab_size(self) -> int:
+        """Current vocabulary size (256 base bytes + learned merges)."""
+        return len(self.vocab)
+
+    def train(self, text: str, vocab_size: int) -> None:
+        """Learn merges from a corpus until the vocabulary reaches
+        ``vocab_size`` (or no pair repeats).
+
+        Training replaces any previously learned merges.
+        """
+        if vocab_size < BYTE_VOCAB:
+            raise DataError(
+                f"vocab size must be >= {BYTE_VOCAB} (the byte alphabet), "
+                f"got {vocab_size}"
+            )
+        if not text:
+            raise DataError("cannot train a tokenizer on empty text")
+        self.merges = {}
+        self.vocab = {i: bytes([i]) for i in range(BYTE_VOCAB)}
+        ids = list(text.encode("utf-8"))
+        next_id = BYTE_VOCAB
+        while next_id < vocab_size:
+            pairs = Counter(zip(ids, ids[1:]))
+            if not pairs:
+                break
+            # Greedy most-frequent pair; deterministic tie-break on the
+            # pair value itself.
+            best, count = max(pairs.items(), key=lambda kv: (kv[1], (-kv[0][0], -kv[0][1])))
+            if count < 2:
+                break
+            self.merges[best] = next_id
+            self.vocab[next_id] = self.vocab[best[0]] + self.vocab[best[1]]
+            ids = self._merge(ids, best, next_id)
+            next_id += 1
+
+    @staticmethod
+    def _merge(ids: list[int], pair: tuple[int, int], new_id: int) -> list[int]:
+        """Replace every occurrence of ``pair`` in ``ids`` with ``new_id``."""
+        out: list[int] = []
+        i = 0
+        n = len(ids)
+        while i < n:
+            if i < n - 1 and ids[i] == pair[0] and ids[i + 1] == pair[1]:
+                out.append(new_id)
+                i += 2
+            else:
+                out.append(ids[i])
+                i += 1
+        return out
+
+    # -- encode / decode -------------------------------------------------------
+
+    def encode(self, text: str) -> list[int]:
+        """Tokenise a string (works even for untrained tokenizers, which
+        emit raw bytes)."""
+        ids = list(text.encode("utf-8"))
+        # Apply merges in learned order (lowest new-id first), the same
+        # order GPT-2's encoder applies its ranked merges.
+        for pair, new_id in self.merges.items():
+            if len(ids) < 2:
+                break
+            ids = self._merge(ids, pair, new_id)
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Reconstruct the exact original string from token ids."""
+        try:
+            data = b"".join(self.vocab[i] for i in ids)
+        except KeyError as exc:
+            raise DataError(f"unknown token id {exc.args[0]}") from None
+        return data.decode("utf-8")
+
+    def token_bytes(self, token_id: int) -> bytes:
+        """Byte string one token decodes to."""
+        try:
+            return self.vocab[token_id]
+        except KeyError:
+            raise DataError(f"unknown token id {token_id}") from None
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the learned merges (the GPT-2 tokenizer ships as a
+        merges file plus a vocabulary; the merges fully determine ours)."""
+        import json
+
+        merges = [[a, b, new_id] for (a, b), new_id in self.merges.items()]
+        return json.dumps({"format": "bpe-lite-v1", "merges": merges})
+
+    @classmethod
+    def from_json(cls, text: str) -> "BPETokenizer":
+        """Reconstruct a tokenizer from :meth:`to_json` output."""
+        import json
+
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"corrupt tokenizer file: {exc}") from None
+        if not isinstance(data, dict) or data.get("format") != "bpe-lite-v1":
+            raise DataError("not a bpe-lite-v1 tokenizer file")
+        tok = cls()
+        for entry in data.get("merges", []):
+            a, b, new_id = (int(v) for v in entry)
+            if a not in tok.vocab or b not in tok.vocab:
+                raise DataError(f"merge ({a},{b}) references unknown tokens")
+            if new_id != BYTE_VOCAB + len(tok.merges):
+                raise DataError("merges are not in training order")
+            tok.merges[(a, b)] = new_id
+            tok.vocab[new_id] = tok.vocab[a] + tok.vocab[b]
+        return tok
+
+    # -- stats ---------------------------------------------------------------
+
+    def compression_ratio(self, text: str) -> float:
+        """Bytes per token on a text (>= 1.0 once merges are learned)."""
+        if not text:
+            raise DataError("empty text")
+        return len(text.encode("utf-8")) / len(self.encode(text))

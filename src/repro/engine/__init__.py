@@ -1,0 +1,40 @@
+"""Training engines driving the performance and power models."""
+
+from repro.engine.calibration import SystemCalibration, get_calibration
+from repro.engine.efficiency import saturation, batch_efficiency
+from repro.engine.perf import LLMStepModel, CNNStepModel, StepBreakdown
+from repro.engine.oom import check_llm_memory, check_cnn_memory
+from repro.engine.trainer import TrainResult
+from repro.engine.megatron import MegatronEngine
+from repro.engine.tfcnn import TFCNNEngine
+from repro.engine.poplar import PoplarGPTEngine, PoplarResNetEngine
+from repro.engine.inference import InferenceEngine, InferenceWorkload
+from repro.engine.microbench import (
+    MicrobenchResult,
+    allreduce_busbw_gbs,
+    gemm_tflops,
+    stream_triad_gbs,
+)
+
+__all__ = [
+    "InferenceEngine",
+    "InferenceWorkload",
+    "MicrobenchResult",
+    "allreduce_busbw_gbs",
+    "gemm_tflops",
+    "stream_triad_gbs",
+    "SystemCalibration",
+    "get_calibration",
+    "saturation",
+    "batch_efficiency",
+    "LLMStepModel",
+    "CNNStepModel",
+    "StepBreakdown",
+    "check_llm_memory",
+    "check_cnn_memory",
+    "TrainResult",
+    "MegatronEngine",
+    "TFCNNEngine",
+    "PoplarGPTEngine",
+    "PoplarResNetEngine",
+]

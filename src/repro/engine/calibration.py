@@ -1,0 +1,180 @@
+"""Per-system calibration constants.
+
+The hardware catalog stores published *specs*; this module stores the
+calibrated *behavioural* constants that connect specs to achieved
+performance.  They were fixed once against the aggregate numbers the
+paper reports (and, where the paper gives no absolute number, against
+public measurements of the same device generation), and are never fit
+at runtime.  Provenance of each anchor:
+
+* GH200 (JRDC) LLM throughput 47,505 tokens/s/GPU at GBS 4096 -- paper
+  §IV-A, the single absolute throughput the text quotes,
+* A100 = GH200 / 2.45 -- paper §IV-A,
+* H100 WestAI = 1.3 x H100 JRDC -- paper §IV-A,
+* GH200 (JRDC) = 1.2 x GH200 (JEDI), with ~20 % higher energy -- §IV-A,
+* H100-PCIe best tokens/Wh "by up to 25 %" -- §IV-A,
+* MI250 4-GCD slightly ahead of 8-GCD per device -- §IV-A,
+* IPU GPT/ResNet curves -- paper Tables II and III (fit analytically,
+  see :mod:`repro.engine.poplar`),
+* CNN absolute levels -- generation-scaled from public tf_cnn_benchmarks
+  results; within-system trends (batch saturation, AMD large-batch
+  efficiency crossover, JEDI vs JRDC cache effect) are mechanistic.
+
+The "MFU" numbers are model-FLOPs utilisation at the benchmark's fixed
+micro-batch size of 4 sequences; CNN MFUs are low because TF CNN
+training is memory- and latency-bound rather than GEMM-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownSystemError
+
+
+@dataclass(frozen=True)
+class SystemCalibration:
+    """Behavioural constants for one Table I system.
+
+    Attributes
+    ----------
+    mfu_llm:
+        Asymptotic model-FLOPs utilisation of the Megatron GPT
+        benchmark at micro-batch 4.
+    mfu_cnn:
+        Asymptotic FLOPs utilisation of ResNet50 training.
+    cnn_batch_half:
+        Local batch size at which CNN kernels reach half their
+        asymptotic efficiency (AMD kernels need larger batches).
+    llm_step_overhead_s:
+        Fixed per-iteration cost (optimizer step, host sync, launch).
+    cnn_step_overhead_s:
+        Same, for the TF benchmark.
+    util_full_llm / util_full_cnn:
+        Device utilisation (power-model input) at saturated load.
+    comm_overlap:
+        Fraction of the gradient all-reduce hidden behind backward
+        compute (Megatron overlaps bucketed reductions).
+    mcm_shared_power_derate:
+        Throughput derate per GCD when both GCDs of an MI250 MCM are
+        active (shared power/thermal envelope); 1.0 elsewhere.
+    util_batch_sensitivity:
+        How strongly device utilisation (hence power) tracks the batch
+        saturation; AMD devices hold power nearly flat across batch
+        sizes, which is what produces the §IV-B small-batch efficiency
+        crossover in NVIDIA's favour.
+    host_cache_sensitivity:
+        Weight of the host page-cache factor in the CNN input
+        pipeline: rate multiplier is
+        ``(1 - w) + w * min(1, cpu_mem_per_device / dataset_shard)``.
+        Drives the JEDI-vs-JRDC large-batch gap of §IV-B.
+    decode_rate_per_core:
+        Host JPEG-decode+augment throughput per core (images/s).
+    """
+
+    mfu_llm: float
+    mfu_cnn: float
+    cnn_batch_half: float
+    llm_step_overhead_s: float = 0.03
+    cnn_step_overhead_s: float = 0.010
+    util_full_llm: float = 0.85
+    util_full_cnn: float = 0.80
+    util_batch_sensitivity: float = 0.4
+    comm_overlap: float = 0.6
+    mcm_shared_power_derate: float = 1.0
+    host_cache_sensitivity: float = 0.15
+    decode_rate_per_core: float = 400.0
+
+    def __post_init__(self) -> None:
+        for name in ("mfu_llm", "mfu_cnn", "util_full_llm", "util_full_cnn"):
+            v = getattr(self, name)
+            if not 0.0 < v <= 1.0:
+                raise ValueError(f"{name} must be in (0,1], got {v}")
+        if not 0.0 <= self.comm_overlap < 1.0:
+            raise ValueError("comm_overlap must be in [0,1)")
+        if not 0.0 < self.mcm_shared_power_derate <= 1.0:
+            raise ValueError("mcm_shared_power_derate must be in (0,1]")
+
+
+#: Calibration per JUBE system tag.  See module docstring for anchors.
+CALIBRATIONS: dict[str, SystemCalibration] = {
+    # GH200 JEDI: 4 superchips/node.  LLM level set 1/1.2 of the JRDC
+    # GH200 (paper: JRDC single-chip node is 20 % faster per device);
+    # utilisation set so its tokens/Wh lands slightly *above* JRDC
+    # (paper: "even slightly better for the less performant JEDI case").
+    "JEDI": SystemCalibration(
+        mfu_llm=0.2308,
+        mfu_cnn=0.062,
+        cnn_batch_half=8.0,
+        util_full_llm=0.62,
+        util_full_cnn=0.50,
+    ),
+    # GH200 JURECA (single superchip): the 47,505 tokens/s/GPU anchor.
+    "GH200": SystemCalibration(
+        mfu_llm=0.2769,
+        mfu_cnn=0.066,
+        cnn_batch_half=8.0,
+        util_full_llm=0.82,
+        util_full_cnn=0.52,
+    ),
+    # H100 PCIe: runs pinned at its 350 W cap -> best energy efficiency.
+    "H100": SystemCalibration(
+        mfu_llm=0.225,
+        mfu_cnn=0.064,
+        cnn_batch_half=8.0,
+        util_full_llm=0.95,
+        util_full_cnn=0.88,
+    ),
+    # H100 SXM5 (WestAI): 1.3x the PCIe variant's LLM throughput.
+    "WAIH100": SystemCalibration(
+        mfu_llm=0.2235,
+        mfu_cnn=0.060,
+        cnn_batch_half=8.0,
+        util_full_llm=0.80,
+        util_full_cnn=0.74,
+    ),
+    # MI250: per-GCD numbers.  The very large cnn_batch_half and flat
+    # utilisation (util_batch_sensitivity=0) produce the §IV-B
+    # crossover: images/Wh best-in-field at large batch, worst at small
+    # batch; ROCm CNN kernels need large batches, but the part draws
+    # near-constant power regardless.
+    "MI250": SystemCalibration(
+        mfu_llm=0.255,
+        mfu_cnn=0.22,
+        cnn_batch_half=120.0,
+        util_full_llm=0.78,
+        util_full_cnn=0.95,
+        util_batch_sensitivity=0.0,
+        mcm_shared_power_derate=0.97,
+    ),
+    # A100: 1/2.45 of the GH200 LLM anchor.
+    "A100": SystemCalibration(
+        mfu_llm=0.358,
+        mfu_cnn=0.1065,
+        cnn_batch_half=8.0,
+        util_full_llm=0.86,
+        util_full_cnn=0.78,
+    ),
+    # GC200 IPU: the GPU-style MFU fields are not used by the Poplar
+    # engines (which carry their own Table II/III-fitted constants in
+    # repro.engine.poplar); listed for completeness with plausible
+    # values.
+    "GC200": SystemCalibration(
+        mfu_llm=0.05,
+        mfu_cnn=0.10,
+        cnn_batch_half=4.0,
+        util_full_llm=0.35,
+        util_full_cnn=0.36,
+    ),
+}
+
+
+def get_calibration(tag: str) -> SystemCalibration:
+    """Calibration entry for a JUBE system tag."""
+    try:
+        return CALIBRATIONS[tag]
+    except KeyError:
+        valid = ", ".join(sorted(CALIBRATIONS))
+        raise UnknownSystemError(
+            f"no calibration for system {tag!r}; valid: {valid}"
+        ) from None

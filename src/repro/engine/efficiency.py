@@ -1,0 +1,38 @@
+"""Saturation and efficiency curves.
+
+A device reaches its calibrated peak efficiency only once enough work
+is in flight.  The saturating form used throughout is the hyperbolic
+
+    sat(x; x_half) = x / (x + x_half)
+
+which matches the measured batch-size curves of the paper closely (the
+IPU GPT throughputs of Table II fit this form to within ~1 %).
+"""
+
+from __future__ import annotations
+
+
+def saturation(work: float, half_point: float) -> float:
+    """Hyperbolic saturation in [0, 1).
+
+    ``half_point`` is the amount of work at which half the asymptotic
+    efficiency is reached; zero half-point means instant saturation.
+    """
+    if work < 0:
+        raise ValueError("work must be >= 0")
+    if half_point < 0:
+        raise ValueError("half point must be >= 0")
+    if work == 0:
+        return 0.0
+    return work / (work + half_point)
+
+
+def batch_efficiency(batch: float, half_point: float, *, floor: float = 0.0) -> float:
+    """Kernel efficiency as a function of (local) batch size.
+
+    ``floor`` lifts the small-batch end: even a batch of one keeps some
+    lanes busy.  Result is in (floor, 1).
+    """
+    if not 0.0 <= floor < 1.0:
+        raise ValueError("floor must be in [0, 1)")
+    return floor + (1.0 - floor) * saturation(batch, half_point)

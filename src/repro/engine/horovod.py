@@ -1,0 +1,64 @@
+"""Horovod-style gradient synchronisation model.
+
+tf_cnn_benchmarks scales to multiple devices with Horovod data
+parallelism (paper §III-A2).  Horovod fuses small gradient tensors into
+fixed-size fusion buffers before ring-all-reducing them; the fusion
+granularity sets how latency-bound the reduction is.  The model here
+adds that structure on top of the raw collective cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.simcluster.nccl import CollectiveModel
+
+#: Horovod's default fusion threshold (64 MiB).
+DEFAULT_FUSION_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class HorovodAllreduce:
+    """Fused all-reduce of one model's gradients.
+
+    Attributes
+    ----------
+    collectives:
+        Underlying hierarchical collective model.
+    fusion_bytes:
+        Fusion buffer capacity; gradients are reduced buffer by buffer.
+    cycle_time_s:
+        Horovod coordination cycle (the negotiation tick between
+        buffers).
+    """
+
+    collectives: CollectiveModel
+    fusion_bytes: int = DEFAULT_FUSION_BYTES
+    cycle_time_s: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if self.fusion_bytes <= 0:
+            raise ConfigError("fusion buffer must be positive")
+        if self.cycle_time_s < 0:
+            raise ConfigError("cycle time must be >= 0")
+
+    def num_buffers(self, gradient_bytes: int) -> int:
+        """Fusion buffers needed for a gradient volume."""
+        if gradient_bytes < 0:
+            raise ConfigError("gradient bytes must be >= 0")
+        if gradient_bytes == 0:
+            return 0
+        return -(-gradient_bytes // self.fusion_bytes)
+
+    def allreduce_time(self, gradient_bytes: int) -> float:
+        """Total synchronisation time for one step's gradients."""
+        n = self.num_buffers(gradient_bytes)
+        if n == 0 or self.collectives.world_size == 1:
+            return 0.0
+        full_buffers = gradient_bytes // self.fusion_bytes
+        tail = gradient_bytes - full_buffers * self.fusion_bytes
+        t = full_buffers * self.collectives.allreduce(self.fusion_bytes)
+        if tail:
+            t += self.collectives.allreduce(tail)
+        return t + n * self.cycle_time_s

@@ -1,0 +1,54 @@
+"""Exception hierarchy shared by all ``repro`` subsystems.
+
+Keeping the exceptions in a single module lets callers catch
+``ReproError`` to handle any failure raised by this package while still
+being able to discriminate on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the ``repro`` package."""
+
+
+class HardwareError(ReproError):
+    """Invalid hardware description or unknown hardware lookup."""
+
+
+class UnknownSystemError(HardwareError):
+    """A system tag does not exist in the Table I registry."""
+
+
+class ConfigError(ReproError):
+    """Invalid benchmark, model, or parallelism configuration."""
+
+
+class OutOfMemoryError(ReproError):
+    """The workload does not fit in device memory.
+
+    Mirrors the ``OOM`` cells of the paper's Figure 4: a configuration
+    whose per-device memory footprint exceeds the accelerator capacity
+    is not executed but reported as out-of-memory.
+    """
+
+    def __init__(self, message: str, required_bytes: int = 0, capacity_bytes: int = 0):
+        super().__init__(message)
+        self.required_bytes = int(required_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+
+
+class SchedulerError(ReproError):
+    """Invalid job submission or scheduler state (simulated Slurm)."""
+
+
+class MeasurementError(ReproError):
+    """jpwr measurement failure (unknown method, empty trace, ...)."""
+
+
+class JubeError(ReproError):
+    """Malformed JUBE script or workflow failure."""
+
+
+class DataError(ReproError):
+    """Synthetic data substrate failure (tokenizer, corpus, dataset)."""

@@ -1,0 +1,108 @@
+"""Interconnect link specifications (Table I rows "Connect").
+
+Three classes of link matter for the paper's results:
+
+* **CPU-accelerator** links (NVLink-C2C 900 GB/s on GH200, PCIe Gen 5
+  128 GB/s on H100 nodes, PCIe Gen 4 64 GB/s on A100/MI250/IPU nodes)
+  bound host-to-device data-loading throughput;
+* **accelerator-accelerator intra-node** links (NVLink3/4, Infinity
+  Fabric, IPU-Link) bound the all-reduce of data parallelism;
+* **inter-node** InfiniBand (HDR/NDR) bounds multi-node scaling in the
+  Figure 4 heatmaps.
+
+All bandwidths stored here are *bidirectional aggregate* bytes/s per
+device, following the paper's footnote 1; effective unidirectional
+bandwidth used by the collective models is half of that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.units import gbit_s, gbps
+
+
+class LinkTechnology(str, enum.Enum):
+    """Link families appearing in Table I."""
+
+    NVLINK_C2C = "nvlink-c2c"
+    NVLINK3 = "nvlink3"
+    NVLINK4 = "nvlink4"
+    NVLINK4_BRIDGE = "nvlink4-bridge"
+    PCIE_GEN4 = "pcie-gen4"
+    PCIE_GEN5 = "pcie-gen5"
+    INFINITY_FABRIC = "infinity-fabric"
+    IPU_LINK = "ipu-link"
+    IB_HDR = "ib-hdr"
+    IB_NDR200 = "ib-ndr200"
+    IB_NDR = "ib-ndr"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link class with aggregate bidirectional bandwidth per device.
+
+    ``latency_s`` is the per-message base latency used by the collective
+    cost models; values are typical published figures (NVLink ~1 us,
+    PCIe ~2 us, InfiniBand ~2 us end-to-end with software stack).
+    """
+
+    technology: LinkTechnology
+    bandwidth: float  # bytes/s, bidirectional aggregate per device
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.technology is not LinkTechnology.NONE and self.bandwidth <= 0:
+            raise HardwareError(f"{self.technology}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise HardwareError(f"{self.technology}: latency must be >= 0")
+
+    @property
+    def unidirectional_bandwidth(self) -> float:
+        """Usable one-direction bandwidth (half the aggregate)."""
+        return self.bandwidth / 2.0
+
+
+def _make_catalog() -> dict[LinkTechnology, LinkSpec]:
+    specs = [
+        LinkSpec(LinkTechnology.NVLINK_C2C, gbps(900), 0.4e-6),
+        LinkSpec(LinkTechnology.NVLINK3, gbps(600), 1.0e-6),
+        LinkSpec(LinkTechnology.NVLINK4, gbps(900), 1.0e-6),
+        # H100 PCIe pairs bridged with 12 NVLink4 connections (25 GB/s
+        # each): 600 GB/s inside a pair, PCIe across pairs.
+        LinkSpec(LinkTechnology.NVLINK4_BRIDGE, gbps(600), 1.2e-6),
+        LinkSpec(LinkTechnology.PCIE_GEN4, gbps(64), 2.0e-6),
+        LinkSpec(LinkTechnology.PCIE_GEN5, gbps(128), 2.0e-6),
+        LinkSpec(LinkTechnology.INFINITY_FABRIC, gbps(500), 1.5e-6),
+        # 10 IPU-Links per IPU at 32 GB/s bidirectional each; intra-node
+        # aggregate 256 GB/s per IPU (paper footnote 3).
+        LinkSpec(LinkTechnology.IPU_LINK, gbps(256), 1.5e-6),
+        LinkSpec(LinkTechnology.IB_HDR, gbit_s(2 * 200), 2.0e-6),
+        # JEDI uses NDR200 ports (4 x 200 Gbit/s); WestAI full NDR400.
+        LinkSpec(LinkTechnology.IB_NDR200, gbit_s(2 * 200), 2.0e-6),
+        LinkSpec(LinkTechnology.IB_NDR, gbit_s(2 * 400), 2.0e-6),
+        LinkSpec(LinkTechnology.NONE, 0.0, 0.0),
+    ]
+    return {s.technology: s for s in specs}
+
+
+LINKS: dict[LinkTechnology, LinkSpec] = _make_catalog()
+
+
+def get_link(technology: LinkTechnology | str) -> LinkSpec:
+    """Look up a link class; accepts the enum or its string value."""
+    tech = LinkTechnology(technology)
+    try:
+        return LINKS[tech]
+    except KeyError:  # pragma: no cover - enum guarantees membership
+        raise HardwareError(f"unknown link technology {technology!r}") from None
+
+
+def scaled(link: LinkSpec, count: int) -> LinkSpec:
+    """A link spec with ``count`` parallel rails (e.g. 4x IB NDR on JEDI)."""
+    if count <= 0:
+        raise HardwareError("link count must be positive")
+    return LinkSpec(link.technology, link.bandwidth * count, link.latency_s)

@@ -1,0 +1,29 @@
+"""jpwr: modular power and energy measurement tool (paper §III-A4).
+
+Re-implementation of the jpwr tool the paper contributes
+(https://github.com/FZJ-JSC/jpwr), measuring simulated devices instead
+of real hardware counters.  The public surface mirrors the original:
+
+* :func:`repro.jpwr.ctxmgr.get_power` -- context manager running a
+  power-sampling loop; ``measured_scope.df`` holds the samples and
+  ``measured_scope.energy()`` returns the integrated energy plus
+  per-method additional data,
+* :mod:`repro.jpwr.methods` -- pluggable per-vendor backends
+  (``pynvml``, ``rocmsmi``, ``gcipuinfo``, ``gh``),
+* :mod:`repro.jpwr.cli` -- the ``jpwr`` command-line wrapper
+  (``jpwr --methods rocm --df-out dir --df-filetype csv -- cmd ...``).
+"""
+
+from repro.jpwr.frame import DataFrame
+from repro.jpwr.ctxmgr import get_power, MeasuredScope
+from repro.jpwr.energy import integrate_energy_wh
+from repro.jpwr.methods import available_methods, create_method
+
+__all__ = [
+    "DataFrame",
+    "get_power",
+    "MeasuredScope",
+    "integrate_energy_wh",
+    "available_methods",
+    "create_method",
+]

@@ -1,0 +1,74 @@
+"""Energy derivation from sampled power data.
+
+Mirrors jpwr's post-processing: the sampling loop produces a DataFrame
+of timestamps and per-device power columns; at scope exit the total
+energy per device is computed by trapezoidal integration and reported
+in watt-hours (the paper's unit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.jpwr.frame import DataFrame
+from repro.units import joules_to_wh
+
+TIME_COLUMN = "time_s"
+
+
+def integrate_energy_wh(df: DataFrame, *, time_column: str = TIME_COLUMN) -> dict[str, float]:
+    """Integrate each power column of a sample frame to energy (Wh).
+
+    Parameters
+    ----------
+    df:
+        Sample frame with a monotonically non-decreasing time column
+        (seconds) and one or more power columns (watts).
+    time_column:
+        Name of the time column.
+
+    Returns
+    -------
+    dict mapping each power column name to its integrated energy in Wh.
+
+    Raises
+    ------
+    MeasurementError
+        On a missing time column, non-monotonic timestamps, or a frame
+        with fewer than two samples (no interval to integrate).
+    """
+    if time_column not in df:
+        raise MeasurementError(f"frame lacks time column {time_column!r}")
+    t = np.asarray(df[time_column], dtype=float)
+    if len(t) < 2:
+        raise MeasurementError(
+            f"need at least 2 samples to integrate energy, got {len(t)}"
+        )
+    if np.any(np.diff(t) < 0):
+        raise MeasurementError("timestamps are not monotonically non-decreasing")
+    energies: dict[str, float] = {}
+    for column in df.columns:
+        if column == time_column:
+            continue
+        p = np.asarray(df[column], dtype=float)
+        energies[column] = joules_to_wh(float(np.trapezoid(p, t)))
+    return energies
+
+
+def energy_frame(df: DataFrame, *, time_column: str = TIME_COLUMN) -> DataFrame:
+    """jpwr's ``energy_df``: one row of integrated Wh per power column."""
+    energies = integrate_energy_wh(df, time_column=time_column)
+    out = DataFrame(energies.keys())
+    out.add_row(energies)
+    return out
+
+
+def average_power_w(df: DataFrame, *, time_column: str = TIME_COLUMN) -> dict[str, float]:
+    """Time-averaged power per column over the sampled span."""
+    energies = integrate_energy_wh(df, time_column=time_column)
+    t = df[time_column]
+    span = t[-1] - t[0]
+    if span <= 0:
+        raise MeasurementError("zero measurement span")
+    return {col: wh * 3600.0 / span for col, wh in energies.items()}

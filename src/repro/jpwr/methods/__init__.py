@@ -1,0 +1,73 @@
+"""Pluggable jpwr measurement methods (vendor backends).
+
+Each backend mirrors one of the real jpwr "methods" (paper §III-A4):
+
+========  ==========================================  ===================
+method    real backend                                simulated source
+========  ==========================================  ===================
+pynvml    NVIDIA Management Library bindings          NVIDIA devices
+rocm      rocm-smi rsmiBindings                       AMD devices (GCDs)
+gcipuinfo Graphcore IPU Info library                  Graphcore devices
+gh        /sys/class/hwmon on Grace-Hopper            superchip packages
+========  ==========================================  ===================
+
+Methods are registered by name so the CLI's ``--methods`` switch and
+the context manager can instantiate them generically, and "the modular
+structure ... allows for the seamless addition of further interfaces":
+:func:`register_method` accepts third-party classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import MeasurementError
+from repro.jpwr.methods.base import PowerMethod, set_active_registry, get_active_registry
+from repro.jpwr.methods.pynvml import PynvmlMethod
+from repro.jpwr.methods.rocmsmi import RocmSmiMethod
+from repro.jpwr.methods.gcipuinfo import GcIpuInfoMethod
+from repro.jpwr.methods.gh import GraceHopperMethod
+
+_REGISTRY: dict[str, Callable[..., PowerMethod]] = {}
+
+
+def register_method(name: str, factory: Callable[..., PowerMethod]) -> None:
+    """Register a method factory under a CLI name."""
+    if name in _REGISTRY:
+        raise MeasurementError(f"method {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def available_methods() -> list[str]:
+    """Names accepted by ``jpwr --methods``."""
+    return sorted(_REGISTRY)
+
+
+def create_method(name: str, **kwargs) -> PowerMethod:
+    """Instantiate a method by CLI name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise MeasurementError(
+            f"unknown method {name!r}; available: {', '.join(available_methods())}"
+        ) from None
+    return factory(**kwargs)
+
+
+register_method("pynvml", PynvmlMethod)
+register_method("rocm", RocmSmiMethod)
+register_method("gcipuinfo", GcIpuInfoMethod)
+register_method("gh", GraceHopperMethod)
+
+__all__ = [
+    "PowerMethod",
+    "PynvmlMethod",
+    "RocmSmiMethod",
+    "GcIpuInfoMethod",
+    "GraceHopperMethod",
+    "register_method",
+    "available_methods",
+    "create_method",
+    "set_active_registry",
+    "get_active_registry",
+]

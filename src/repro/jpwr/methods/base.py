@@ -1,0 +1,86 @@
+"""Base class and device discovery for jpwr methods.
+
+Real jpwr methods discover devices through global vendor libraries
+(pynvml enumerates every GPU in the node).  The simulated equivalent is
+a process-global *active registry* that whoever owns the node (the
+Slurm job, a test, the CLI) installs before measuring; methods may also
+be constructed against an explicit registry.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+from repro.errors import MeasurementError
+from repro.hardware.accelerator import Vendor
+from repro.jpwr.frame import DataFrame
+from repro.power.sensors import DeviceRegistry, SimulatedDevice
+
+_ACTIVE_REGISTRY: DeviceRegistry | None = None
+
+
+def set_active_registry(registry: DeviceRegistry | None) -> None:
+    """Install (or clear, with None) the process-global device registry."""
+    global _ACTIVE_REGISTRY
+    _ACTIVE_REGISTRY = registry
+
+
+def get_active_registry() -> DeviceRegistry:
+    """The installed registry; raises if none is installed."""
+    if _ACTIVE_REGISTRY is None:
+        raise MeasurementError(
+            "no active device registry; call set_active_registry() or pass "
+            "an explicit registry to the method"
+        )
+    return _ACTIVE_REGISTRY
+
+
+class PowerMethod(abc.ABC):
+    """One measurement backend.
+
+    Subclasses define :attr:`vendor` (device filter) and may override
+    :meth:`labels_for` and :meth:`additional_data`.  ``read()`` returns
+    the instantaneous power per measured quantity, keyed by a stable
+    column label; those labels become DataFrame columns.
+    """
+
+    #: CLI name, overridden by subclasses.
+    name: str = "base"
+    #: Vendor whose devices this method measures.
+    vendor: Vendor | None = None
+
+    def __init__(self, registry: DeviceRegistry | None = None) -> None:
+        self._registry = registry
+
+    @property
+    def registry(self) -> DeviceRegistry:
+        """Explicit registry if given, else the process-global one."""
+        return self._registry if self._registry is not None else get_active_registry()
+
+    def devices(self) -> list[SimulatedDevice]:
+        """Devices this method measures on the current node."""
+        if self.vendor is None:
+            return list(self.registry)
+        return self.registry.by_vendor(self.vendor)
+
+    def init(self) -> None:
+        """Hook called once when measurement starts.
+
+        Raises MeasurementError when the method has nothing to measure,
+        matching real jpwr failing fast on an absent vendor library.
+        """
+        if not self.devices():
+            raise MeasurementError(f"method {self.name!r}: no matching devices")
+
+    @abc.abstractmethod
+    def read(self) -> dict[str, float]:
+        """Instantaneous power per label, in watts."""
+
+    def additional_data(self) -> dict[str, DataFrame]:
+        """Extra per-method DataFrames returned by ``scope.energy()``."""
+        return {}
+
+    def labels(self) -> list[str]:
+        """Column labels this method produces (order of ``read()``)."""
+        return list(self.read())

@@ -1,0 +1,160 @@
+"""Programmatic benchmark-script construction.
+
+The shipped CARAML scripts are YAML/XML files; for programmatic sweeps
+(notebooks, the exploration tooling, tests) this module offers a small
+fluent builder that produces the same :class:`BenchmarkScript` objects
+the loaders do, plus a YAML serialiser so generated scripts can be
+saved and re-run with ``jube-lite``.
+"""
+
+from __future__ import annotations
+
+import yaml
+
+from repro.errors import JubeError
+from repro.jube.parameters import Parameter, ParameterSet
+from repro.jube.result import ResultTable
+from repro.jube.script import BenchmarkScript
+from repro.jube.steps import Step
+
+
+class ScriptBuilder:
+    """Fluent builder for benchmark scripts.
+
+    Example::
+
+        script = (
+            ScriptBuilder("sweep")
+            .parameters("params", system="A100", gbs=[64, 256, 1024])
+            .step("train", "llm_train --system $system --gbs $gbs",
+                  use=["params"])
+            .result("throughput", step="train",
+                    columns=["system", "gbs", "throughput_tokens_per_s"])
+            .build()
+        )
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise JubeError("script needs a name")
+        self._script = BenchmarkScript(name=name)
+        self._continue_steps: set[str] = set()
+
+    def parameters(self, set_name: str, **params) -> "ScriptBuilder":
+        """Add (or extend) a parameter set from keyword arguments.
+
+        List values become sweep axes; scalars become fixed parameters.
+        """
+        pset = self._script.parameter_sets.setdefault(
+            set_name, ParameterSet(set_name)
+        )
+        for name, value in params.items():
+            pset.add(Parameter.make(name, value))
+        return self
+
+    def tagged_parameter(
+        self, set_name: str, name: str, value, tags: list[str]
+    ) -> "ScriptBuilder":
+        """Add one tag-guarded parameter."""
+        pset = self._script.parameter_sets.setdefault(
+            set_name, ParameterSet(set_name)
+        )
+        pset.add(Parameter.make(name, value, tags))
+        return self
+
+    def step(
+        self,
+        name: str,
+        *operations: str,
+        use: list[str] | None = None,
+        depends: list[str] | None = None,
+        tags: list[str] | None = None,
+        deferred: bool = False,
+    ) -> "ScriptBuilder":
+        """Add a step; ``deferred=True`` makes it a ``continue`` step."""
+        self._script.steps.append(
+            Step(
+                name=name,
+                operations=tuple(operations),
+                depends=tuple(depends or ()),
+                parameter_sets=tuple(use or ()),
+                tags=frozenset(tags or ()),
+            )
+        )
+        if deferred:
+            self._continue_steps.add(name)
+        return self
+
+    def result(
+        self,
+        name: str,
+        *,
+        step: str,
+        columns: list[str],
+        sort: list[str] | None = None,
+    ) -> "ScriptBuilder":
+        """Add a result table."""
+        self._script.results.append(
+            ResultTable(
+                name=name,
+                step=step,
+                columns=tuple(columns),
+                sort_by=tuple(sort or ()),
+            )
+        )
+        return self
+
+    def build(self) -> BenchmarkScript:
+        """Validate and return the script."""
+        self._script.continue_steps = frozenset(self._continue_steps)
+        self._script.validate()
+        return self._script
+
+
+def script_to_yaml(script: BenchmarkScript) -> str:
+    """Serialise a script to the YAML format the loader accepts."""
+    doc: dict = {"name": script.name}
+    psets = []
+    for pset in script.parameter_sets.values():
+        params = []
+        for p in pset.parameters:
+            entry: dict = {"name": p.name}
+            if len(p.values) == 1:
+                entry["value"] = p.values[0]
+            else:
+                entry["values"] = list(p.values)
+            if p.tags:
+                entry["tag"] = ",".join(sorted(p.tags))
+            params.append(entry)
+        psets.append({"name": pset.name, "parameters": params})
+    if psets:
+        doc["parametersets"] = psets
+    steps = []
+    for step in script.steps:
+        entry = {"name": step.name}
+        if step.tags:
+            entry["tag"] = ",".join(sorted(step.tags))
+        if step.parameter_sets:
+            entry["use"] = list(step.parameter_sets)
+        if step.depends:
+            entry["depends"] = list(step.depends)
+        if step.operations:
+            entry["do"] = list(step.operations)
+        if step.name in script.continue_steps:
+            entry["continue"] = True
+        steps.append(entry)
+    if steps:
+        doc["steps"] = steps
+    results = []
+    for table in script.results:
+        entry = {
+            "name": table.name,
+            "step": table.step,
+            "columns": list(table.columns),
+        }
+        if table.sort_by:
+            entry["sort"] = list(table.sort_by)
+        results.append(entry)
+    if results:
+        doc["results"] = results
+    return yaml.safe_dump(doc, sort_keys=False)

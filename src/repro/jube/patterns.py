@@ -1,0 +1,124 @@
+"""JUBE pattern sets: regex extraction from step output.
+
+Real JUBE extracts the figures of merit from job stdout with
+``patternset`` regexes applied by an analyser.  The simulated
+operations return structured outputs directly, but they *also* emit
+realistic log text (Megatron's "elapsed time per iteration" lines,
+tf_cnn_benchmarks' "images/sec" lines); pattern sets make that log
+path fully functional, so scripts can be written either way.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import JubeError
+
+_TYPES: dict[str, Callable[[str], object]] = {
+    "string": str,
+    "int": lambda s: int(float(s)),
+    "float": float,
+}
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One named extraction pattern.
+
+    The regex must contain at least one capture group; the first group
+    is the extracted value.  ``dtype`` is one of ``string``, ``int``,
+    ``float`` (JUBE's pattern types).  As in JUBE, when a pattern
+    matches several times the *last* match wins (training logs print
+    the metric every iteration; the final value is the result).
+    """
+
+    name: str
+    regex: str
+    dtype: str = "float"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _TYPES:
+            raise JubeError(
+                f"pattern {self.name!r}: unknown type {self.dtype!r} "
+                f"(valid: {', '.join(_TYPES)})"
+            )
+        try:
+            compiled = re.compile(self.regex)
+        except re.error as exc:
+            raise JubeError(f"pattern {self.name!r}: bad regex: {exc}") from None
+        if compiled.groups < 1:
+            raise JubeError(f"pattern {self.name!r}: regex needs a capture group")
+
+    def extract(self, text: str):
+        """Last match in the text, converted; None when absent."""
+        matches = re.findall(self.regex, text)
+        if not matches:
+            return None
+        last = matches[-1]
+        if isinstance(last, tuple):  # multiple groups: take the first
+            last = last[0]
+        try:
+            return _TYPES[self.dtype](last)
+        except ValueError as exc:
+            raise JubeError(
+                f"pattern {self.name!r}: cannot convert {last!r} to {self.dtype}"
+            ) from None
+
+
+class PatternSet:
+    """A named collection of patterns."""
+
+    def __init__(self, name: str, patterns: list[Pattern] | None = None) -> None:
+        if not name:
+            raise JubeError("pattern set needs a name")
+        self.name = name
+        self.patterns: list[Pattern] = list(patterns or [])
+
+    def add(self, pattern: Pattern) -> None:
+        """Append a pattern; names must be unique within the set."""
+        if any(p.name == pattern.name for p in self.patterns):
+            raise JubeError(f"duplicate pattern {pattern.name!r} in {self.name!r}")
+        self.patterns.append(pattern)
+
+    def analyse(self, text: str) -> dict[str, object]:
+        """Extract every matching pattern from a text."""
+        out = {}
+        for pattern in self.patterns:
+            value = pattern.extract(text)
+            if value is not None:
+                out[pattern.name] = value
+        return out
+
+
+def analyse(text: str, pattern_sets: list[PatternSet]) -> dict[str, object]:
+    """Apply several pattern sets; later sets override same names."""
+    out: dict[str, object] = {}
+    for pset in pattern_sets:
+        out.update(pset.analyse(text))
+    return out
+
+
+#: The patterns the real CARAML result tables use, against the log
+#: formats of Megatron-LM and tf_cnn_benchmarks.
+MEGATRON_PATTERNS = PatternSet(
+    "megatron",
+    [
+        Pattern(
+            "elapsed_time_per_iteration_ms",
+            r"elapsed time per iteration \(ms\):\s*([0-9.]+)",
+        ),
+        Pattern("tokens_per_second", r"tokens per second:\s*([0-9.]+)"),
+        Pattern("lm_loss", r"lm loss:\s*([0-9.eE+-]+)"),
+        Pattern("iteration", r"iteration\s+(\d+)/", dtype="int"),
+    ],
+)
+
+TFCNN_PATTERNS = PatternSet(
+    "tf_cnn",
+    [
+        Pattern("images_per_sec", r"total images/sec:\s*([0-9.]+)"),
+        Pattern("top1_error", r"top-1 error:\s*([0-9.]+)"),
+    ],
+)

@@ -1,0 +1,83 @@
+"""JUBE result tables.
+
+"JUBE presents the benchmark results, including a throughput
+figure-of-merit (images/second and tokens/second) along with energy
+consumed per device in Watt hour (Wh) ... in compact tabular form after
+execution" (paper §III-A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import JubeError
+from repro.jube.steps import Workpackage
+
+
+@dataclass(frozen=True)
+class ResultTable:
+    """Declaration of one result table.
+
+    ``columns`` name either parameters or operation outputs of the
+    given step's workpackages; missing values render as ``-``.
+    """
+
+    name: str
+    step: str
+    columns: tuple[str, ...]
+    sort_by: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise JubeError(f"result table {self.name!r} has no columns")
+
+    def rows(self, workpackages: list[Workpackage]) -> list[dict[str, str]]:
+        """Extract table rows from the step's completed workpackages."""
+        rows = []
+        for wp in workpackages:
+            if wp.step.name != self.step or not wp.done:
+                continue
+            row: dict[str, str] = {}
+            for col in self.columns:
+                if col in wp.outputs:
+                    value = wp.outputs[col]
+                elif col in wp.parameters:
+                    value = wp.parameters[col]
+                else:
+                    value = "-"
+                row[col] = _fmt(value)
+            rows.append(row)
+        if self.sort_by:
+            def key(row: dict[str, str]):
+                out = []
+                for c in self.sort_by:
+                    v = row.get(c, "")
+                    try:
+                        out.append((0, float(v)))
+                    except ValueError:
+                        out.append((1, v))
+                return out
+
+            rows.sort(key=key)
+        return rows
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(columns: tuple[str, ...], rows: list[dict[str, str]]) -> str:
+    """Render rows as JUBE's aligned pipe-separated table."""
+    if not rows:
+        return "(no results)"
+    widths = {
+        c: max(len(c), *(len(r.get(c, "-")) for r in rows)) for c in columns
+    }
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append(" | ".join(row.get(c, "-").ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""The JUBE runtime: ``run``, ``continue``, ``result``.
+
+"The JUBE runtime interprets the script, resolves dependencies and
+submits jobs to the Slurm batch system" (paper §III-A3).  Operations
+are dispatched through a registry; the CARAML benchmarks register
+operations that submit work to the simulated Slurm scheduler.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import JubeError
+from repro.jube.parameters import expand_parameter_space, substitute
+from repro.jube.result import ResultTable, render_table
+from repro.jube.script import BenchmarkScript
+from repro.jube.steps import Step, Workpackage, order_steps
+
+#: Operation signature: (args, workpackage) -> optional dict of outputs.
+Operation = Callable[[dict[str, str], Workpackage], dict | None]
+
+
+class OperationRegistry:
+    """Named operations steps can invoke from their ``do`` strings."""
+
+    def __init__(self) -> None:
+        self._ops: dict[str, Operation] = {}
+
+    def register(self, name: str, op: Operation | None = None):
+        """Register an operation; usable as a decorator."""
+        if op is None:
+            def decorator(fn: Operation) -> Operation:
+                self.register(name, fn)
+                return fn
+
+            return decorator
+        if name in self._ops:
+            raise JubeError(f"operation {name!r} already registered")
+        self._ops[name] = op
+        return op
+
+    def names(self) -> list[str]:
+        """Registered operation names."""
+        return sorted(self._ops)
+
+    def dispatch(self, command: str, wp: Workpackage) -> None:
+        """Parse and execute one substituted operation command.
+
+        Command syntax: ``opname --key value [--flag] ...``; results
+        returned by the operation are recorded on the workpackage.
+        """
+        tokens = shlex.split(command)
+        if not tokens:
+            raise JubeError("empty operation command")
+        name, *rest = tokens
+        try:
+            op = self._ops[name]
+        except KeyError:
+            raise JubeError(
+                f"unknown operation {name!r}; registered: {self.names()}"
+            ) from None
+        args: dict[str, str] = {}
+        i = 0
+        while i < len(rest):
+            token = rest[i]
+            if not token.startswith("--"):
+                raise JubeError(f"unexpected token {token!r} in {command!r}")
+            key = token[2:]
+            if i + 1 < len(rest) and not rest[i + 1].startswith("--"):
+                args[key] = rest[i + 1]
+                i += 2
+            else:
+                args[key] = "true"
+                i += 1
+        outputs = op(args, wp)
+        if outputs:
+            for key, value in outputs.items():
+                wp.record(key, value)
+
+
+@dataclass
+class JubeRun:
+    """State of one benchmark run (JUBE's run directory equivalent)."""
+
+    script: BenchmarkScript
+    tags: frozenset[str]
+    workpackages: list[Workpackage] = field(default_factory=list)
+    completed_steps: set[str] = field(default_factory=set)
+
+    @property
+    def id(self) -> str:
+        """Run identifier."""
+        return f"{self.script.name}[{','.join(sorted(self.tags))}]"
+
+    def packages_for(self, step_name: str) -> list[Workpackage]:
+        """Workpackages of one step."""
+        return [wp for wp in self.workpackages if wp.step.name == step_name]
+
+
+class JubeRunner:
+    """Executes benchmark scripts against an operation registry."""
+
+    def __init__(self, registry: OperationRegistry) -> None:
+        self.registry = registry
+
+    # -- run ------------------------------------------------------------
+
+    def run(self, script: BenchmarkScript, tags: list[str] | tuple[str, ...] = ()) -> JubeRun:
+        """``jube run``: execute all non-continue steps under the tags."""
+        script.validate()
+        tagset = frozenset(tags)
+        run = JubeRun(script=script, tags=tagset)
+        ordered = order_steps(script.steps, tagset)
+        for step in ordered:
+            if step.name in script.continue_steps:
+                continue  # executed by continue_run (jube continue)
+            self._run_step(run, step)
+        return run
+
+    def continue_run(self, run: JubeRun) -> JubeRun:
+        """``jube continue``: execute the deferred post-processing steps."""
+        ordered = order_steps(run.script.steps, run.tags)
+        for step in ordered:
+            if step.name not in run.script.continue_steps:
+                continue
+            for dep in step.depends:
+                dep_step = next(s for s in run.script.steps if s.name == dep)
+                if dep_step.active_for(run.tags) and dep not in run.completed_steps:
+                    raise JubeError(
+                        f"continue step {step.name!r} depends on "
+                        f"incomplete step {dep!r}"
+                    )
+            self._run_step(run, step)
+        return run
+
+    def _run_step(self, run: JubeRun, step: Step) -> None:
+        sets = [run.script.parameter_set(name) for name in step.parameter_sets]
+        combos = expand_parameter_space(sets, run.tags)
+        base_index = len(run.packages_for(step.name))
+        for i, combo in enumerate(combos):
+            wp = Workpackage(step=step, parameters=combo, index=base_index + i)
+            # Results and logs of dependency packages with matching
+            # parameters flow into this package (JUBE's dependency
+            # directories: outputs and the job stdout are both visible).
+            for dep in step.depends:
+                for dep_wp in run.packages_for(dep):
+                    if all(
+                        combo.get(k, v) == v for k, v in dep_wp.parameters.items()
+                    ):
+                        wp.outputs.update(dep_wp.outputs)
+                        if dep_wp.stdout:
+                            wp.stdout += dep_wp.stdout
+            for template in step.operations:
+                command = substitute(template, combo)
+                self.registry.dispatch(command, wp)
+            wp.done = True
+            run.workpackages.append(wp)
+        run.completed_steps.add(step.name)
+
+    # -- result --------------------------------------------------------------
+
+    def result(self, run: JubeRun, table_name: str | None = None) -> str:
+        """``jube result``: render a result table of a finished run."""
+        if not run.script.results:
+            raise JubeError(f"script {run.script.name!r} defines no result tables")
+        table: ResultTable = (
+            run.script.result_table(table_name)
+            if table_name is not None
+            else run.script.results[0]
+        )
+        rows = table.rows(run.packages_for(table.step))
+        return render_table(table.columns, rows)

@@ -1,0 +1,127 @@
+"""JUBE steps and workpackages.
+
+A *step* names a phase of the benchmark (download, compile, train,
+postprocess) with the parameter sets it uses, the operations it runs,
+and the steps it depends on.  A *workpackage* is one step instantiated
+with one concrete parameter combination; JUBE "resolves dependencies
+and submits jobs" (paper §III-A3) -- here, dependency resolution is a
+topological sort and submission goes to the simulated Slurm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import JubeError
+
+
+@dataclass(frozen=True)
+class Step:
+    """One benchmark step definition.
+
+    Attributes
+    ----------
+    name:
+        Step name, unique within a script.
+    operations:
+        Operation command strings (``"opname --key $param ..."``),
+        dispatched through the runner's operation registry after
+        parameter substitution.
+    depends:
+        Names of steps that must complete first (within the same
+        parameter combination).
+    parameter_sets:
+        Names of the parameter sets this step uses.
+    tags:
+        If non-empty, the step only runs when one of these tags is
+        active (JUBE's tag-guarded steps, e.g. the ``container`` step).
+    """
+
+    name: str
+    operations: tuple[str, ...] = ()
+    depends: tuple[str, ...] = ()
+    parameter_sets: tuple[str, ...] = ()
+    tags: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise JubeError("step needs a name")
+        if self.name in self.depends:
+            raise JubeError(f"step {self.name!r} depends on itself")
+
+    def active_for(self, tags: frozenset[str]) -> bool:
+        """Whether the step runs under the given tags."""
+        return not self.tags or bool(self.tags & tags)
+
+
+def order_steps(steps: list[Step], tags: frozenset[str] = frozenset()) -> list[Step]:
+    """Topologically order the active steps.
+
+    Dependencies on tag-inactive steps are allowed and simply skipped
+    (a benchmark step may depend on the ``container`` step, which only
+    runs under the ``container`` tag).
+
+    Raises
+    ------
+    JubeError
+        On duplicate step names, unknown dependencies, or cycles.
+    """
+    by_name: dict[str, Step] = {}
+    for step in steps:
+        if step.name in by_name:
+            raise JubeError(f"duplicate step name {step.name!r}")
+        by_name[step.name] = step
+    active = {s.name: s for s in steps if s.active_for(tags)}
+    for step in active.values():
+        for dep in step.depends:
+            if dep not in by_name:
+                raise JubeError(f"step {step.name!r} depends on unknown {dep!r}")
+
+    ordered: list[Step] = []
+    state: dict[str, int] = {}  # 0 new, 1 visiting, 2 done
+
+    def visit(name: str) -> None:
+        if name not in active:
+            return  # inactive dependency: satisfied vacuously
+        st = state.get(name, 0)
+        if st == 1:
+            raise JubeError(f"dependency cycle involving step {name!r}")
+        if st == 2:
+            return
+        state[name] = 1
+        for dep in active[name].depends:
+            visit(dep)
+        state[name] = 2
+        ordered.append(active[name])
+
+    for name in active:
+        visit(name)
+    return ordered
+
+
+@dataclass
+class Workpackage:
+    """One step instantiated with one parameter combination."""
+
+    step: Step
+    parameters: dict[str, str]
+    index: int
+    done: bool = False
+    outputs: dict[str, object] = field(default_factory=dict)
+    stdout: str = ""
+
+    @property
+    def id(self) -> str:
+        """Stable identifier (step name + combination index)."""
+        return f"{self.step.name}#{self.index}"
+
+    def record(self, key: str, value) -> None:
+        """Store an operation output for the result table."""
+        self.outputs[key] = value
+
+    def log(self, text: str) -> None:
+        """Append to the step's captured stdout (the job log the real
+        JUBE analysers grep with pattern sets)."""
+        self.stdout += text
+        if not text.endswith("\n"):
+            self.stdout += "\n"

@@ -1,0 +1,29 @@
+"""Analytic workload models: GPT transformers, ResNets, parallel layouts."""
+
+from repro.models.precision import DType, MixedPrecisionPolicy
+from repro.models.transformer import GPTConfig, GPT_PRESETS, get_gpt_preset
+from repro.models.resnet import CNNConfig, CNN_PRESETS, get_cnn_preset
+from repro.models.optimizer import OptimizerConfig, optimizer_bytes_per_param
+from repro.models.activation import RecomputeMode, transformer_activation_bytes
+from repro.models.parallelism import ParallelLayout, pipeline_bubble_fraction
+from repro.models.lossmodel import LossCurve, GPT_LOSS, RESNET_LOSS
+
+__all__ = [
+    "LossCurve",
+    "GPT_LOSS",
+    "RESNET_LOSS",
+    "DType",
+    "MixedPrecisionPolicy",
+    "GPTConfig",
+    "GPT_PRESETS",
+    "get_gpt_preset",
+    "CNNConfig",
+    "CNN_PRESETS",
+    "get_cnn_preset",
+    "OptimizerConfig",
+    "optimizer_bytes_per_param",
+    "RecomputeMode",
+    "transformer_activation_bytes",
+    "ParallelLayout",
+    "pipeline_bubble_fraction",
+]

@@ -1,0 +1,20 @@
+"""Power substrate: analytic device power models and simulated sensors.
+
+The model layer answers "what does this device draw at utilisation u";
+the sensor layer exposes that as the counter interfaces (instantaneous
+watts, accumulated millijoules) the jpwr backends read.
+"""
+
+from repro.power.model import PowerModel, power_model_for_device
+from repro.power.trace import PowerTrace, UtilisationTimeline
+from repro.power.sensors import SimulatedDevice, SensorReading, DeviceRegistry
+
+__all__ = [
+    "PowerModel",
+    "power_model_for_device",
+    "PowerTrace",
+    "UtilisationTimeline",
+    "SimulatedDevice",
+    "SensorReading",
+    "DeviceRegistry",
+]

@@ -1,0 +1,110 @@
+"""Analytic utilisation-to-power model.
+
+The model is the standard affine-plus-exponent form used in cluster
+energy accounting:
+
+    P(u) = P_idle + (P_max - P_idle) * u ** gamma
+
+with ``u`` the device utilisation in [0, 1].  ``P_max`` is a calibrated
+fraction of TDP (training workloads rarely pin a device exactly at TDP;
+PCIe cards on the other hand run *at* their power cap, which is what
+makes the H100-PCIe the paper's energy-efficiency winner).  ``gamma``
+slightly below 1 models the observed concavity of GPU power curves
+(memory and fabric power rises faster than compute utilisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import AcceleratorSpec, AcceleratorKind, Vendor
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Maps utilisation to electrical power for one device.
+
+    Attributes
+    ----------
+    idle_watts:
+        Draw at zero utilisation (fans, HBM refresh, leakage; for GH200
+        packages this includes the idle Grace CPU because the paper's
+        package-level counter does).
+    max_watts:
+        Draw at full utilisation.
+    gamma:
+        Concavity exponent of the utilisation-power curve.
+    """
+
+    idle_watts: float
+    max_watts: float
+    gamma: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0:
+            raise ValueError("idle power must be >= 0")
+        if self.max_watts < self.idle_watts:
+            raise ValueError("max power must be >= idle power")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+
+    def power(self, utilisation: float) -> float:
+        """Instantaneous power at a given utilisation (clamped to [0,1])."""
+        u = min(max(utilisation, 0.0), 1.0)
+        return self.idle_watts + (self.max_watts - self.idle_watts) * u**self.gamma
+
+    def energy(self, utilisation: float, duration_s: float) -> float:
+        """Energy in joules over a constant-utilisation interval."""
+        if duration_s < 0:
+            raise ValueError("duration must be >= 0")
+        return self.power(utilisation) * duration_s
+
+
+#: Calibrated idle fraction of max power, per device family.  GPU idle
+#: draw is typically 15-25 % of TDP; the GH200 package idles higher
+#: because the counter includes the Grace CPU; IPUs idle low.
+_IDLE_FRACTION = {
+    Vendor.NVIDIA: 0.18,
+    Vendor.AMD: 0.22,
+    Vendor.GRAPHCORE: 0.35,
+}
+
+#: Calibrated achievable fraction of TDP at full training load.  PCIe
+#: cards run pinned at their cap (1.0); SXM/OAM parts have headroom.
+_CAP_FRACTION_BY_FORM = {
+    "PCIe": 0.98,
+    "SXM4": 0.93,
+    "SXM5": 0.85,
+    "superchip": 0.90,
+    "OAM": 0.80,
+    "M2000": 0.85,
+}
+
+
+def power_model_for_device(
+    spec: AcceleratorSpec,
+    *,
+    package_tdp_watts: float | None = None,
+    host_share_watts: float = 0.0,
+) -> PowerModel:
+    """Build the calibrated power model of one *logical* device.
+
+    Parameters
+    ----------
+    spec:
+        The accelerator package spec.
+    package_tdp_watts:
+        Override for the per-package TDP (Table I's "TDP / device"
+        differs per node for GH200); defaults to the spec TDP.
+    host_share_watts:
+        Extra constant draw attributed to the device by package-level
+        counters (the Grace CPU share on GH200 superchips).
+    """
+    tdp = package_tdp_watts if package_tdp_watts is not None else spec.tdp_watts
+    per_logical = tdp / spec.logical_devices
+    cap = _CAP_FRACTION_BY_FORM.get(spec.form_factor, 0.90)
+    idle_frac = _IDLE_FRACTION[spec.vendor]
+    max_w = per_logical * cap + host_share_watts
+    idle_w = per_logical * idle_frac + host_share_watts * 0.5
+    gamma = 0.85 if spec.kind is AcceleratorKind.IPU else 0.9
+    return PowerModel(idle_watts=idle_w, max_watts=max_w, gamma=gamma)

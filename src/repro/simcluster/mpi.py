@@ -1,0 +1,114 @@
+"""Rank layout and a minimal in-process communicator.
+
+CARAML launches one task per device (§V-C, "a GPU-centric approach to
+affinity is useful, creating one Slurm task per GPU").  The
+:class:`RankLayout` captures that mapping; :class:`Communicator` is an
+in-process stand-in for ``torch.distributed`` / Horovod used by the
+engines and the JUBE integration tests to pass results between
+simulated ranks deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class RankLayout:
+    """Mapping of global ranks onto nodes and local devices."""
+
+    nodes: int
+    ranks_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.ranks_per_node < 1:
+            raise SchedulerError("layout needs >=1 node and >=1 rank per node")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of ranks."""
+        return self.nodes * self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting a global rank (block distribution)."""
+        self._check(rank)
+        return rank // self.ranks_per_node
+
+    def local_rank(self, rank: int) -> int:
+        """Device-local rank within the node (== device index)."""
+        self._check(rank)
+        return rank % self.ranks_per_node
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        """All global ranks placed on one node."""
+        if not 0 <= node < self.nodes:
+            raise SchedulerError(f"node {node} out of range")
+        base = node * self.ranks_per_node
+        return list(range(base, base + self.ranks_per_node))
+
+    def is_leader(self, rank: int) -> bool:
+        """True for the first rank of each node (NCCL node leader)."""
+        return self.local_rank(rank) == 0
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise SchedulerError(
+                f"rank {rank} out of range for world size {self.world_size}"
+            )
+
+
+class Communicator:
+    """Deterministic in-process collective communicator.
+
+    All ranks are driven from a single thread (the engines iterate over
+    ranks), so collectives are plain reductions over per-rank
+    contributions.  The communicator exists so higher layers are written
+    against a collective *interface* rather than inlining reductions --
+    mirroring how the real suite sits on PyTorch Distributed / Horovod.
+    """
+
+    def __init__(self, layout: RankLayout) -> None:
+        self.layout = layout
+
+    def allreduce_sum(self, contributions: list[float]) -> list[float]:
+        """Sum across ranks; every rank receives the total."""
+        self._check_len(contributions)
+        total = sum(contributions)
+        return [total] * self.layout.world_size
+
+    def allreduce_mean(self, contributions: list[float]) -> list[float]:
+        """Mean across ranks (gradient averaging in data parallelism)."""
+        self._check_len(contributions)
+        mean = sum(contributions) / len(contributions)
+        return [mean] * self.layout.world_size
+
+    def allreduce_max(self, contributions: list[float]) -> list[float]:
+        """Max across ranks (e.g. synchronising step time on stragglers)."""
+        self._check_len(contributions)
+        top = max(contributions)
+        return [top] * self.layout.world_size
+
+    def allgather(self, contributions: list) -> list[list]:
+        """Every rank receives the list of all contributions."""
+        self._check_len(contributions)
+        gathered = list(contributions)
+        return [list(gathered) for _ in range(self.layout.world_size)]
+
+    def broadcast(self, value, root: int = 0) -> list:
+        """Every rank receives the root's value."""
+        self.layout._check(root)
+        return [value for _ in range(self.layout.world_size)]
+
+    def barrier_time(self, per_rank_times: list[float]) -> float:
+        """Completion time of a synchronisation: the slowest rank."""
+        self._check_len(per_rank_times)
+        return max(per_rank_times)
+
+    def _check_len(self, contributions: list) -> None:
+        if len(contributions) != self.layout.world_size:
+            raise SchedulerError(
+                f"expected {self.layout.world_size} contributions, "
+                f"got {len(contributions)}"
+            )

@@ -1,0 +1,58 @@
+"""IP-over-InfiniBand naming quirks (paper §V-C).
+
+On the Jülich systems IP connectivity between compute nodes exists only
+over InfiniBand (IPoIB), and the IPoIB hostname is the Ethernet
+hostname with an appended ``i``.  PyTorch's rendezvous must be pointed
+at that name via ``MASTER_ADDR`` or it binds the wrong interface.  This
+module implements that hostname mapping and the interface-selection
+logic the patched ``torchrun`` applies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+_HOSTNAME_RE = re.compile(r"^[a-z][a-z0-9-]*\d*$")
+
+
+def ipoib_hostname(ethernet_hostname: str) -> str:
+    """IPoIB hostname for a compute node (append ``i``, §V-C fn. 6)."""
+    if not _HOSTNAME_RE.match(ethernet_hostname):
+        raise ConfigError(f"invalid hostname {ethernet_hostname!r}")
+    if ethernet_hostname.endswith("i"):
+        raise ConfigError(
+            f"{ethernet_hostname!r} already looks like an IPoIB hostname"
+        )
+    return ethernet_hostname + "i"
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One network interface of a node."""
+
+    name: str  # "en0" or "ib0"
+    hostname: str
+    bandwidth: float  # bytes/s
+
+
+def resolve_master_addr(
+    interfaces: list[Interface], *, prefer_ib: bool = True
+) -> str:
+    """Pick the rendezvous hostname among a node's interfaces.
+
+    The §V-C pitfall: interfaces sort such that ``en0`` precedes
+    ``ib0``, so a naive "first interface" choice picks the (routeless)
+    Ethernet name.  With ``prefer_ib`` (the fixed torchrun behaviour)
+    the InfiniBand interface's hostname is chosen when present.
+    """
+    if not interfaces:
+        raise ConfigError("node has no network interfaces")
+    ordered = sorted(interfaces, key=lambda i: i.name)
+    if prefer_ib:
+        for iface in ordered:
+            if iface.name.startswith("ib"):
+                return iface.hostname
+    return ordered[0].hostname

@@ -1,0 +1,138 @@
+"""Tests for hyperparameter exploration and the report generator."""
+
+import pytest
+
+from repro.analysis.explore import (
+    ExplorationPoint,
+    Objective,
+    explore_cnn,
+    explore_llm,
+)
+from repro.analysis.report import build_report, write_report
+from repro.errors import ConfigError
+
+
+class TestExploreLLM:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return explore_llm("A100")
+
+    def test_sweep_covers_full_grid(self, result):
+        assert len(result.points) == 5 * 4  # mbs x gbs axes
+
+    def test_infeasible_points_marked(self, result):
+        # mbs=16 activations exceed the 40 GB A100.
+        infeasible = [p for p in result.points if p.micro_batch_size == 16]
+        assert all(not p.feasible for p in infeasible)
+
+    def test_indivisible_combinations_infeasible(self, result):
+        # gbs 64 with mbs 16 x dp 4 would need fractional accumulation.
+        p = next(
+            p for p in result.points
+            if p.micro_batch_size == 16 and p.global_batch_size == 64
+        )
+        assert not p.feasible
+
+    def test_best_prefers_larger_micro_batch(self, result):
+        # Kernel efficiency rewards the largest feasible micro-batch.
+        assert result.best.micro_batch_size == 8
+
+    def test_objectives_can_disagree(self):
+        throughput = explore_llm("A100", objective=Objective.THROUGHPUT).best
+        efficiency = explore_llm("A100", objective=Objective.EFFICIENCY).best
+        assert throughput.score(Objective.THROUGHPUT) >= efficiency.score(
+            Objective.THROUGHPUT
+        )
+
+    def test_rows_printable(self, result):
+        rows = result.rows()
+        assert {"mbs", "gbs", "feasible", "throughput", "per_wh"} == set(rows[0])
+
+    def test_rejects_ipu(self):
+        with pytest.raises(ConfigError):
+            explore_llm("GC200")
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ConfigError):
+            explore_llm("A100", micro_batch_sizes=())
+
+
+class TestExploreCNN:
+    def test_oom_points_infeasible(self):
+        result = explore_cnn("A100", batch_sizes=(1024, 2048))
+        feasible = {p.global_batch_size: p.feasible for p in result.points}
+        assert feasible == {1024: True, 2048: False}
+
+    def test_best_feasible_only(self):
+        result = explore_cnn("A100", batch_sizes=(1024, 2048))
+        assert result.best.global_batch_size == 1024
+
+    def test_no_feasible_points(self):
+        result = explore_cnn("A100", batch_sizes=(4096,))
+        with pytest.raises(ConfigError, match="feasible"):
+            result.best
+
+    def test_multi_device_divisibility(self):
+        result = explore_cnn("A100", devices=4, batch_sizes=(30, 64))
+        feasible = {p.global_batch_size: p.feasible for p in result.points}
+        assert feasible == {30: False, 64: True}
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report()
+
+    def test_contains_all_sections(self, report):
+        for heading in (
+            "## Systems under test",
+            "## Figure 2", "## Table II", "## Figure 3", "## Table III",
+            "## Figure 4", "## Paper claim checks",
+        ):
+            assert heading in report
+
+    def test_all_systems_listed(self, report):
+        for tag in ("JEDI", "GH200", "H100", "WAIH100", "MI250", "GC200", "A100"):
+            assert tag in report
+
+    def test_all_claims_ok(self, report):
+        assert "FAIL" not in report
+        assert report.count("[OK ]") == 18
+
+    def test_oom_cells_present(self, report):
+        assert "OOM" in report
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# CARAML evaluation report")
+
+    def test_write_report_with_figures(self, tmp_path):
+        path = write_report(tmp_path / "report.md", include_figures=True)
+        text = path.read_text()
+        assert "## Rendered figures" in text
+        assert (tmp_path / "figures" / "fig2_throughput.svg").exists()
+
+
+class TestCLIIntegration:
+    def test_explore_command(self):
+        import io
+
+        from repro.core.cli import run
+
+        out = io.StringIO()
+        code = run(
+            ["explore", "--system", "A100", "--benchmark", "llm"], stdout=out
+        )
+        assert code == 0
+        assert "best (throughput)" in out.getvalue()
+
+    def test_report_command(self, tmp_path):
+        import io
+
+        from repro.core.cli import run
+
+        out = io.StringIO()
+        code = run(["report", "--out", str(tmp_path / "r.md")], stdout=out)
+        assert code == 0
+        assert (tmp_path / "r.md").exists()

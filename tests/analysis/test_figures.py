@@ -1,0 +1,102 @@
+"""Tests for the Figure 2 / Figure 3 series generators."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FIG2_BATCH_SIZES,
+    FIG3_BATCH_SIZES,
+    fig2_llm_series,
+    fig2_rows,
+    fig3_resnet_series,
+    fig3_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_llm_series()
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return fig3_resnet_series()
+
+
+class TestFig2:
+    def test_all_seven_series(self, fig2):
+        assert set(fig2) == {
+            "GH200 (JRDC)", "GH200 (JEDI)", "H100 (JRDC)", "H100 (WestAI)",
+            "A100", "AMD MI250:GCD", "AMD MI250:GPU",
+        }
+
+    def test_batch_range_16_to_4096(self, fig2):
+        gbs = [p.global_batch_size for p in fig2["A100"]]
+        assert gbs == list(FIG2_BATCH_SIZES)
+
+    def test_dp8_skips_gbs16(self, fig2):
+        # Paper: "the global batch size of 16 is not possible" with DP 8.
+        gbs = [p.global_batch_size for p in fig2["AMD MI250:GPU"]]
+        assert 16 not in gbs
+        assert 32 in gbs
+
+    def test_throughput_monotone_in_batch(self, fig2):
+        for label, points in fig2.items():
+            rates = [p.tokens_per_s_per_device for p in points]
+            assert rates == sorted(rates), label
+
+    def test_energy_below_device_tdp_hours(self, fig2):
+        from repro.hardware.systems import get_system
+
+        for label, points in fig2.items():
+            node = get_system(points[0].system)
+            budget = node.device_tdp_watts
+            if node.accelerator.form_factor == "superchip":
+                budget += node.cpu.tdp_watts  # package counter adds CPU
+            for p in points:
+                assert 0 < p.energy_per_hour_wh <= budget, label
+
+    def test_rows_flatten(self, fig2):
+        rows = fig2_rows(fig2)
+        assert all({"series", "gbs", "tokens_per_wh"} <= set(r) for r in rows)
+
+
+class TestFig3:
+    def test_all_seven_series(self, fig3):
+        assert len(fig3) == 7
+
+    def test_batch_range_16_to_2048(self, fig3):
+        gbs = [p.global_batch_size for p in fig3["A100"]]
+        assert gbs == list(FIG3_BATCH_SIZES)
+
+    def test_throughput_monotone(self, fig3):
+        for label, points in fig3.items():
+            rates = [p.images_per_s for p in points]
+            assert rates == sorted(rates), label
+
+    def test_amd_gpu_variant_counts_whole_mcm(self, fig3):
+        # Two dies beat one everywhere; the advantage grows with batch
+        # because each die's local batch halves (slow AMD saturation).
+        gcd = {p.global_batch_size: p for p in fig3["AMD MI250:GCD"]}
+        gpu = {p.global_batch_size: p for p in fig3["AMD MI250:GPU"]}
+        for gbs in (64, 256, 2048):
+            assert gpu[gbs].images_per_s > 1.25 * gcd[gbs].images_per_s
+        assert gpu[2048].images_per_s > 1.8 * gcd[2048].images_per_s
+
+    def test_energy_epoch_consistency(self, fig3):
+        # energy * efficiency == dataset size.
+        for points in fig3.values():
+            for p in points:
+                assert p.energy_per_epoch_wh * p.images_per_wh == pytest.approx(
+                    1_281_167, rel=1e-6
+                )
+
+    def test_idle_gcd_charged_to_gcd_variant(self, fig3):
+        # The GCD variant's device-level energy includes the idle die,
+        # so its images/Wh is below the 2-GCD variant's.
+        gcd = fig3["AMD MI250:GCD"][-1]
+        gpu = fig3["AMD MI250:GPU"][-1]
+        assert gcd.images_per_wh < gpu.images_per_wh
+
+    def test_rows_flatten(self, fig3):
+        rows = fig3_rows(fig3)
+        assert len(rows) == sum(len(p) for p in fig3.values())

@@ -1,0 +1,58 @@
+"""Tests for power-trace SVG rendering and the jpwr --plot path."""
+
+import io
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.render import render_power_trace
+from repro.errors import MeasurementError
+from repro.jpwr.cli import run as jpwr_run
+from repro.jpwr.frame import DataFrame
+
+
+def sample_frame():
+    df = DataFrame(["time_s", "gpu0", "gpu1"])
+    for t in range(5):
+        df.add_row({"time_s": float(t), "gpu0": 100.0 + t, "gpu1": 200.0 - t})
+    return df
+
+
+class TestRenderPowerTrace:
+    def test_writes_valid_svg(self, tmp_path):
+        path = render_power_trace(sample_frame(), tmp_path / "trace.svg")
+        ET.parse(path)
+
+    def test_one_line_per_power_column(self, tmp_path):
+        path = render_power_trace(sample_frame(), tmp_path / "trace.svg")
+        text = path.read_text()
+        assert text.count("<polyline") == 2
+        assert ">gpu0</text>" in text and ">gpu1</text>" in text
+
+    def test_requires_time_column(self, tmp_path):
+        df = DataFrame(["gpu0"])
+        with pytest.raises(MeasurementError, match="time_s"):
+            render_power_trace(df, tmp_path / "x.svg")
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = render_power_trace(
+            sample_frame(), tmp_path / "deep" / "dir" / "trace.svg"
+        )
+        assert path.exists()
+
+
+class TestJpwrPlotOption:
+    def test_plot_written_alongside_frames(self, tmp_path):
+        out = io.StringIO()
+        code = jpwr_run(
+            [
+                "--methods", "pynvml",
+                "--load", "0.8:2",
+                "--df-out", str(tmp_path),
+                "--plot", str(tmp_path / "trace.svg"),
+            ],
+            stdout=out,
+        )
+        assert code == 0
+        ET.parse(tmp_path / "trace.svg")
+        assert "trace.svg" in out.getvalue()

@@ -1,0 +1,85 @@
+"""Tests for the roofline analysis."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.roofline import (
+    Roofline,
+    build_roofline,
+    render_roofline_svg,
+    roofline_rows,
+)
+from repro.errors import ConfigError
+from repro.hardware.systems import get_system
+
+
+class TestRoofline:
+    @pytest.fixture(scope="class")
+    def a100(self):
+        return build_roofline("A100")
+
+    def test_ridge_point(self, a100):
+        node = get_system("A100")
+        assert a100.ridge_intensity == pytest.approx(
+            node.device_peak_flops / node.device_memory_bandwidth
+        )
+
+    def test_attainable_piecewise(self, a100):
+        below = a100.ridge_intensity / 2
+        above = a100.ridge_intensity * 2
+        assert a100.attainable(below) == pytest.approx(
+            a100.memory_bandwidth * below
+        )
+        assert a100.attainable(above) == a100.peak_flops
+
+    def test_attainable_validation(self, a100):
+        with pytest.raises(ConfigError):
+            a100.attainable(0)
+
+    def test_three_workload_points(self, a100):
+        labels = {p.label for p in a100.points}
+        assert labels == {"gpt-800M train", "resnet50 train", "llm decode (bs=1)"}
+
+    def test_no_point_exceeds_the_roof(self):
+        for tag in ("A100", "H100", "WAIH100", "GH200", "JEDI", "MI250"):
+            roofline = build_roofline(tag)
+            for p in roofline.points:
+                assert p.achieved_flops <= roofline.attainable(
+                    p.arithmetic_intensity
+                ) * 1.001, (tag, p.label)
+
+    def test_gpt_training_is_compute_bound(self, a100):
+        gpt = next(p for p in a100.points if p.label.startswith("gpt"))
+        assert gpt.bound == "compute"
+        assert gpt.arithmetic_intensity > a100.ridge_intensity
+
+    def test_decode_is_bandwidth_bound(self, a100):
+        decode = next(p for p in a100.points if "decode" in p.label)
+        assert decode.bound == "memory"
+        assert decode.arithmetic_intensity < a100.ridge_intensity
+
+    def test_mi250_uses_per_gcd_bandwidth(self):
+        mi250 = build_roofline("MI250")
+        node = get_system("MI250")
+        assert mi250.memory_bandwidth == pytest.approx(
+            node.accelerator.memory_bandwidth / 2
+        )
+
+    def test_ipu_rejected(self):
+        with pytest.raises(ConfigError, match="distributed SRAM"):
+            build_roofline("GC200")
+
+    def test_rows_start_with_ridge(self, a100):
+        rows = roofline_rows(a100)
+        assert rows[0]["label"] == "ridge point"
+        assert len(rows) == 4
+
+
+class TestRendering:
+    def test_svg_valid(self, tmp_path):
+        path = render_roofline_svg("GH200", tmp_path / "roof.svg")
+        ET.parse(path)
+        text = path.read_text()
+        assert "Roofline: GH200" in text
+        assert "llm decode" in text

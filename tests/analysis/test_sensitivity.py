@@ -1,0 +1,70 @@
+"""Tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PERTURBABLE_FIELDS,
+    perturbed_calibration,
+    summarize,
+    sweep,
+)
+from repro.engine.calibration import CALIBRATIONS, get_calibration
+from repro.errors import ConfigError
+
+
+class TestPerturbation:
+    def test_scales_and_restores(self):
+        original = get_calibration("A100").mfu_llm
+        with perturbed_calibration("A100", "mfu_llm", 1.10) as cal:
+            assert cal.mfu_llm == pytest.approx(original * 1.10)
+            assert get_calibration("A100").mfu_llm == pytest.approx(original * 1.10)
+        assert get_calibration("A100").mfu_llm == original
+
+    def test_restores_on_exception(self):
+        original = get_calibration("A100")
+        with pytest.raises(RuntimeError):
+            with perturbed_calibration("A100", "mfu_llm", 1.10):
+                raise RuntimeError("boom")
+        assert CALIBRATIONS["A100"] is original
+
+    def test_utilisation_capped_at_one(self):
+        with perturbed_calibration("H100", "util_full_llm", 2.0) as cal:
+            assert cal.util_full_llm == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            with perturbed_calibration("TPU", "mfu_llm", 1.1):
+                pass
+        with pytest.raises(ConfigError):
+            with perturbed_calibration("A100", "comm_overlap", 1.1):
+                pass
+        with pytest.raises(ConfigError):
+            with perturbed_calibration("A100", "mfu_llm", 0.0):
+                pass
+
+
+class TestSweep:
+    def test_identity_perturbation_is_fully_robust(self):
+        results = sweep(tags=("A100",), factors=(1.0,))
+        assert all(r.robust for r in results)
+
+    def test_sweep_shape(self):
+        results = sweep(tags=("A100", "H100"), fields=("mfu_llm",), factors=(0.9, 1.1))
+        assert len(results) == 4
+
+    def test_large_perturbation_breaks_anchored_claims(self):
+        # Halving the GH200 MFU must break the 47,505 anchor.
+        results = sweep(tags=("GH200",), fields=("mfu_llm",), factors=(0.5,))
+        assert not results[0].robust
+        assert any("47505" in claim for claim in results[0].broken_claims)
+
+    def test_summary_orders_fragile_first(self):
+        results = sweep(tags=("GH200",), fields=("mfu_llm",), factors=(0.5, 1.0))
+        rows = summarize(results)
+        assert rows[0]["robust"] is False
+        assert rows[-1]["robust"] is True
+
+    def test_calibrations_unchanged_after_sweep(self):
+        before = dict(CALIBRATIONS)
+        sweep(tags=("A100",), fields=("mfu_llm",), factors=(0.9,))
+        assert CALIBRATIONS == before

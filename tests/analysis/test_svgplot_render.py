@@ -1,0 +1,127 @@
+"""Tests for the SVG chart renderer and the figure rendering layer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.render import render_fig2, render_fig3, render_fig4
+from repro.analysis.svgplot import HeatmapChart, LineChart
+from repro.errors import ConfigError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestLineChart:
+    def _chart(self):
+        chart = LineChart(title="T", x_label="x", y_label="y")
+        chart.add("a", [16, 64, 256], [1.0, 2.0, 3.0])
+        chart.add("b", [16, 64, 256], [3.0, 2.0, 1.0])
+        return chart
+
+    def test_renders_valid_svg(self):
+        root = parse(self._chart().render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        root = parse(self._chart().render())
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_markers_per_point(self):
+        root = parse(self._chart().render())
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 6
+
+    def test_legend_contains_labels(self):
+        text = self._chart().render()
+        assert ">a</text>" in text and ">b</text>" in text
+
+    def test_title_escaped(self):
+        chart = LineChart(title="a < b & c", x_label="x", y_label="y")
+        chart.add("s", [1, 2], [1, 2])
+        root = parse(chart.render())  # parses only if escaped
+        assert root is not None
+
+    def test_log_axis_rejects_nonpositive_x(self):
+        chart = LineChart(title="T", x_label="x", y_label="y")
+        chart.add("s", [0, 2], [1, 2])
+        with pytest.raises(ConfigError, match="positive"):
+            chart.render()
+
+    def test_linear_axis_allows_zero(self):
+        chart = LineChart(title="T", x_label="x", y_label="y", log2_x=False)
+        chart.add("s", [0, 2], [1, 2])
+        parse(chart.render())
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ConfigError, match="series"):
+            LineChart(title="T", x_label="x", y_label="y").render()
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ConfigError, match="mismatch"):
+            LineChart(title="T", x_label="x", y_label="y").add("s", [1], [1, 2])
+
+
+class TestHeatmapChart:
+    def _chart(self):
+        return HeatmapChart(
+            title="H",
+            x_label="devices",
+            y_label="gbs",
+            column_labels=["1", "2"],
+            row_labels=["16", "32"],
+            values=[[10.0, 20.0], [None, 40.0]],
+            annotations=[["10", "20"], ["OOM", "40"]],
+        )
+
+    def test_renders_valid_svg(self):
+        parse(self._chart().render())
+
+    def test_one_rect_per_cell_plus_background(self):
+        root = parse(self._chart().render())
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 5  # 4 cells + background
+
+    def test_oom_cells_grey_with_annotation(self):
+        text = self._chart().render()
+        assert "#cccccc" in text
+        assert ">OOM</text>" in text
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            HeatmapChart(
+                title="H", x_label="x", y_label="y",
+                column_labels=["1"], row_labels=["16"],
+                values=[[1.0, 2.0]],
+            )
+
+    def test_colour_gradient_endpoints(self):
+        assert HeatmapChart._colour(0.0) == "rgb(68,1,84)"
+        assert HeatmapChart._colour(1.0) == "rgb(253,231,37)"
+        assert HeatmapChart._colour(2.0) == HeatmapChart._colour(1.0)
+
+
+class TestFigureRendering:
+    def test_fig2_three_panels(self, tmp_path):
+        paths = render_fig2(tmp_path)
+        assert [p.name for p in paths] == [
+            "fig2_throughput.svg", "fig2_energy.svg", "fig2_efficiency.svg"
+        ]
+        for p in paths:
+            ET.parse(p)
+
+    def test_fig3_three_panels(self, tmp_path):
+        paths = render_fig3(tmp_path)
+        assert len(paths) == 3
+        for p in paths:
+            ET.parse(p)
+
+    def test_fig4_per_system(self, tmp_path):
+        paths = render_fig4(tmp_path, tags=("A100", "GC200"))
+        assert {p.name for p in paths} == {"fig4_a100.svg", "fig4_gc200.svg"}
+        # The A100 heatmap carries its OOM cell.
+        assert "OOM" in (tmp_path / "fig4_a100.svg").read_text()

@@ -1,0 +1,75 @@
+"""Tests for the Table II / Table III regeneration (E2, E4)."""
+
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    table2_ipu_gpt,
+    table3_ipu_resnet,
+    table_rows_printable,
+)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.batch_size: r for r in table2_ipu_gpt()}
+
+    def test_all_paper_batch_sizes(self, rows):
+        assert set(rows) == set(PAPER_TABLE2)
+
+    def test_throughput_within_one_percent_of_paper(self, rows):
+        for b, (paper_rate, _) in PAPER_TABLE2.items():
+            assert rows[b].throughput == pytest.approx(paper_rate, rel=0.01), b
+
+    def test_energy_within_fifteen_percent_of_paper(self, rows):
+        # Mid-range energies deviate up to ~14 % (see EXPERIMENTS.md);
+        # the endpoints match to <1 %.
+        for b, (_, paper_wh) in PAPER_TABLE2.items():
+            assert rows[b].energy_wh == pytest.approx(paper_wh, rel=0.15), b
+
+    def test_endpoint_energies_tight(self, rows):
+        assert rows[64].energy_wh == pytest.approx(15.68, rel=0.01)
+        assert rows[16384].energy_wh == pytest.approx(33.00, rel=0.01)
+
+    def test_efficiency_column_consistent(self, rows):
+        for b, row in rows.items():
+            assert row.efficiency_per_wh == pytest.approx(b / row.energy_wh)
+
+    def test_efficiency_rises_with_batch(self, rows):
+        effs = [rows[b].efficiency_per_wh for b in sorted(rows)]
+        assert effs == sorted(effs)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.batch_size: r for r in table3_ipu_resnet()}
+
+    def test_all_paper_batch_sizes(self, rows):
+        assert set(rows) == set(PAPER_TABLE3)
+
+    def test_throughput_within_one_percent(self, rows):
+        for b, (paper_rate, _) in PAPER_TABLE3.items():
+            assert rows[b].throughput == pytest.approx(paper_rate, rel=0.01), b
+
+    def test_energy_within_two_percent(self, rows):
+        for b, (_, paper_wh) in PAPER_TABLE3.items():
+            assert rows[b].energy_wh == pytest.approx(paper_wh, rel=0.02), b
+
+    def test_flat_throughput_profile(self, rows):
+        rates = [r.throughput for r in rows.values()]
+        assert max(rates) / min(rates) < 1.04
+
+    def test_efficiency_around_40k_images_per_wh(self, rows):
+        for row in rows.values():
+            assert 39_000 < row.efficiency_per_wh < 41_500
+
+
+class TestPrintable:
+    def test_paper_column_headers(self):
+        rows = table_rows_printable(table2_ipu_gpt((64,)), "Tokens")
+        assert set(rows[0]) == {
+            "Batch Size", "Tokens/Time 1/s", "Energy/Epoch Wh", "Tokens/Energy 1/Wh"
+        }

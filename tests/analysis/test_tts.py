@@ -1,0 +1,75 @@
+"""Tests for the time-to-solution analysis."""
+
+import pytest
+
+from repro.analysis.tts import (
+    batch_size_tradeoff,
+    optimal_batch_size,
+    time_to_loss,
+    tts_rows,
+)
+from repro.errors import ConfigError
+
+
+class TestTimeToLoss:
+    def test_basic_shape(self):
+        result = time_to_loss("GH200", global_batch_size=256)
+        assert result.tokens_needed > 1e9
+        assert result.hours > 0
+        assert result.node_energy_kwh > 0
+
+    def test_faster_node_shorter_time_same_tokens(self):
+        # Same target -> same token count; the faster 4-device node
+        # (JEDI) finishes before the A100 node.  (The single-superchip
+        # GH200-JRDC node legitimately loses to 4 A100s per *node*.)
+        jedi = time_to_loss("JEDI", global_batch_size=256)
+        a100 = time_to_loss("A100", global_batch_size=256)
+        assert jedi.tokens_needed == pytest.approx(a100.tokens_needed)
+        assert jedi.hours < a100.hours
+
+    def test_harder_target_needs_more_tokens(self):
+        easy = time_to_loss("A100", target_loss=4.0)
+        hard = time_to_loss("A100", target_loss=3.5)
+        assert hard.tokens_needed > easy.tokens_needed
+
+    def test_rejects_ipu(self):
+        with pytest.raises(ConfigError):
+            time_to_loss("GC200")
+
+    def test_rejects_indivisible_batch(self):
+        with pytest.raises(ConfigError):
+            time_to_loss("A100", global_batch_size=10)
+
+    def test_describe(self):
+        assert "kWh" in time_to_loss("H100").describe()
+
+
+class TestBatchTradeoff:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return batch_size_tradeoff(
+            "GH200", batch_sizes=(64, 256, 512, 1024, 2048, 4096)
+        )
+
+    def test_tokens_constant_below_critical_batch(self, sweep):
+        by_gbs = {r.global_batch_size: r.tokens_needed for r in sweep}
+        assert by_gbs[64] == pytest.approx(by_gbs[256])
+        assert by_gbs[4096] > by_gbs[512]
+
+    def test_interior_wall_clock_optimum(self, sweep):
+        best = optimal_batch_size(sweep)
+        assert best.global_batch_size == 512  # the critical batch size
+
+    def test_energy_optimum_tracks_time_optimum(self, sweep):
+        best_energy = min(sweep, key=lambda r: r.node_energy_kwh)
+        assert best_energy.global_batch_size <= 1024
+
+    def test_rows(self, sweep):
+        rows = tts_rows(sweep)
+        assert set(rows[0]) == {"system", "gbs", "tokens_B", "hours", "node_kwh"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            batch_size_tradeoff("A100", batch_sizes=())
+        with pytest.raises(ConfigError):
+            optimal_batch_size([])

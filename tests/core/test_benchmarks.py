@@ -1,0 +1,128 @@
+"""Tests for the benchmark entry points and operation registry."""
+
+import pytest
+
+from repro.core.config import AMDVariant, LLMBenchmarkConfig, ResNetBenchmarkConfig
+from repro.core.llm_training import llm_result_outputs, run_llm_benchmark
+from repro.core.registry import build_operation_registry
+from repro.core.resnet50 import run_resnet_benchmark
+from repro.errors import ConfigError, JubeError
+from repro.jube.steps import Step, Workpackage
+
+
+class TestLLMBenchmark:
+    def test_gpu_dispatch(self):
+        result = run_llm_benchmark(
+            LLMBenchmarkConfig(system="A100", global_batch_size=64, exit_duration_s=20)
+        )
+        assert result.benchmark == "llm-800M"
+        assert result.throughput_unit == "tokens_per_s"
+
+    def test_ipu_dispatch(self):
+        result = run_llm_benchmark(
+            LLMBenchmarkConfig(system="GC200", model_size="117M", global_batch_size=256)
+        )
+        assert result.devices == 4
+        assert "tokens_per_wh" in result.extra
+
+    def test_ipu_only_runs_117m(self):
+        with pytest.raises(ConfigError, match="117M"):
+            run_llm_benchmark(LLMBenchmarkConfig(system="GC200", model_size="800M"))
+
+    def test_result_outputs_include_per_device(self):
+        result = run_llm_benchmark(
+            LLMBenchmarkConfig(system="A100", global_batch_size=64, exit_duration_s=20)
+        )
+        out = llm_result_outputs(result)
+        assert out["tokens_per_s_per_device"] == pytest.approx(
+            result.throughput / 4, rel=0.01
+        )
+
+
+class TestResNetBenchmark:
+    def test_gpu_dispatch(self):
+        result = run_resnet_benchmark(
+            ResNetBenchmarkConfig(system="H100", global_batch_size=128)
+        )
+        assert result.benchmark == "resnet-resnet50"
+        assert result.extra["epoch_energy_per_device_wh"] > 0
+
+    def test_ipu_dispatch(self):
+        result = run_resnet_benchmark(
+            ResNetBenchmarkConfig(system="GC200", global_batch_size=256)
+        )
+        assert result.extra["images_per_wh"] > 0
+
+    def test_amd_gpu_variant_uses_two_gcds(self):
+        result = run_resnet_benchmark(
+            ResNetBenchmarkConfig(
+                system="MI250", global_batch_size=128, amd_variant=AMDVariant.GPU
+            )
+        )
+        assert result.devices == 2
+
+
+class TestOperationRegistry:
+    @pytest.fixture
+    def registry(self):
+        return build_operation_registry()
+
+    def _wp(self):
+        return Workpackage(Step("train"), {}, 0)
+
+    def test_all_script_operations_registered(self, registry):
+        assert set(registry.names()) >= {
+            "pull_container", "prepare_data", "llm_train", "resnet_train",
+            "combine_energy",
+        }
+
+    def test_pull_container_selects_vendor_image(self, registry):
+        wp = self._wp()
+        registry.dispatch("pull_container --system MI250 --framework pytorch", wp)
+        assert wp.outputs["container"] == "rocm-pytorch"
+
+    def test_prepare_data_synthetic(self, registry):
+        wp = self._wp()
+        registry.dispatch("prepare_data --synthetic true", wp)
+        assert wp.outputs["dataset"] == "synthetic"
+
+    def test_prepare_data_oscar(self, registry):
+        wp = self._wp()
+        registry.dispatch("prepare_data --synthetic false", wp)
+        assert wp.outputs["dataset"] == "oscar-subset"
+        assert wp.outputs["tokens"] > 0
+
+    def test_llm_train_operation(self, registry):
+        wp = self._wp()
+        registry.dispatch(
+            "llm_train --system A100 --gbs 64 --duration 20", wp
+        )
+        assert wp.outputs["status"] == "OK"
+        assert wp.outputs["throughput_tokens_per_s"] > 0
+
+    def test_resnet_train_operation(self, registry):
+        wp = self._wp()
+        registry.dispatch("resnet_train --system H100 --gbs 128", wp)
+        assert wp.outputs["status"] == "OK"
+
+    def test_oom_reported_as_status_not_crash(self, registry):
+        # A100 single device at local batch 2048 is the Figure 4g OOM.
+        wp = self._wp()
+        registry.dispatch("resnet_train --system A100 --gbs 2048", wp)
+        assert wp.outputs["status"] == "OOM"
+
+    def test_missing_required_argument(self, registry):
+        with pytest.raises(JubeError, match="--gbs"):
+            registry.dispatch("llm_train --system A100", self._wp())
+
+    def test_combine_energy_uses_upstream_outputs(self, registry):
+        wp = self._wp()
+        wp.outputs["energy_per_device_wh"] = 2.0
+        wp.outputs["devices"] = 4
+        registry.dispatch("combine_energy", wp)
+        assert wp.outputs["combined_energy_wh"] == pytest.approx(8.0)
+
+    def test_combine_energy_without_training(self, registry):
+        wp = self._wp()
+        registry.dispatch("combine_energy", wp)
+        assert wp.outputs["combined_energy_wh"] == "-"

@@ -1,0 +1,104 @@
+"""Tests for the continuous-benchmarking extension."""
+
+import json
+
+import pytest
+
+from repro.core.continuous import (
+    DEFAULT_SUITE,
+    BenchmarkPoint,
+    ContinuousBenchmark,
+    Comparison,
+)
+from repro.errors import ConfigError
+
+#: A small, fast suite for tests.
+SMALL_SUITE = (
+    BenchmarkPoint("llm", "A100", 64),
+    BenchmarkPoint("resnet", "H100", 64),
+)
+
+
+@pytest.fixture(scope="module")
+def cb():
+    return ContinuousBenchmark(points=SMALL_SUITE)
+
+
+class TestBaseline:
+    def test_record_and_load(self, cb, tmp_path):
+        path = cb.record_baseline(tmp_path / "baseline.json")
+        data = cb.load_baseline(path)
+        assert set(data) == {p.key for p in SMALL_SUITE}
+        assert all("throughput" in v for v in data.values())
+
+    def test_missing_baseline(self, cb, tmp_path):
+        with pytest.raises(ConfigError, match="record one first"):
+            cb.load_baseline(tmp_path / "nope.json")
+
+    def test_corrupt_baseline(self, cb, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="corrupt"):
+            cb.load_baseline(path)
+
+    def test_incomplete_baseline(self, cb, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"llm:A100:gbs64": {"throughput": 1.0}}))
+        with pytest.raises(ConfigError, match="lacks"):
+            cb.load_baseline(path)
+
+
+class TestComparison:
+    def test_simulator_is_deterministic_no_regressions(self, cb, tmp_path):
+        path = cb.record_baseline(tmp_path / "baseline.json")
+        comparisons = cb.compare(path)
+        assert len(comparisons) == len(SMALL_SUITE)
+        for c in comparisons:
+            assert c.throughput_ratio == pytest.approx(1.0, rel=1e-9)
+        assert cb.check(path) == []
+
+    def test_synthetic_regression_detected(self, cb, tmp_path):
+        path = cb.record_baseline(tmp_path / "baseline.json")
+        data = json.loads(path.read_text())
+        # Pretend the machine used to be 20 % faster.
+        for entry in data.values():
+            entry["throughput"] *= 1.25
+        path.write_text(json.dumps(data))
+        regressions = cb.check(path)
+        assert len(regressions) == len(SMALL_SUITE)
+        assert all("REGRESSION" in r.describe() for r in regressions)
+
+    def test_tolerance_gates_detection(self, cb, tmp_path):
+        path = cb.record_baseline(tmp_path / "baseline.json")
+        data = json.loads(path.read_text())
+        for entry in data.values():
+            entry["throughput"] *= 1.03  # 3 % "slowdown"
+        path.write_text(json.dumps(data))
+        assert cb.check(path, tolerance=0.05) == []
+        assert len(cb.check(path, tolerance=0.01)) == len(SMALL_SUITE)
+
+    def test_comparison_describe(self):
+        c = Comparison(
+            point=SMALL_SUITE[0],
+            baseline_throughput=100.0,
+            current_throughput=90.0,
+            baseline_efficiency=10.0,
+            current_efficiency=9.0,
+        )
+        assert "REGRESSION" in c.describe()
+        assert "-10.00%" in c.describe()
+
+
+class TestConfiguration:
+    def test_default_suite_covers_all_vendor_classes(self):
+        systems = {p.system for p in DEFAULT_SUITE}
+        assert {"A100", "GH200", "MI250", "GC200", "H100"} <= systems
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ConfigError):
+            ContinuousBenchmark(points=())
+
+    def test_unknown_benchmark_kind(self):
+        cb = ContinuousBenchmark(points=(BenchmarkPoint("vision", "A100", 64),))
+        with pytest.raises(ConfigError, match="unknown benchmark"):
+            cb.measure()

@@ -1,0 +1,57 @@
+"""Tests for the `caraml continuous` subcommand."""
+
+import io
+import json
+
+from repro.core.cli import run
+
+
+class TestContinuousCLI:
+    def test_record_then_check_clean(self, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        out = io.StringIO()
+        assert run(["continuous", "record", "--baseline", baseline], stdout=out) == 0
+        assert "recorded baseline" in out.getvalue()
+
+        out = io.StringIO()
+        code = run(["continuous", "check", "--baseline", baseline], stdout=out)
+        assert code == 0
+        assert "regressions: 0" in out.getvalue()
+
+    def test_check_fails_on_regression(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run(["continuous", "record", "--baseline", str(baseline)], stdout=io.StringIO())
+        data = json.loads(baseline.read_text())
+        for entry in data.values():
+            entry["throughput"] *= 1.25
+        baseline.write_text(json.dumps(data))
+
+        out = io.StringIO()
+        code = run(["continuous", "check", "--baseline", str(baseline)], stdout=out)
+        assert code == 1
+        assert "REGRESSION" in out.getvalue()
+
+    def test_tolerance_flag(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run(["continuous", "record", "--baseline", str(baseline)], stdout=io.StringIO())
+        data = json.loads(baseline.read_text())
+        for entry in data.values():
+            entry["throughput"] *= 1.03
+        baseline.write_text(json.dumps(data))
+
+        assert (
+            run(
+                ["continuous", "check", "--baseline", str(baseline),
+                 "--tolerance", "0.05"],
+                stdout=io.StringIO(),
+            )
+            == 0
+        )
+        assert (
+            run(
+                ["continuous", "check", "--baseline", str(baseline),
+                 "--tolerance", "0.01"],
+                stdout=io.StringIO(),
+            )
+            == 1
+        )

@@ -1,0 +1,85 @@
+"""Tests for saturation curves and calibration entries."""
+
+import pytest
+
+from repro.engine.calibration import CALIBRATIONS, SystemCalibration, get_calibration
+from repro.engine.efficiency import batch_efficiency, saturation
+from repro.errors import UnknownSystemError
+from repro.hardware.systems import SYSTEM_TAGS
+
+
+class TestSaturation:
+    def test_zero_work(self):
+        assert saturation(0, 10) == 0.0
+
+    def test_half_point(self):
+        assert saturation(10, 10) == pytest.approx(0.5)
+
+    def test_asymptote_below_one(self):
+        assert saturation(1e9, 10) < 1.0
+        assert saturation(1e9, 10) == pytest.approx(1.0, abs=1e-6)
+
+    def test_instant_saturation(self):
+        assert saturation(5, 0) == 1.0
+
+    def test_monotone(self):
+        values = [saturation(x, 16) for x in (1, 2, 4, 8, 64, 512)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saturation(-1, 10)
+        with pytest.raises(ValueError):
+            saturation(1, -1)
+
+
+class TestBatchEfficiency:
+    def test_floor_lifts_small_batches(self):
+        assert batch_efficiency(0, 16, floor=0.1) == pytest.approx(0.1)
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            batch_efficiency(4, 16, floor=1.0)
+
+    def test_range(self):
+        for b in (1, 16, 256, 4096):
+            v = batch_efficiency(b, 16, floor=0.08)
+            assert 0.08 <= v < 1.0
+
+
+class TestCalibrations:
+    def test_every_system_has_an_entry(self):
+        for tag in SYSTEM_TAGS:
+            assert tag in CALIBRATIONS
+
+    def test_lookup(self):
+        assert get_calibration("A100").mfu_llm == pytest.approx(0.358)
+
+    def test_unknown_tag(self):
+        with pytest.raises(UnknownSystemError):
+            get_calibration("TPU")
+
+    def test_a100_has_highest_llm_mfu(self):
+        # §IV-A: newer, bigger parts are less saturated by the 800M
+        # model; the A100 runs closest to its peak.
+        gpu_tags = [t for t in SYSTEM_TAGS if t != "GC200"]
+        assert max(gpu_tags, key=lambda t: CALIBRATIONS[t].mfu_llm) == "A100"
+
+    def test_h100_pcie_runs_at_its_power_cap(self):
+        # The §IV-A efficiency story: the PCIe card is pinned at cap.
+        assert CALIBRATIONS["H100"].util_full_llm == max(
+            CALIBRATIONS[t].util_full_llm for t in SYSTEM_TAGS
+        )
+
+    def test_amd_flat_power_profile(self):
+        assert CALIBRATIONS["MI250"].util_batch_sensitivity == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemCalibration(mfu_llm=0.0, mfu_cnn=0.1, cnn_batch_half=8)
+        with pytest.raises(ValueError):
+            SystemCalibration(mfu_llm=0.2, mfu_cnn=0.1, cnn_batch_half=8, comm_overlap=1.0)
+        with pytest.raises(ValueError):
+            SystemCalibration(
+                mfu_llm=0.2, mfu_cnn=0.1, cnn_batch_half=8, mcm_shared_power_derate=0.0
+            )

@@ -1,0 +1,77 @@
+"""Tests for the Horovod fusion-buffer all-reduce model."""
+
+import pytest
+
+from repro.engine.horovod import DEFAULT_FUSION_BYTES, HorovodAllreduce
+from repro.errors import ConfigError
+from repro.hardware.interconnect import LinkTechnology, get_link
+from repro.simcluster.nccl import CollectiveModel
+
+
+@pytest.fixture
+def hvd():
+    collectives = CollectiveModel(
+        intra_link=get_link(LinkTechnology.NVLINK3),
+        inter_link=get_link(LinkTechnology.IB_HDR),
+        ranks_per_node=4,
+    )
+    return HorovodAllreduce(collectives)
+
+
+class TestBufferCounting:
+    def test_zero_gradients(self, hvd):
+        assert hvd.num_buffers(0) == 0
+        assert hvd.allreduce_time(0) == 0.0
+
+    def test_exact_multiple(self, hvd):
+        assert hvd.num_buffers(2 * DEFAULT_FUSION_BYTES) == 2
+
+    def test_tail_counts_as_buffer(self, hvd):
+        assert hvd.num_buffers(DEFAULT_FUSION_BYTES + 1) == 2
+
+    def test_small_gradient_one_buffer(self, hvd):
+        assert hvd.num_buffers(1000) == 1
+
+
+class TestTiming:
+    def test_single_rank_free(self):
+        collectives = CollectiveModel(
+            intra_link=get_link(LinkTechnology.NVLINK3),
+            inter_link=get_link(LinkTechnology.IB_HDR),
+            ranks_per_node=1,
+        )
+        hvd = HorovodAllreduce(collectives)
+        assert hvd.allreduce_time(10**9) == 0.0
+
+    def test_monotone_in_gradient_size(self, hvd):
+        times = [hvd.allreduce_time(s) for s in (10**6, 10**7, 10**8, 10**9)]
+        assert times == sorted(times)
+
+    def test_resnet50_gradients_fit_one_buffer(self, hvd):
+        # 25.6M params fp16 = 51 MB < 64 MiB fusion buffer.
+        grad_bytes = 25_557_032 * 2
+        assert hvd.num_buffers(grad_bytes) == 1
+
+    def test_cycle_time_charged_per_buffer(self, hvd):
+        two = hvd.allreduce_time(2 * DEFAULT_FUSION_BYTES)
+        one = hvd.allreduce_time(DEFAULT_FUSION_BYTES)
+        assert two == pytest.approx(2 * one, rel=1e-6)
+
+    def test_smaller_fusion_buffers_cost_more_cycles(self, hvd):
+        small = HorovodAllreduce(hvd.collectives, fusion_bytes=1024 * 1024)
+        grad = 64 * 1024 * 1024
+        assert small.allreduce_time(grad) > hvd.allreduce_time(grad)
+
+
+class TestValidation:
+    def test_rejects_bad_fusion_size(self, hvd):
+        with pytest.raises(ConfigError):
+            HorovodAllreduce(hvd.collectives, fusion_bytes=0)
+
+    def test_rejects_negative_cycle(self, hvd):
+        with pytest.raises(ConfigError):
+            HorovodAllreduce(hvd.collectives, cycle_time_s=-1)
+
+    def test_rejects_negative_gradients(self, hvd):
+        with pytest.raises(ConfigError):
+            hvd.num_buffers(-1)

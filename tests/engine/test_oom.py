@@ -1,0 +1,100 @@
+"""Tests for the memory feasibility checks (Figure 4 OOM cells)."""
+
+import pytest
+
+from repro.engine.oom import check_cnn_memory, check_llm_memory
+from repro.errors import ConfigError
+from repro.hardware.systems import get_system
+from repro.models.parallelism import ParallelLayout
+from repro.models.resnet import get_cnn_preset
+from repro.models.transformer import get_gpt_preset
+
+
+class TestLLMMemory:
+    def test_800m_fits_every_gpu_system(self):
+        # §III-A1: "the 800M model fits within a single device on both
+        # AMD and NVIDIA hardware".
+        model = get_gpt_preset("800M")
+        for tag in ("A100", "H100", "WAIH100", "GH200", "JEDI", "MI250"):
+            budget = check_llm_memory(
+                get_system(tag), model, ParallelLayout(dp=1), micro_batch_size=4
+            )
+            assert budget.fits, tag
+
+    def test_13b_does_not_fit_a_single_a100(self):
+        budget = check_llm_memory(
+            get_system("A100"), get_gpt_preset("13B"), ParallelLayout(dp=1), 4
+        )
+        assert not budget.fits
+
+    def test_13b_fits_gh200_with_model_parallelism(self):
+        # §III-A1: 13B/175B "were tested on NVIDIA GH200 devices" with
+        # tensor+pipeline parallelism.
+        budget = check_llm_memory(
+            get_system("JEDI"), get_gpt_preset("13B"), ParallelLayout(tp=2, pp=2), 1
+        )
+        assert budget.fits
+
+    def test_distributed_optimizer_reduces_footprint(self):
+        model = get_gpt_preset("800M")
+        node = get_system("A100")
+        dp1 = check_llm_memory(node, model, ParallelLayout(dp=1), 4)
+        dp4 = check_llm_memory(node, model, ParallelLayout(dp=4), 4)
+        assert dp4.used_bytes < dp1.used_bytes
+
+    def test_activation_share_grows_with_micro_batch(self):
+        model = get_gpt_preset("800M")
+        node = get_system("A100")
+        small = check_llm_memory(node, model, ParallelLayout(dp=1), 1)
+        large = check_llm_memory(node, model, ParallelLayout(dp=1), 8)
+        assert large.breakdown()["activations"] > small.breakdown()["activations"]
+
+    def test_budget_lists_megatron_categories(self):
+        budget = check_llm_memory(
+            get_system("A100"), get_gpt_preset("800M"), ParallelLayout(dp=1), 4
+        )
+        assert set(budget.breakdown()) == {
+            "weights+grads+optimizer", "activations", "framework"
+        }
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            check_llm_memory(
+                get_system("A100"), get_gpt_preset("800M"), ParallelLayout(), 0
+            )
+
+
+class TestCNNMemory:
+    def test_a100_figure4g_oom_boundary(self):
+        # 40 GB A100: local batch 1024 fits, 2048 is the OOM cell.
+        node = get_system("A100")
+        model = get_cnn_preset("resnet50")
+        assert check_cnn_memory(node, model, 1024).fits
+        assert not check_cnn_memory(node, model, 2048).fits
+
+    def test_larger_memory_admits_larger_batches(self):
+        model = get_cnn_preset("resnet50")
+        assert check_cnn_memory(get_system("H100"), model, 2048).fits
+        assert check_cnn_memory(get_system("GH200"), model, 2048).fits
+
+    def test_oom_monotone_in_batch(self):
+        node = get_system("A100")
+        model = get_cnn_preset("resnet50")
+        fits = [check_cnn_memory(node, model, b).fits for b in (64, 256, 1024, 2048, 4096)]
+        # Once it stops fitting it never fits again.
+        assert fits == sorted(fits, reverse=True)
+
+    def test_vgg16_ooms_before_resnet(self):
+        node = get_system("A100")
+        vgg_max = max(
+            (b for b in (128, 256, 512, 1024) if check_cnn_memory(node, get_cnn_preset("vgg16"), b).fits),
+            default=0,
+        )
+        resnet_max = max(
+            b for b in (128, 256, 512, 1024) if check_cnn_memory(node, get_cnn_preset("resnet50"), b).fits
+        )
+        assert vgg_max < resnet_max
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            check_cnn_memory(get_system("A100"), get_cnn_preset("resnet50"), 0)

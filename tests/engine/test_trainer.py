@@ -1,0 +1,146 @@
+"""Tests for the shared training-loop machinery."""
+
+import pytest
+
+from repro.engine.perf import StepBreakdown
+from repro.engine.trainer import (
+    LOW_PHASE_UTILISATION,
+    PhaseRunner,
+    TrainResult,
+    jpwr_methods_for_node,
+    measure_run,
+)
+from repro.errors import ConfigError
+from repro.hardware.systems import get_system
+from repro.jpwr.ctxmgr import get_power
+from repro.jpwr.methods.gh import GraceHopperMethod
+from repro.jpwr.methods.pynvml import PynvmlMethod
+from repro.jpwr.methods.rocmsmi import RocmSmiMethod
+from repro.power.sensors import DeviceRegistry
+from repro.simcluster.clock import VirtualClock
+
+
+class TestTrainResult:
+    def _result(self, **overrides):
+        base = dict(
+            system_tag="A100",
+            benchmark="llm-800M",
+            global_batch_size=256,
+            devices=4,
+            iterations=10,
+            elapsed_s=100.0,
+            throughput=80_000.0,
+            throughput_unit="tokens_per_s",
+            energy_per_device_wh=9.0,
+            mean_power_per_device_w=324.0,
+        )
+        base.update(overrides)
+        return TrainResult(**base)
+
+    def test_per_device_normalisation(self):
+        assert self._result().throughput_per_device == pytest.approx(20_000.0)
+
+    def test_efficiency_per_wh(self):
+        # 20k tokens/s/dev * 100 s / 9 Wh.
+        result = self._result()
+        assert result.efficiency_per_wh == pytest.approx(20_000 * 100 / 9)
+
+    def test_efficiency_requires_energy(self):
+        with pytest.raises(ConfigError):
+            self._result(energy_per_device_wh=0.0).efficiency_per_wh
+
+    def test_row_keys(self):
+        row = self._result(extra={"step_time_s": 1.0}).row()
+        assert row["system"] == "A100"
+        assert "throughput_tokens_per_s" in row
+        assert row["step_time_s"] == 1.0
+
+
+class TestMethodSelection:
+    def test_nvidia_gets_pynvml(self):
+        node = get_system("A100")
+        methods = jpwr_methods_for_node(node, DeviceRegistry.for_node(node))
+        assert len(methods) == 1 and isinstance(methods[0], PynvmlMethod)
+
+    def test_gh200_gets_both_methods(self):
+        node = get_system("GH200")
+        methods = jpwr_methods_for_node(node, DeviceRegistry.for_node(node))
+        assert {type(m) for m in methods} == {PynvmlMethod, GraceHopperMethod}
+
+    def test_amd_gets_rocm(self):
+        node = get_system("MI250")
+        methods = jpwr_methods_for_node(node, DeviceRegistry.for_node(node))
+        assert isinstance(methods[0], RocmSmiMethod)
+
+
+class TestPhaseRunner:
+    def test_phases_advance_clock_and_utilisation(self):
+        clock = VirtualClock()
+        node = get_system("A100")
+        registry = DeviceRegistry.for_node(node, clock=clock)
+        devices = [registry.get(0)]
+        with get_power(
+            [PynvmlMethod(registry)], 100, clock=clock, manual=True
+        ) as scope:
+            runner = PhaseRunner(clock, scope, devices)
+            runner.run_phase(5.0, 0.9)
+            assert devices[0].utilisation() == 0.9
+            runner.idle(2.0)
+            assert devices[0].utilisation() == 0.0
+        assert clock.now() == pytest.approx(7.0)
+
+    def test_run_step_splits_busy_and_tail(self):
+        clock = VirtualClock()
+        node = get_system("A100")
+        registry = DeviceRegistry.for_node(node, clock=clock)
+        step = StepBreakdown(
+            compute_s=3.0, comm_exposed_s=0.5, host_s=0.0,
+            overhead_s=0.5, bubble_s=0.0, utilisation=0.8,
+        )
+        with get_power(
+            [PynvmlMethod(registry)], 100, clock=clock, manual=True
+        ) as scope:
+            PhaseRunner(clock, scope, [registry.get(0)]).run_step(step)
+        assert clock.now() == pytest.approx(step.total_s)
+        # The tail ran at the low-phase utilisation.
+        assert registry.get(0).utilisation() == LOW_PHASE_UTILISATION
+
+    def test_requires_devices(self):
+        clock = VirtualClock()
+        registry = DeviceRegistry.for_node(get_system("A100"), clock=clock)
+        with get_power(
+            [PynvmlMethod(registry)], 100, clock=clock, manual=True
+        ) as scope:
+            with pytest.raises(ConfigError):
+                PhaseRunner(clock, scope, [])
+
+
+class TestMeasureRun:
+    def test_returns_energy_of_active_devices_only(self):
+        node = get_system("A100")
+
+        def body(runner, clock):
+            runner.run_phase(100.0, 1.0)
+            return "done"
+
+        result, elapsed, energy_wh, power = measure_run(node, 2, body)
+        assert result == "done"
+        assert elapsed == pytest.approx(100.0)
+        # Active devices ran at full utilisation.
+        pm = DeviceRegistry.for_node(node).get(0).model
+        assert power == pytest.approx(pm.power(1.0), rel=1e-3)
+
+    def test_energy_power_consistency(self):
+        node = get_system("MI250")
+
+        def body(runner, clock):
+            runner.run_phase(50.0, 0.5)
+            runner.run_phase(50.0, 0.9)
+            return None
+
+        _, elapsed, energy_wh, power = measure_run(node, 4, body)
+        assert energy_wh * 3600 / elapsed == pytest.approx(power, rel=1e-9)
+
+    def test_validates_device_count(self):
+        with pytest.raises(ConfigError):
+            measure_run(get_system("A100"), 5, lambda r, c: None)

@@ -1,0 +1,128 @@
+"""Tests for the accelerator catalog (paper Figure 1)."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.accelerator import (
+    ACCELERATORS,
+    AcceleratorKind,
+    AcceleratorSpec,
+    Vendor,
+    gcd_view,
+    get_accelerator,
+)
+from repro.units import tflops
+
+
+class TestCatalog:
+    def test_all_fig1_accelerators_present(self):
+        for name in ["A100-SXM4", "H100-PCIe", "H100-SXM5", "GH200-H100", "MI250", "GC200"]:
+            assert name in ACCELERATORS
+
+    def test_fig1_peak_flops(self):
+        # The exact peak FP16 numbers of Figure 1 (no sparsity).
+        assert get_accelerator("A100-SXM4").peak_fp16_flops == tflops(312)
+        assert get_accelerator("H100-PCIe").peak_fp16_flops == tflops(756)
+        assert get_accelerator("H100-SXM5").peak_fp16_flops == tflops(990)
+        assert get_accelerator("GH200-H100").peak_fp16_flops == tflops(990)
+        assert get_accelerator("MI250").peak_fp16_flops == tflops(362.1)
+        assert get_accelerator("GC200").peak_fp16_flops == tflops(250)
+
+    def test_fig1_compute_units(self):
+        assert get_accelerator("A100-SXM4").compute_units == 108
+        assert get_accelerator("H100-PCIe").compute_units == 114
+        assert get_accelerator("H100-SXM5").compute_units == 132
+        assert get_accelerator("MI250").compute_units == 208  # 2 x 104 CU
+        assert get_accelerator("GC200").compute_units == 1472
+
+    def test_fig1_memory(self):
+        assert get_accelerator("A100-SXM4").memory_bytes == 40_000_000_000
+        assert get_accelerator("H100-PCIe").memory_bytes == 80_000_000_000
+        assert get_accelerator("GC200").memory_bytes == 900_000_000
+
+    def test_mi250_is_dual_die(self):
+        assert get_accelerator("MI250").logical_devices == 2
+
+    def test_vendors(self):
+        assert get_accelerator("A100-SXM4").vendor is Vendor.NVIDIA
+        assert get_accelerator("MI250").vendor is Vendor.AMD
+        assert get_accelerator("GC200").vendor is Vendor.GRAPHCORE
+
+    def test_ipu_is_mimd_dataflow(self):
+        assert get_accelerator("GC200").kind is AcceleratorKind.IPU
+        assert get_accelerator("A100-SXM4").kind is AcceleratorKind.GPU
+
+    def test_unknown_name_raises_with_valid_list(self):
+        with pytest.raises(HardwareError, match="A100-SXM4"):
+            get_accelerator("B200")
+
+
+class TestDerivedQuantities:
+    def test_total_cores(self):
+        a100 = get_accelerator("A100-SXM4")
+        assert a100.total_cores == 108 * 64
+
+    def test_flops_per_unit_sums_back(self):
+        h100 = get_accelerator("H100-SXM5")
+        assert h100.flops_per_unit * h100.compute_units == pytest.approx(
+            h100.peak_fp16_flops
+        )
+
+    def test_ipu_has_highest_machine_balance(self):
+        # Distributed SRAM gives the IPU far more bytes/FLOP than HBM GPUs.
+        ipu = get_accelerator("GC200")
+        gpus = [s for s in ACCELERATORS.values() if s.kind is AcceleratorKind.GPU]
+        assert all(ipu.bytes_per_flop > g.bytes_per_flop for g in gpus)
+
+    def test_describe_mentions_key_specs(self):
+        text = get_accelerator("A100-SXM4").describe()
+        assert "108" in text and "312" in text and "400" in text
+
+
+class TestGcdView:
+    def test_gcd_view_halves_everything(self):
+        mcm = get_accelerator("MI250")
+        gcd = gcd_view(mcm)
+        assert gcd.peak_fp16_flops == pytest.approx(mcm.peak_fp16_flops / 2)
+        assert gcd.memory_bytes == mcm.memory_bytes // 2
+        assert gcd.tdp_watts == pytest.approx(mcm.tdp_watts / 2)
+        assert gcd.compute_units == 104
+        assert gcd.logical_devices == 1
+
+    def test_gcd_view_rejects_single_die(self):
+        with pytest.raises(HardwareError):
+            gcd_view(get_accelerator("A100-SXM4"))
+
+
+class TestValidation:
+    def _spec(self, **overrides):
+        base = dict(
+            name="x",
+            vendor=Vendor.NVIDIA,
+            kind=AcceleratorKind.GPU,
+            compute_units=10,
+            cores_per_unit=64,
+            matrix_units_per_unit=4,
+            peak_fp16_flops=1e12,
+            memory_bytes=1_000_000,
+            memory_bandwidth=1e9,
+            tdp_watts=100.0,
+        )
+        base.update(overrides)
+        return AcceleratorSpec(**base)
+
+    def test_rejects_nonpositive_flops(self):
+        with pytest.raises(HardwareError):
+            self._spec(peak_fp16_flops=0)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(HardwareError):
+            self._spec(memory_bytes=0)
+
+    def test_rejects_nonpositive_tdp(self):
+        with pytest.raises(HardwareError):
+            self._spec(tdp_watts=-1)
+
+    def test_rejects_nonpositive_units(self):
+        with pytest.raises(HardwareError):
+            self._spec(compute_units=0)

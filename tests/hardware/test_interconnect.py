@@ -1,0 +1,66 @@
+"""Tests for interconnect link specifications."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.interconnect import (
+    LINKS,
+    LinkSpec,
+    LinkTechnology,
+    get_link,
+    scaled,
+)
+
+
+class TestCatalog:
+    def test_table1_bandwidths(self):
+        assert get_link(LinkTechnology.NVLINK_C2C).bandwidth == 900e9
+        assert get_link(LinkTechnology.NVLINK4).bandwidth == 900e9
+        assert get_link(LinkTechnology.NVLINK3).bandwidth == 600e9
+        assert get_link(LinkTechnology.PCIE_GEN5).bandwidth == 128e9
+        assert get_link(LinkTechnology.PCIE_GEN4).bandwidth == 64e9
+        assert get_link(LinkTechnology.INFINITY_FABRIC).bandwidth == 500e9
+        assert get_link(LinkTechnology.IPU_LINK).bandwidth == 256e9
+
+    def test_infiniband_quoted_in_bits(self):
+        # 2x200 Gbit/s bidirectional -> 50 GB/s bytes aggregate... the
+        # HDR entry stores 2x200 Gbit/s as bytes.
+        assert get_link(LinkTechnology.IB_HDR).bandwidth == pytest.approx(400e9 / 8)
+        assert get_link(LinkTechnology.IB_NDR).bandwidth == pytest.approx(800e9 / 8)
+
+    def test_lookup_accepts_string(self):
+        assert get_link("nvlink4") is LINKS[LinkTechnology.NVLINK4]
+
+    def test_lookup_rejects_unknown_string(self):
+        with pytest.raises(ValueError):
+            get_link("quantum-link")
+
+    def test_unidirectional_is_half(self):
+        link = get_link(LinkTechnology.NVLINK4)
+        assert link.unidirectional_bandwidth == link.bandwidth / 2
+
+
+class TestScaled:
+    def test_scaling_multiplies_bandwidth_not_latency(self):
+        base = get_link(LinkTechnology.IB_NDR)
+        quad = scaled(base, 4)
+        assert quad.bandwidth == 4 * base.bandwidth
+        assert quad.latency_s == base.latency_s
+
+    def test_scaling_rejects_nonpositive_count(self):
+        with pytest.raises(HardwareError):
+            scaled(get_link(LinkTechnology.IB_NDR), 0)
+
+
+class TestValidation:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(HardwareError):
+            LinkSpec(LinkTechnology.NVLINK4, 1e9, -1e-6)
+
+    def test_rejects_zero_bandwidth_for_real_links(self):
+        with pytest.raises(HardwareError):
+            LinkSpec(LinkTechnology.NVLINK4, 0.0, 1e-6)
+
+    def test_none_link_allows_zero_bandwidth(self):
+        none = LinkSpec(LinkTechnology.NONE, 0.0, 0.0)
+        assert none.bandwidth == 0.0

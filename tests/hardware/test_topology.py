@@ -1,0 +1,78 @@
+"""Tests for intra-node topology graphs and NUMA distances."""
+
+import pytest
+
+from repro.hardware.systems import get_system
+from repro.hardware.topology import (
+    device_home_numa,
+    node_topology,
+    numa_distance_matrix,
+    numa_hops,
+)
+
+
+class TestTopologyGraph:
+    def test_a100_node_counts(self):
+        # 2 x EPYC-7742 (8 domains each) + 4 GPUs.
+        g = node_topology(get_system("A100"))
+        kinds = [d["kind"] for _, d in g.nodes(data=True)]
+        assert kinds.count("numa") == 16
+        assert kinds.count("device") == 4
+
+    def test_device_clique_carries_nvlink_bandwidth(self):
+        g = node_topology(get_system("A100"))
+        assert g.edges["dev0", "dev1"]["bandwidth"] == 600e9
+
+    def test_single_device_node_has_no_device_edges(self):
+        g = node_topology(get_system("GH200"))
+        dev_edges = [
+            e for e in g.edges(data=True) if e[2]["kind"] == "device-device"
+        ]
+        assert dev_edges == []
+
+    def test_every_device_attached_to_a_numa_domain(self):
+        for tag in ("A100", "MI250", "H100", "JEDI"):
+            g = node_topology(get_system(tag))
+            for n, data in g.nodes(data=True):
+                if data["kind"] == "device":
+                    homes = [
+                        v for v in g.neighbors(n) if g.nodes[v]["kind"] == "numa"
+                    ]
+                    assert len(homes) == 1
+
+
+class TestNumaDistances:
+    def test_diagonal_zero(self):
+        matrix = numa_distance_matrix(get_system("MI250"))
+        for i in range(len(matrix)):
+            assert matrix[i][i] == 0
+
+    def test_intra_socket_one_hop_cross_socket_two(self):
+        # MI250 node: 2 sockets x 4 domains.
+        matrix = numa_distance_matrix(get_system("MI250"))
+        assert matrix[0][1] == 1  # same socket
+        assert matrix[0][4] == 2  # across sockets
+
+    def test_symmetry(self):
+        matrix = numa_distance_matrix(get_system("A100"))
+        n = len(matrix)
+        for a in range(n):
+            for b in range(n):
+                assert matrix[a][b] == matrix[b][a]
+
+    def test_numa_hops_helper(self):
+        node = get_system("MI250")
+        assert numa_hops(node, 2, 2) == 0
+        assert numa_hops(node, 0, 3) == 1
+        assert numa_hops(node, 0, 7) == 2
+
+
+class TestDeviceHomes:
+    def test_round_robin_assignment(self):
+        node = get_system("A100")  # 16 domains, 4 devices
+        homes = [device_home_numa(node, i) for i in range(4)]
+        assert homes == [0, 1, 2, 3]
+
+    def test_out_of_range_device(self):
+        with pytest.raises(ValueError):
+            device_home_numa(get_system("A100"), 4)

@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        timeout=300,
+    )
+
+
+def test_example_inventory():
+    """At least the three required examples plus the extensions exist."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path):
+    """Each example exits 0 and prints something meaningful."""
+    args: list[str] = []
+    if name == "llm_batch_sweep.py":
+        args = [str(tmp_path / "sweep.csv")]
+    elif name == "render_figures.py":
+        args = [str(tmp_path / "figs")]
+    elif name == "heatmap_explorer.py":
+        args = ["A100", "GC200"]  # keep it quick
+    result = run_example(name, args, tmp_path)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout) > 50
+
+
+def test_quickstart_mentions_both_benchmarks(tmp_path):
+    result = run_example("quickstart.py", ["H100"], tmp_path)
+    assert "LLM training benchmark" in result.stdout
+    assert "ResNet50 training benchmark" in result.stdout
+
+
+def test_jube_workflow_prints_table2_row(tmp_path):
+    result = run_example("jube_workflow.py", [], tmp_path)
+    # The Table II gbs-16384 efficiency figure-of-merit.
+    assert "496" in result.stdout
+    assert "OOM" in result.stdout

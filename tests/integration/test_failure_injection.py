@@ -1,0 +1,130 @@
+"""Failure-injection integration tests."""
+
+import pytest
+
+from repro.errors import ConfigError, JubeError, MeasurementError, OutOfMemoryError
+from repro.hardware.systems import get_system
+from repro.jpwr.ctxmgr import get_power
+from repro.jpwr.methods.pynvml import PynvmlMethod
+from repro.power.sensors import DeviceRegistry
+from repro.simcluster.clock import VirtualClock
+
+
+class TestSensorDropout:
+    def test_measurement_survives_intermittent_sensor(self):
+        clock = VirtualClock()
+        registry = DeviceRegistry.for_node(get_system("A100"), clock=clock)
+        with get_power([PynvmlMethod(registry)], 100, clock=clock, manual=True) as scope:
+            for i in range(10):
+                if i in (3, 4):
+                    registry.get(1).fail()
+                else:
+                    registry.get(1).repair()
+                clock.advance(1.0)
+                scope.sample()
+        assert scope.dropped_samples == 2
+        energy_df, _ = scope.energy()
+        assert energy_df.row(0)["gpu1"] > 0  # still integrable
+
+    def test_permanently_dead_sensor_yields_too_few_samples(self):
+        clock = VirtualClock()
+        registry = DeviceRegistry.for_node(get_system("A100"), clock=clock)
+        cm = get_power([PynvmlMethod(registry)], 100, clock=clock, manual=True)
+        with cm as scope:
+            registry.get(0).fail()
+            clock.advance(1.0)
+            scope.sample()
+            registry.get(0).repair()  # only the exit sample survives
+        # Entry + exit samples only -> energy still computable.
+        assert len(scope.df) == 2
+
+
+class TestOOMPaths:
+    def test_oom_does_not_poison_subsequent_runs(self):
+        from repro.engine.tfcnn import TFCNNEngine
+        from repro.models.resnet import get_cnn_preset
+
+        engine = TFCNNEngine(get_system("A100"), get_cnn_preset("resnet50"))
+        with pytest.raises(OutOfMemoryError):
+            engine.train(4096)
+        result = engine.train(256)  # engine still usable
+        assert result.throughput > 0
+
+    def test_oom_error_carries_sizes(self):
+        from repro.engine.tfcnn import TFCNNEngine
+        from repro.models.resnet import get_cnn_preset
+
+        engine = TFCNNEngine(get_system("A100"), get_cnn_preset("resnet50"))
+        with pytest.raises(OutOfMemoryError) as exc:
+            engine.train(4096)
+        assert exc.value.required_bytes > exc.value.capacity_bytes > 0
+
+
+class TestJubeFailures:
+    def test_failing_operation_propagates_with_step_context(self):
+        from repro.jube.runner import JubeRunner, OperationRegistry
+        from repro.jube.script import load_yaml_script
+
+        registry = OperationRegistry()
+
+        @registry.register("boom")
+        def boom(args, wp):
+            raise MeasurementError("sensor exploded")
+
+        script = load_yaml_script(
+            """
+name: failing
+steps:
+  - name: bad
+    do: [boom]
+"""
+        )
+        with pytest.raises(MeasurementError, match="exploded"):
+            JubeRunner(registry).run(script)
+
+    def test_bad_operation_syntax(self):
+        from repro.jube.runner import JubeRunner, OperationRegistry
+        from repro.jube.script import load_yaml_script
+
+        script = load_yaml_script(
+            """
+name: bad-syntax
+steps:
+  - name: s
+    do: ["train --gbs"]
+"""
+        )
+        registry = OperationRegistry()
+        registry.register("train", lambda a, w: None)
+        run = JubeRunner(registry).run(script)  # "--gbs" becomes a flag
+        assert run.packages_for("s")[0].done
+
+    def test_undefined_parameter_in_operation(self):
+        from repro.core.suite import CaramlSuite
+        from repro.jube.script import load_yaml_script
+
+        script = load_yaml_script(
+            """
+name: undefined-param
+steps:
+  - name: s
+    do: ["prepare_data --synthetic $missing"]
+"""
+        )
+        suite = CaramlSuite()
+        with pytest.raises(JubeError, match="missing"):
+            suite.runner.run(script)
+
+
+class TestConfigErrors:
+    def test_cli_reports_oversized_models_as_oom(self):
+        import io
+
+        from repro.core.cli import run
+
+        # 175B cannot fit the A100 node -> layout selection raises OOM.
+        with pytest.raises(OutOfMemoryError):
+            run(
+                ["run-llm", "--system", "A100", "--model", "175B", "--gbs", "64"],
+                stdout=io.StringIO(),
+            )

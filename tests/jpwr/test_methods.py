@@ -1,0 +1,137 @@
+"""Tests for the jpwr vendor backends."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hardware.systems import get_system
+from repro.jpwr.methods import available_methods, create_method, register_method
+from repro.jpwr.methods.base import get_active_registry, set_active_registry
+from repro.jpwr.methods.gcipuinfo import GcIpuInfoMethod
+from repro.jpwr.methods.gh import GraceHopperMethod
+from repro.jpwr.methods.pynvml import PynvmlMethod
+from repro.jpwr.methods.rocmsmi import RocmSmiMethod
+from repro.power.sensors import DeviceRegistry
+from repro.simcluster.clock import VirtualClock
+
+
+def registry_for(tag):
+    return DeviceRegistry.for_node(get_system(tag), clock=VirtualClock())
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        assert available_methods() == ["gcipuinfo", "gh", "pynvml", "rocm"]
+
+    def test_create_by_name(self):
+        method = create_method("pynvml", registry=registry_for("A100"))
+        assert isinstance(method, PynvmlMethod)
+
+    def test_unknown_method(self):
+        with pytest.raises(MeasurementError, match="pynvml"):
+            create_method("powertop")
+
+    def test_third_party_registration(self):
+        # "The modular structure ... allows for the seamless addition
+        # of further interfaces."
+        class Custom(PynvmlMethod):
+            name = "custom-test"
+
+        register_method("custom-test", Custom)
+        try:
+            assert "custom-test" in available_methods()
+        finally:
+            from repro.jpwr.methods import _REGISTRY
+
+            _REGISTRY.pop("custom-test")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(MeasurementError):
+            register_method("pynvml", PynvmlMethod)
+
+
+class TestActiveRegistry:
+    def test_methods_fall_back_to_active_registry(self):
+        reg = registry_for("A100")
+        set_active_registry(reg)
+        try:
+            method = PynvmlMethod()
+            assert len(method.devices()) == 4
+        finally:
+            set_active_registry(None)
+
+    def test_no_registry_raises(self):
+        set_active_registry(None)
+        with pytest.raises(MeasurementError, match="registry"):
+            get_active_registry()
+
+
+class TestPynvml:
+    def test_reads_one_column_per_gpu(self):
+        method = PynvmlMethod(registry_for("A100"))
+        reads = method.read()
+        assert sorted(reads) == ["gpu0", "gpu1", "gpu2", "gpu3"]
+
+    def test_milliwatt_quantisation(self):
+        method = PynvmlMethod(registry_for("A100"))
+        for value in method.read().values():
+            assert round(value * 1000) == pytest.approx(value * 1000)
+
+    def test_init_fails_without_nvidia_devices(self):
+        method = PynvmlMethod(registry_for("MI250"))
+        with pytest.raises(MeasurementError, match="no matching"):
+            method.init()
+
+    def test_energy_counters_in_additional_data(self):
+        method = PynvmlMethod(registry_for("A100"))
+        extra = method.additional_data()
+        assert "nvml_energy_counters" in extra
+        assert len(extra["nvml_energy_counters"]) == 4
+
+
+class TestRocmSmi:
+    def test_one_column_per_gcd(self):
+        method = RocmSmiMethod(registry_for("MI250"))
+        assert len(method.read()) == 8
+
+    def test_labels_are_gcds(self):
+        method = RocmSmiMethod(registry_for("MI250"))
+        assert all(label.startswith("gcd") for label in method.read())
+
+    def test_gpu_use_additional_data(self):
+        reg = registry_for("MI250")
+        reg.get(0).set_utilisation(0.5)
+        method = RocmSmiMethod(reg)
+        df = method.additional_data()["rocm_gpu_use"]
+        assert df["gpu_use_percent"][0] == pytest.approx(50.0)
+
+
+class TestGcIpuInfo:
+    def test_one_column_per_ipu(self):
+        method = GcIpuInfoMethod(registry_for("GC200"))
+        assert sorted(method.read()) == ["ipu0", "ipu1", "ipu2", "ipu3"]
+
+    def test_temperature_rises_with_power(self):
+        reg = registry_for("GC200")
+        method = GcIpuInfoMethod(reg)
+        cold = method.additional_data()["gcipuinfo_temps"]["board_temp_c"][0]
+        reg.get(0).set_utilisation(1.0)
+        hot = method.additional_data()["gcipuinfo_temps"]["board_temp_c"][0]
+        assert hot > cold
+
+
+class TestGraceHopper:
+    def test_only_superchips_have_hwmon(self):
+        assert len(GraceHopperMethod(registry_for("GH200")).devices()) == 1
+        assert GraceHopperMethod(registry_for("WAIH100")).devices() == []
+
+    def test_module_and_cpu_rails(self):
+        method = GraceHopperMethod(registry_for("GH200"))
+        reads = method.read()
+        assert set(reads) == {"gh_module0", "gh_cpu0"}
+        assert reads["gh_cpu0"] < reads["gh_module0"]
+
+    def test_combines_with_pynvml_on_gh200(self):
+        # The paper's GH200 setup: both methods at once.
+        reg = registry_for("GH200")
+        labels = set(PynvmlMethod(reg).read()) | set(GraceHopperMethod(reg).read())
+        assert labels == {"gpu0", "gh_module0", "gh_cpu0"}

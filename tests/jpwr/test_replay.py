@@ -1,0 +1,88 @@
+"""Tests for utilisation-timeline CSV round trips and jpwr --replay."""
+
+import io
+
+import pytest
+
+from repro.jpwr.cli import run as jpwr_run
+from repro.power.trace import UtilisationTimeline
+
+
+class TestTimelineCSV:
+    def test_round_trip(self):
+        tl = UtilisationTimeline()
+        tl.append(2.0, 0.9)
+        tl.append(1.5, 0.1)
+        restored = UtilisationTimeline.from_csv(tl.to_csv())
+        assert restored.segments() == tl.segments()
+
+    def test_header_optional(self):
+        restored = UtilisationTimeline.from_csv("1.0,0.5\n2.0,0.8\n")
+        assert len(restored) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            UtilisationTimeline.from_csv("")
+        with pytest.raises(ValueError, match="no segments"):
+            UtilisationTimeline.from_csv("duration_s,utilisation\n")
+
+    def test_rejects_malformed_rows(self):
+        with pytest.raises(ValueError, match="bad timeline row"):
+            UtilisationTimeline.from_csv("1.0\n")
+
+    def test_rejects_out_of_range_utilisation(self):
+        with pytest.raises(ValueError):
+            UtilisationTimeline.from_csv("1.0,1.5\n")
+
+
+class TestReplayOption:
+    def _profile(self, tmp_path, text="duration_s,utilisation\n2.0,0.9\n1.0,0.1\n"):
+        path = tmp_path / "profile.csv"
+        path.write_text(text)
+        return str(path)
+
+    def test_replay_produces_energy(self, tmp_path):
+        out = io.StringIO()
+        code = jpwr_run(
+            ["--methods", "pynvml", "--replay", self._profile(tmp_path)],
+            stdout=out,
+        )
+        assert code == 0
+        assert "gpu0" in out.getvalue()
+
+    def test_replay_matches_equivalent_loads(self, tmp_path):
+        out_replay = io.StringIO()
+        jpwr_run(
+            ["--methods", "pynvml", "--replay", self._profile(tmp_path)],
+            stdout=out_replay,
+        )
+        out_load = io.StringIO()
+        jpwr_run(
+            ["--methods", "pynvml", "--load", "0.9:2", "--load", "0.1:1"],
+            stdout=out_load,
+        )
+
+        def energy(buf):
+            for line in buf.getvalue().splitlines():
+                if "gpu0" in line:
+                    return float(line.split(":")[1])
+            raise AssertionError
+
+        assert energy(out_replay) == pytest.approx(energy(out_load), rel=1e-6)
+
+    def test_missing_replay_file(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="cannot replay"):
+            jpwr_run(
+                ["--methods", "pynvml", "--replay", str(tmp_path / "nope.csv")],
+                stdout=io.StringIO(),
+            )
+
+    def test_corrupt_replay_file(self, tmp_path):
+        from repro.errors import ReproError
+
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,timeline\n")
+        with pytest.raises(ReproError, match="cannot replay"):
+            jpwr_run(["--methods", "pynvml", "--replay", str(path)], stdout=io.StringIO())

@@ -1,0 +1,100 @@
+"""Tests for the programmatic script builder."""
+
+import pytest
+
+from repro.core.registry import build_operation_registry
+from repro.errors import JubeError
+from repro.jube.builder import ScriptBuilder, script_to_yaml
+from repro.jube.runner import JubeRunner
+from repro.jube.script import load_yaml_script
+
+
+def sweep_script():
+    return (
+        ScriptBuilder("sweep")
+        .parameters("params", system="H100", gbs=[64, 256])
+        .step(
+            "train",
+            "resnet_train --system $system --gbs $gbs",
+            use=["params"],
+        )
+        .step("post", "combine_energy", depends=["train"], use=["params"], deferred=True)
+        .result(
+            "throughput",
+            step="train",
+            columns=["system", "gbs", "throughput_images_per_s"],
+            sort=["gbs"],
+        )
+        .build()
+    )
+
+
+class TestBuilder:
+    def test_build_validates(self):
+        script = sweep_script()
+        assert script.name == "sweep"
+        assert script.continue_steps == {"post"}
+
+    def test_built_script_runs(self):
+        runner = JubeRunner(build_operation_registry())
+        run = runner.run(sweep_script())
+        assert len(run.packages_for("train")) == 2
+        table = runner.result(run, "throughput")
+        assert "H100" in table
+
+    def test_invalid_reference_caught_at_build(self):
+        builder = ScriptBuilder("bad").step("train", "noop", use=["ghost"])
+        with pytest.raises(JubeError, match="ghost"):
+            builder.build()
+
+    def test_tagged_parameter(self):
+        script = (
+            ScriptBuilder("tags")
+            .parameters("p", gbs=64)
+            .tagged_parameter("p", "system", "MI250", ["MI250"])
+            .step("s", use=["p"])
+            .build()
+        )
+        resolved = script.parameter_set("p").resolve(frozenset({"MI250"}))
+        assert resolved["system"] == ("MI250",)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(JubeError):
+            ScriptBuilder("")
+
+
+class TestYamlRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        script = sweep_script()
+        restored = load_yaml_script(script_to_yaml(script))
+        assert restored.name == script.name
+        assert [s.name for s in restored.steps] == [s.name for s in script.steps]
+        assert restored.continue_steps == script.continue_steps
+        assert restored.results[0].columns == script.results[0].columns
+        assert restored.parameter_set("params").resolve(frozenset())["gbs"] == (
+            "64",
+            "256",
+        )
+
+    def test_round_trip_preserves_tags(self):
+        script = (
+            ScriptBuilder("t")
+            .parameters("p", gbs=64)
+            .tagged_parameter("p", "system", "A100", ["A100"])
+            .step("container", "pull_container --system $system",
+                  use=["p"], tags=["container"])
+            .step("train", use=["p"], depends=["container"])
+            .build()
+        )
+        restored = load_yaml_script(script_to_yaml(script))
+        assert restored.steps[0].tags == frozenset({"container"})
+        pset = restored.parameter_set("p")
+        assert pset.resolve(frozenset({"A100"}))["system"] == ("A100",)
+
+    def test_generated_yaml_runs_end_to_end(self, tmp_path):
+        path = tmp_path / "generated.yaml"
+        path.write_text(script_to_yaml(sweep_script()))
+        runner = JubeRunner(build_operation_registry())
+        run = runner.run(load_yaml_script(path))
+        runner.continue_run(run)
+        assert "combined_energy_wh" in run.packages_for("post")[0].outputs

@@ -1,0 +1,154 @@
+"""Tests for JUBE pattern sets and the analyser path."""
+
+import pytest
+
+from repro.errors import JubeError
+from repro.jube.patterns import (
+    MEGATRON_PATTERNS,
+    TFCNN_PATTERNS,
+    Pattern,
+    PatternSet,
+    analyse,
+)
+
+MEGATRON_LOG = """
+ iteration 10/100 | elapsed time per iteration (ms): 6804.1 | tokens per second: 77055.4 | lm loss: 4.213001E+00
+ iteration 20/100 | elapsed time per iteration (ms): 6790.2 | tokens per second: 77213.9 | lm loss: 3.981220E+00
+"""
+
+TFCNN_LOG = """
+Step    Img/sec total_loss
+100 images/sec: 2524.1 +/- 0.0 (jitter = 0.0)
+total images/sec: 2520.44
+top-1 error: 0.8214
+"""
+
+
+class TestPattern:
+    def test_extracts_last_match(self):
+        p = Pattern("tps", r"tokens per second:\s*([0-9.]+)")
+        assert p.extract(MEGATRON_LOG) == pytest.approx(77213.9)
+
+    def test_none_when_absent(self):
+        p = Pattern("x", r"never matches (\d+)")
+        assert p.extract(MEGATRON_LOG) is None
+
+    def test_int_type(self):
+        p = Pattern("it", r"iteration\s+(\d+)/", dtype="int")
+        assert p.extract(MEGATRON_LOG) == 20
+
+    def test_string_type(self):
+        p = Pattern("word", r"lm (loss)", dtype="string")
+        assert p.extract(MEGATRON_LOG) == "loss"
+
+    def test_requires_capture_group(self):
+        with pytest.raises(JubeError, match="capture group"):
+            Pattern("bad", r"no groups here")
+
+    def test_rejects_bad_regex(self):
+        with pytest.raises(JubeError, match="regex"):
+            Pattern("bad", r"([unclosed")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(JubeError, match="type"):
+            Pattern("bad", r"(\d+)", dtype="complex")
+
+    def test_conversion_failure(self):
+        p = Pattern("n", r"error: (\w+)", dtype="float")
+        with pytest.raises(JubeError, match="convert"):
+            p.extract("error: nan_is_fine error: oops")
+
+
+class TestPatternSet:
+    def test_analyse_extracts_all(self):
+        out = MEGATRON_PATTERNS.analyse(MEGATRON_LOG)
+        assert out["tokens_per_second"] == pytest.approx(77213.9)
+        assert out["elapsed_time_per_iteration_ms"] == pytest.approx(6790.2)
+        assert out["lm_loss"] == pytest.approx(3.98122)
+        assert out["iteration"] == 20
+
+    def test_tfcnn_patterns(self):
+        out = TFCNN_PATTERNS.analyse(TFCNN_LOG)
+        assert out["images_per_sec"] == pytest.approx(2520.44)
+        assert out["top1_error"] == pytest.approx(0.8214)
+
+    def test_missing_patterns_omitted(self):
+        out = TFCNN_PATTERNS.analyse("nothing to see")
+        assert out == {}
+
+    def test_duplicate_pattern_rejected(self):
+        pset = PatternSet("s", [Pattern("a", r"(\d+)")])
+        with pytest.raises(JubeError, match="duplicate"):
+            pset.add(Pattern("a", r"(\w+)"))
+
+    def test_later_sets_override(self):
+        a = PatternSet("a", [Pattern("v", r"x=(\d+)")])
+        b = PatternSet("b", [Pattern("v", r"y=(\d+)")])
+        out = analyse("x=1 y=2", [a, b])
+        assert out["v"] == 2
+
+
+class TestAnalyserIntegration:
+    def test_training_ops_emit_parsable_logs(self):
+        from repro.core.registry import build_operation_registry
+        from repro.jube.steps import Step, Workpackage
+
+        registry = build_operation_registry()
+        wp = Workpackage(Step("train"), {}, 0)
+        registry.dispatch("llm_train --system A100 --gbs 64 --duration 15", wp)
+        extracted = MEGATRON_PATTERNS.analyse(wp.stdout)
+        assert extracted["tokens_per_second"] == pytest.approx(
+            float(wp.outputs["throughput_tokens_per_s"]), rel=0.01
+        )
+        assert "lm_loss" in extracted
+
+    def test_analyse_operation_on_dependency_log(self):
+        from repro.core.suite import CaramlSuite
+        from repro.jube.script import load_yaml_script
+
+        script = load_yaml_script(
+            """
+name: analyser-demo
+parametersets:
+  - name: params
+    parameters:
+      - {name: system, value: H100}
+      - {name: gbs, value: 128}
+steps:
+  - name: train
+    use: [params]
+    do: ["resnet_train --system $system --gbs $gbs"]
+  - name: verify
+    depends: [train]
+    use: [params]
+    do: ["analyse --patterns tf_cnn"]
+results:
+  - name: extracted
+    step: verify
+    columns: [system, gbs, images_per_sec, top1_error]
+"""
+        )
+        suite = CaramlSuite()
+        run = suite.runner.run(script)
+        table = suite.jube_result(run, "extracted")
+        assert "images_per_sec" in table
+        wp = run.packages_for("verify")[0]
+        assert wp.outputs["images_per_sec"] > 0
+
+    def test_unknown_pattern_set_rejected(self):
+        from repro.core.registry import build_operation_registry
+        from repro.jube.steps import Step, Workpackage
+
+        registry = build_operation_registry()
+        with pytest.raises(JubeError, match="unknown pattern set"):
+            registry.dispatch(
+                "analyse --patterns perf", Workpackage(Step("s"), {}, 0)
+            )
+
+    def test_workpackage_log_appends_newlines(self):
+        from repro.jube.steps import Step, Workpackage
+
+        wp = Workpackage(Step("s"), {}, 0)
+        wp.log("line one")
+        wp.log("line two\n")
+        assert wp.stdout == "line one\nline two\n"

@@ -1,0 +1,151 @@
+"""Tests for the JUBE runtime (run / continue / result)."""
+
+import pytest
+
+from repro.errors import JubeError
+from repro.jube.parameters import Parameter, ParameterSet
+from repro.jube.result import ResultTable
+from repro.jube.runner import JubeRunner, OperationRegistry
+from repro.jube.script import BenchmarkScript
+from repro.jube.steps import Step
+
+
+@pytest.fixture
+def registry():
+    reg = OperationRegistry()
+    calls = []
+
+    @reg.register("echo")
+    def echo(args, wp):
+        calls.append(dict(args))
+        return {"echoed": args.get("msg", "")}
+
+    @reg.register("rate")
+    def rate(args, wp):
+        return {"rate": float(args["gbs"]) * 2}
+
+    @reg.register("post")
+    def post(args, wp):
+        return {"combined": wp.outputs.get("rate", 0.0)}
+
+    reg.calls = calls
+    return reg
+
+
+def make_script(continue_steps=frozenset()):
+    pset = ParameterSet("params")
+    pset.add(Parameter.make("gbs", [16, 64]))
+    pset.add(Parameter.make("system", "A100"))
+    script = BenchmarkScript(
+        name="demo",
+        parameter_sets={"params": pset},
+        steps=[
+            Step("train", operations=("rate --gbs $gbs",), parameter_sets=("params",)),
+            Step(
+                "post",
+                operations=("post",),
+                depends=("train",),
+                parameter_sets=("params",),
+            ),
+        ],
+        results=[
+            ResultTable("throughput", "train", ("system", "gbs", "rate"), sort_by=("gbs",))
+        ],
+        continue_steps=continue_steps,
+    )
+    return script
+
+
+class TestOperationRegistry:
+    def test_dispatch_parses_flags(self, registry):
+        from repro.jube.steps import Workpackage
+
+        wp = Workpackage(Step("s"), {}, 0)
+        registry.dispatch("echo --msg hello --flag", wp)
+        assert registry.calls[-1] == {"msg": "hello", "flag": "true"}
+        assert wp.outputs["echoed"] == "hello"
+
+    def test_unknown_operation(self, registry):
+        from repro.jube.steps import Workpackage
+
+        with pytest.raises(JubeError, match="registered"):
+            registry.dispatch("nope", Workpackage(Step("s"), {}, 0))
+
+    def test_rejects_positional_tokens(self, registry):
+        from repro.jube.steps import Workpackage
+
+        with pytest.raises(JubeError, match="unexpected"):
+            registry.dispatch("echo stray", Workpackage(Step("s"), {}, 0))
+
+    def test_empty_command(self, registry):
+        from repro.jube.steps import Workpackage
+
+        with pytest.raises(JubeError, match="empty"):
+            registry.dispatch("", Workpackage(Step("s"), {}, 0))
+
+    def test_duplicate_registration(self, registry):
+        with pytest.raises(JubeError):
+            registry.register("echo", lambda a, w: None)
+
+
+class TestRun:
+    def test_expansion_creates_one_package_per_combo(self, registry):
+        runner = JubeRunner(registry)
+        run = runner.run(make_script())
+        assert len(run.packages_for("train")) == 2
+
+    def test_parameters_substituted_into_operations(self, registry):
+        runner = JubeRunner(registry)
+        run = runner.run(make_script())
+        rates = sorted(wp.outputs["rate"] for wp in run.packages_for("train"))
+        assert rates == [32.0, 128.0]
+
+    def test_dependency_outputs_flow_downstream(self, registry):
+        runner = JubeRunner(registry)
+        run = runner.run(make_script())
+        combined = sorted(wp.outputs["combined"] for wp in run.packages_for("post"))
+        assert combined == [32.0, 128.0]
+
+    def test_result_table(self, registry):
+        runner = JubeRunner(registry)
+        run = runner.run(make_script())
+        text = runner.result(run, "throughput")
+        assert "A100" in text and "128.00" in text
+        # Sorted by gbs: 16 row before 64 row.
+        assert text.index("32.00") < text.index("128.00")
+
+    def test_default_result_table(self, registry):
+        runner = JubeRunner(registry)
+        run = runner.run(make_script())
+        assert "rate" in runner.result(run)
+
+    def test_missing_result_tables(self, registry):
+        script = make_script()
+        script.results = []
+        runner = JubeRunner(registry)
+        run = runner.run(script)
+        with pytest.raises(JubeError, match="result"):
+            runner.result(run)
+
+    def test_run_id_includes_tags(self, registry):
+        run = JubeRunner(registry).run(make_script(), tags=["A100"])
+        assert run.id == "demo[A100]"
+
+
+class TestContinue:
+    def test_continue_steps_deferred(self, registry):
+        script = make_script(continue_steps=frozenset({"post"}))
+        runner = JubeRunner(registry)
+        run = runner.run(script)
+        assert run.packages_for("post") == []
+        runner.continue_run(run)
+        assert len(run.packages_for("post")) == 2
+
+    def test_continue_requires_completed_dependencies(self, registry):
+        script = make_script(continue_steps=frozenset({"train", "post"}))
+        runner = JubeRunner(registry)
+        run = runner.run(script)
+        # train itself was deferred, so post cannot continue... train
+        # runs first within continue (topological order), so it works.
+        runner.continue_run(run)
+        assert len(run.packages_for("post")) == 2

@@ -1,0 +1,175 @@
+"""Tests for YAML/XML script loading."""
+
+import pytest
+
+from repro.errors import JubeError
+from repro.jube.script import load_script, load_xml_script, load_yaml_script
+
+YAML_SCRIPT = """
+name: demo
+parametersets:
+  - name: params
+    parameters:
+      - {name: system, value: A100, tag: A100}
+      - {name: system, value: H100, tag: H100}
+      - {name: gbs, values: [16, 64]}
+steps:
+  - name: container
+    tag: container
+    use: [params]
+    do: ["pull --system $system"]
+  - name: train
+    depends: [container]
+    use: [params]
+    do: ["train --system $system --gbs $gbs"]
+  - name: post
+    continue: true
+    depends: [train]
+    do: ["combine"]
+results:
+  - name: throughput
+    step: train
+    columns: [system, gbs, rate]
+    sort: [gbs]
+"""
+
+XML_SCRIPT = """<?xml version="1.0"?>
+<jube>
+  <benchmark name="demo-xml">
+    <parameterset name="params">
+      <parameter name="system" tag="A100">A100</parameter>
+      <parameter name="gbs" separator=",">16,64</parameter>
+    </parameterset>
+    <step name="train">
+      <use>params</use>
+      <do>train --system $system --gbs $gbs</do>
+    </step>
+    <step name="post" continue="true" depend="train">
+      <do>combine</do>
+    </step>
+    <result name="throughput" step="train" sort="gbs">
+      <column>system</column>
+      <column>gbs</column>
+    </result>
+  </benchmark>
+</jube>
+"""
+
+
+class TestYamlLoading:
+    def test_full_parse(self):
+        script = load_yaml_script(YAML_SCRIPT)
+        assert script.name == "demo"
+        assert set(script.parameter_sets) == {"params"}
+        assert [s.name for s in script.steps] == ["container", "train", "post"]
+        assert script.continue_steps == {"post"}
+        assert script.results[0].sort_by == ("gbs",)
+
+    def test_tagged_parameters(self):
+        script = load_yaml_script(YAML_SCRIPT)
+        pset = script.parameter_set("params")
+        assert pset.resolve(frozenset({"A100"}))["system"] == ("A100",)
+        assert pset.resolve(frozenset({"H100"}))["system"] == ("H100",)
+
+    def test_multi_values(self):
+        script = load_yaml_script(YAML_SCRIPT)
+        assert script.parameter_set("params").resolve(frozenset())["gbs"] == ("16", "64")
+
+    def test_invalid_yaml(self):
+        with pytest.raises(JubeError, match="YAML"):
+            load_yaml_script("{ not: valid: yaml }")
+
+    def test_missing_name(self):
+        with pytest.raises(JubeError, match="name"):
+            load_yaml_script("parametersets: []")
+
+    def test_parameter_needs_value(self):
+        bad = """
+name: x
+parametersets:
+  - name: p
+    parameters:
+      - {name: q}
+steps: []
+"""
+        with pytest.raises(JubeError, match="value"):
+            load_yaml_script(bad)
+
+    def test_unknown_use_reference(self):
+        bad = """
+name: x
+steps:
+  - name: s
+    use: [ghost]
+"""
+        with pytest.raises(JubeError, match="ghost"):
+            load_yaml_script(bad)
+
+    def test_result_references_unknown_step(self):
+        bad = """
+name: x
+steps:
+  - name: s
+results:
+  - name: r
+    step: ghost
+    columns: [a]
+"""
+        with pytest.raises(JubeError, match="ghost"):
+            load_yaml_script(bad)
+
+
+class TestXmlLoading:
+    def test_full_parse(self):
+        script = load_xml_script(XML_SCRIPT)
+        assert script.name == "demo-xml"
+        assert script.continue_steps == {"post"}
+        assert script.steps[1].depends == ("train",)
+
+    def test_separator_expansion(self):
+        script = load_xml_script(XML_SCRIPT)
+        assert script.parameter_set("params").resolve(frozenset())["gbs"] == ("16", "64")
+
+    def test_invalid_xml(self):
+        with pytest.raises(JubeError, match="XML"):
+            load_xml_script("<benchmark><unclosed>")
+
+    def test_missing_benchmark_name(self):
+        with pytest.raises(JubeError, match="name"):
+            load_xml_script("<jube><benchmark/></jube>")
+
+
+class TestLoadByExtension:
+    def test_yaml_file(self, tmp_path):
+        path = tmp_path / "bench.yaml"
+        path.write_text(YAML_SCRIPT)
+        assert load_script(path).name == "demo"
+
+    def test_xml_file(self, tmp_path):
+        path = tmp_path / "bench.xml"
+        path.write_text(XML_SCRIPT)
+        assert load_script(path).name == "demo-xml"
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "bench.toml"
+        path.write_text("x")
+        with pytest.raises(JubeError, match="format"):
+            load_script(path)
+
+
+class TestShippedScripts:
+    def test_all_shipped_scripts_parse(self):
+        from repro.core.suite import SHIPPED_SCRIPTS, script_path
+
+        for name in SHIPPED_SCRIPTS:
+            script = load_script(script_path(name))
+            script.validate()
+
+    def test_llm_script_has_paper_batch_sizes(self):
+        from repro.core.suite import script_path
+
+        script = load_script(script_path("llm_benchmark_ipu.yaml"))
+        gbs = script.parameter_set("modelParameter").resolve(frozenset())[
+            "global_batch_size"
+        ]
+        assert gbs == tuple(str(2**k) for k in range(6, 15))

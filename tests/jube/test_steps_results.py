@@ -1,0 +1,103 @@
+"""Tests for JUBE steps, ordering, workpackages and result tables."""
+
+import pytest
+
+from repro.errors import JubeError
+from repro.jube.result import ResultTable, render_table
+from repro.jube.steps import Step, Workpackage, order_steps
+
+
+class TestStepOrdering:
+    def test_topological_order(self):
+        steps = [
+            Step("train", depends=("data", "container")),
+            Step("data"),
+            Step("container"),
+        ]
+        ordered = [s.name for s in order_steps(steps)]
+        assert ordered.index("train") > ordered.index("data")
+        assert ordered.index("train") > ordered.index("container")
+
+    def test_cycle_detection(self):
+        steps = [Step("a", depends=("b",)), Step("b", depends=("a",))]
+        with pytest.raises(JubeError, match="cycle"):
+            order_steps(steps)
+
+    def test_self_dependency_rejected_at_construction(self):
+        with pytest.raises(JubeError):
+            Step("a", depends=("a",))
+
+    def test_unknown_dependency(self):
+        with pytest.raises(JubeError, match="unknown"):
+            order_steps([Step("a", depends=("ghost",))])
+
+    def test_duplicate_names(self):
+        with pytest.raises(JubeError, match="duplicate"):
+            order_steps([Step("a"), Step("a")])
+
+    def test_tag_inactive_steps_skipped(self):
+        steps = [
+            Step("container", tags=frozenset({"container"})),
+            Step("train", depends=("container",)),
+        ]
+        names = [s.name for s in order_steps(steps, frozenset())]
+        assert names == ["train"]
+        names = [s.name for s in order_steps(steps, frozenset({"container"}))]
+        assert names == ["container", "train"]
+
+
+class TestWorkpackage:
+    def test_id_and_record(self):
+        wp = Workpackage(Step("train"), {"gbs": "64"}, index=2)
+        assert wp.id == "train#2"
+        wp.record("tokens_per_s", 123.4)
+        assert wp.outputs["tokens_per_s"] == 123.4
+
+
+class TestResultTable:
+    def _packages(self):
+        step = Step("train")
+        out = []
+        for i, gbs in enumerate(["64", "16"]):
+            wp = Workpackage(step, {"gbs": gbs, "system": "A100"}, index=i)
+            wp.record("tokens_per_s", 100.0 * (i + 1))
+            wp.done = True
+            out.append(wp)
+        return out
+
+    def test_columns_from_parameters_and_outputs(self):
+        table = ResultTable("t", "train", ("system", "gbs", "tokens_per_s"))
+        rows = table.rows(self._packages())
+        assert rows[0] == {"system": "A100", "gbs": "64", "tokens_per_s": "100.00"}
+
+    def test_missing_column_renders_dash(self):
+        table = ResultTable("t", "train", ("energy",))
+        assert table.rows(self._packages())[0]["energy"] == "-"
+
+    def test_sorting_numeric(self):
+        table = ResultTable("t", "train", ("gbs",), sort_by=("gbs",))
+        rows = table.rows(self._packages())
+        assert [r["gbs"] for r in rows] == ["16", "64"]
+
+    def test_incomplete_packages_excluded(self):
+        packages = self._packages()
+        packages[0].done = False
+        table = ResultTable("t", "train", ("gbs",))
+        assert len(table.rows(packages)) == 1
+
+    def test_wrong_step_excluded(self):
+        table = ResultTable("t", "other", ("gbs",))
+        assert table.rows(self._packages()) == []
+
+    def test_requires_columns(self):
+        with pytest.raises(JubeError):
+            ResultTable("t", "train", ())
+
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bb"), [{"a": "1", "bb": "2"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "-+-" in lines[1]
+
+    def test_render_empty(self):
+        assert render_table(("a",), []) == "(no results)"

@@ -1,0 +1,67 @@
+"""Tests for CPU binding and NUMA affinity effects (§V-C)."""
+
+import pytest
+
+from repro.hardware.systems import get_system
+from repro.simcluster.affinity import (
+    BindingPolicy,
+    affinity_penalty,
+    recommended_slurm_options,
+)
+
+
+class TestAffinityPenalty:
+    def test_gpu_affine_is_baseline(self):
+        effect = affinity_penalty(get_system("A100"), 0, BindingPolicy.GPU_AFFINE)
+        assert effect.host_bandwidth_factor == 1.0
+        assert effect.collective_latency_factor == 1.0
+
+    def test_wrong_numa_penalises_remote_devices(self):
+        node = get_system("A100")
+        # Device 0's home is domain 0: no penalty when pinned there.
+        assert affinity_penalty(node, 0, BindingPolicy.WRONG_NUMA).host_bandwidth_factor == 1.0
+        # Device 3 lives on domain 3: one intra-socket hop.
+        assert affinity_penalty(node, 3, BindingPolicy.WRONG_NUMA).host_bandwidth_factor == pytest.approx(0.85)
+
+    def test_unbound_is_average_penalty(self):
+        node = get_system("A100")
+        unbound = affinity_penalty(node, 0, BindingPolicy.NONE)
+        assert 0.5 < unbound.host_bandwidth_factor < 1.0
+
+    def test_unbound_worse_than_affine(self):
+        node = get_system("MI250")
+        affine = affinity_penalty(node, 0, BindingPolicy.GPU_AFFINE)
+        unbound = affinity_penalty(node, 0, BindingPolicy.NONE)
+        assert unbound.host_bandwidth_factor < affine.host_bandwidth_factor
+
+    def test_narrow_mask_hurts_collectives_not_bandwidth(self):
+        # §V-C: masks must be "open enough for NCCL to place its helper
+        # thread".
+        effect = affinity_penalty(get_system("A100"), 0, BindingPolicy.TOO_NARROW)
+        assert effect.host_bandwidth_factor == 1.0
+        assert effect.collective_latency_factor > 1.0
+
+
+class TestRecommendedOptions:
+    def test_jedi_matches_paper_example(self):
+        # §V-C: "--ntasks=4 --cpus-per-task=72 --gpus-per-task=1".
+        opts = recommended_slurm_options(get_system("JEDI"))
+        assert opts["--ntasks"] == "4"
+        assert opts["--cpus-per-task"] == "72"
+        assert opts["--gpus-per-task"] == "1"
+        assert "--cpu-bind" not in opts  # Grace: one domain per socket
+
+    def test_epyc_nodes_need_explicit_masks(self):
+        # §V-C: "explicitly targeting the proper NUMA domains with
+        # --cpu-bind is a complex, but useful approach".
+        opts = recommended_slurm_options(get_system("A100"))
+        assert opts["--cpu-bind"].startswith("mask_cpu:")
+        masks = opts["--cpu-bind"].split(":", 1)[1].split(",")
+        assert len(masks) == 4  # one mask per GPU task
+
+    def test_masks_are_disjoint(self):
+        opts = recommended_slurm_options(get_system("MI250"))
+        masks = [int(m, 16) for m in opts["--cpu-bind"].split(":", 1)[1].split(",")]
+        for i, a in enumerate(masks):
+            for b in masks[i + 1:]:
+                assert a & b == 0

@@ -1,0 +1,33 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.simcluster.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == 4.0
+
+    def test_advance_returns_new_time(self):
+        assert VirtualClock().advance(3.0) == 3.0
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_is_monotone(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        clock.advance_to(5.0)  # no-op
+        assert clock.now() == 10.0
+
+    def test_callable_protocol(self):
+        clock = VirtualClock(2.0)
+        assert clock() == 2.0  # usable as a clock callable

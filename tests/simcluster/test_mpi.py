@@ -1,0 +1,70 @@
+"""Tests for rank layout and the in-process communicator."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.simcluster.mpi import Communicator, RankLayout
+
+
+class TestRankLayout:
+    def test_world_size(self):
+        assert RankLayout(nodes=3, ranks_per_node=4).world_size == 12
+
+    def test_block_distribution(self):
+        layout = RankLayout(nodes=2, ranks_per_node=4)
+        assert layout.node_of(0) == 0
+        assert layout.node_of(5) == 1
+        assert layout.local_rank(5) == 1
+
+    def test_ranks_on_node(self):
+        layout = RankLayout(nodes=2, ranks_per_node=4)
+        assert layout.ranks_on_node(1) == [4, 5, 6, 7]
+
+    def test_leaders(self):
+        layout = RankLayout(nodes=2, ranks_per_node=4)
+        assert layout.is_leader(0) and layout.is_leader(4)
+        assert not layout.is_leader(1)
+
+    def test_out_of_range(self):
+        layout = RankLayout(nodes=1, ranks_per_node=4)
+        with pytest.raises(SchedulerError):
+            layout.node_of(4)
+        with pytest.raises(SchedulerError):
+            layout.ranks_on_node(1)
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            RankLayout(nodes=0, ranks_per_node=1)
+
+
+class TestCommunicator:
+    @pytest.fixture
+    def comm(self):
+        return Communicator(RankLayout(nodes=1, ranks_per_node=4))
+
+    def test_allreduce_sum(self, comm):
+        assert comm.allreduce_sum([1.0, 2.0, 3.0, 4.0]) == [10.0] * 4
+
+    def test_allreduce_mean_is_gradient_averaging(self, comm):
+        assert comm.allreduce_mean([2.0, 4.0, 6.0, 8.0]) == [5.0] * 4
+
+    def test_allreduce_max(self, comm):
+        assert comm.allreduce_max([1.0, 9.0, 3.0, 2.0]) == [9.0] * 4
+
+    def test_allgather(self, comm):
+        gathered = comm.allgather(["a", "b", "c", "d"])
+        assert gathered == [["a", "b", "c", "d"]] * 4
+
+    def test_broadcast(self, comm):
+        assert comm.broadcast(42, root=2) == [42] * 4
+
+    def test_broadcast_validates_root(self, comm):
+        with pytest.raises(SchedulerError):
+            comm.broadcast(42, root=9)
+
+    def test_barrier_time_is_slowest_rank(self, comm):
+        assert comm.barrier_time([1.0, 3.0, 2.0, 1.5]) == 3.0
+
+    def test_contribution_count_enforced(self, comm):
+        with pytest.raises(SchedulerError, match="expected 4"):
+            comm.allreduce_sum([1.0, 2.0])

@@ -1,0 +1,44 @@
+"""Tests for the IPoIB hostname logic (§V-C)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simcluster.network import Interface, ipoib_hostname, resolve_master_addr
+
+
+class TestIpoibHostname:
+    def test_appends_i(self):
+        # §V-C footnote: IPoIB hostnames are the en0 names with an
+        # appended "i".
+        assert ipoib_hostname("jrc0123") == "jrc0123i"
+
+    def test_rejects_already_suffixed(self):
+        with pytest.raises(ConfigError):
+            ipoib_hostname("jrc0123i")
+
+    def test_rejects_invalid_hostname(self):
+        with pytest.raises(ConfigError):
+            ipoib_hostname("JRC_01")
+
+
+class TestMasterAddr:
+    def _node(self):
+        return [
+            Interface("en0", "jwb0001", 1e9),
+            Interface("ib0", "jwb0001i", 25e9),
+        ]
+
+    def test_naive_choice_picks_wrong_interface(self):
+        # The pitfall: en0 sorts before ib0.
+        assert resolve_master_addr(self._node(), prefer_ib=False) == "jwb0001"
+
+    def test_fixed_torchrun_prefers_infiniband(self):
+        assert resolve_master_addr(self._node(), prefer_ib=True) == "jwb0001i"
+
+    def test_falls_back_without_ib(self):
+        eth_only = [Interface("en0", "login01", 1e9)]
+        assert resolve_master_addr(eth_only) == "login01"
+
+    def test_no_interfaces(self):
+        with pytest.raises(ConfigError):
+            resolve_master_addr([])

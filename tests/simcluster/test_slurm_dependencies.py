@@ -1,0 +1,100 @@
+"""Tests for Slurm job dependencies (sbatch --dependency=afterok)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hardware.systems import get_system
+from repro.simcluster.slurm import JobSpec, JobState, SlurmSimulator
+
+
+@pytest.fixture
+def sim():
+    s = SlurmSimulator()
+    s.add_partition("gpu", get_system("A100"), 2)
+    return s
+
+
+class TestAfterOk:
+    def test_dependent_runs_after_parent(self, sim):
+        order = []
+        parent = sim.submit(
+            JobSpec(name="prep", partition="gpu", run=lambda ctx: order.append("prep"))
+        )
+        sim.submit(
+            JobSpec(
+                name="train", partition="gpu", depends_on=(parent,),
+                run=lambda ctx: order.append("train"),
+            )
+        )
+        sim.drain()
+        assert order == ["prep", "train"]
+
+    def test_out_of_order_queue_is_reordered(self, sim):
+        # Dependent submitted; then its parent runs only later because
+        # of FIFO skipping.
+        order = []
+        a = sim.submit(
+            JobSpec(name="a", partition="gpu", run=lambda ctx: order.append("a"))
+        )
+        sim.submit(
+            JobSpec(
+                name="c", partition="gpu", depends_on=(a,),
+                run=lambda ctx: order.append("c"),
+            )
+        )
+        sim.submit(
+            JobSpec(name="b", partition="gpu", run=lambda ctx: order.append("b"))
+        )
+        records = sim.drain()
+        assert order[0] == "a"
+        assert len(records) == 3
+
+    def test_failed_parent_cancels_dependent(self, sim):
+        def boom(ctx):
+            raise RuntimeError("broken")
+
+        parent = sim.submit(JobSpec(name="prep", partition="gpu", run=boom))
+        child = sim.submit(
+            JobSpec(name="train", partition="gpu", depends_on=(parent,))
+        )
+        records = sim.drain()
+        assert sim.get(parent).state is JobState.FAILED
+        assert sim.get(child).state is JobState.CANCELLED
+        assert sim.get(child).error == "DependencyNeverSatisfied"
+        assert len(records) == 2
+
+    def test_chain_of_dependencies(self, sim):
+        order = []
+        prev = None
+        for name in ("s1", "s2", "s3"):
+            prev = sim.submit(
+                JobSpec(
+                    name=name, partition="gpu",
+                    depends_on=(prev,) if prev else (),
+                    run=lambda ctx, n=name: order.append(n),
+                )
+            )
+        sim.drain()
+        assert order == ["s1", "s2", "s3"]
+
+    def test_unknown_dependency_rejected(self, sim):
+        with pytest.raises(SchedulerError, match="unknown job"):
+            sim.submit(JobSpec(name="x", partition="gpu", depends_on=(999,)))
+
+    def test_cancelled_parent_cancels_dependent(self, sim):
+        parent = sim.submit(JobSpec(name="prep", partition="gpu"))
+        child = sim.submit(
+            JobSpec(name="train", partition="gpu", depends_on=(parent,))
+        )
+        sim.cancel(parent)
+        sim.drain()
+        assert sim.get(child).state is JobState.CANCELLED
+
+    def test_waiting_jobs_do_not_deadlock_drain(self, sim):
+        # A pending job waiting on a pending parent resolves as drain
+        # makes progress.
+        parent = sim.submit(JobSpec(name="p", partition="gpu"))
+        child = sim.submit(JobSpec(name="c", partition="gpu", depends_on=(parent,)))
+        records = sim.drain()
+        assert {r.spec.name for r in records} == {"p", "c"}
+        assert all(r.state is JobState.COMPLETED for r in records)
