@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures report validate clean
+.PHONY: install test bench figures report validate campaign-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ report:
 
 validate:
 	$(PYTHON) -m repro.core.cli validate
+
+campaign-demo:
+	$(PYTHON) examples/campaign_sweep.py
 
 clean:
 	rm -rf figures caraml_report.md benchmarks/output .pytest_cache

@@ -7,9 +7,14 @@ plans for CARAML.  A synthetic regression is injected to show the
 detection path.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import json
 import tempfile
-from pathlib import Path
 
 from repro.core.continuous import BenchmarkPoint, ContinuousBenchmark
 

@@ -8,6 +8,12 @@ registers it alongside the seven paper systems, and runs the full
 benchmark set against it, comparing with the GH200 baseline.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.core.suite import CaramlSuite
 from repro.engine.calibration import SystemCalibration
 from repro.hardware.accelerator import AcceleratorKind, AcceleratorSpec, Vendor

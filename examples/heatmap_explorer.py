@@ -10,7 +10,12 @@ Usage::
     python examples/heatmap_explorer.py [SYSTEM_TAG ...]
 """
 
+# Make the in-repo package importable regardless of the working directory.
 import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 
 from repro.analysis.heatmap import best_cell, fig4_heatmap, heatmap_grid_for
 from repro.hardware.systems import SYSTEM_TAGS

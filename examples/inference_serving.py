@@ -6,6 +6,12 @@ serves the 800M GPT model on every GPU system, sweeping the decode
 batch size, and prints throughput, time-to-first-token and tokens/Wh.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.engine.inference import InferenceEngine, InferenceWorkload
 from repro.hardware.systems import get_system
 from repro.models.transformer import get_gpt_preset

@@ -7,6 +7,12 @@ the DataFrames -- the multi-backend setup the paper highlights for
 GH200 superchips.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.hardware.systems import get_system
 from repro.jpwr.ctxmgr import get_power
 from repro.jpwr.export import export_measurement

@@ -11,6 +11,12 @@ and prints the compact result table JUBE would print -- which for the
 IPU GPT benchmark is the paper's Table II.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.core.suite import CaramlSuite
 
 

@@ -1,48 +1,84 @@
 #!/usr/bin/env python3
-"""Figure-2-style batch-size sweep of the LLM benchmark.
+"""Figure-2-style batch-size sweep, run as a campaign.
 
-Runs the 800M GPT benchmark over the paper's global batch sizes on a
-set of systems, printing tokens/s per device, Wh per device-hour, and
-tokens/Wh -- the three panels of Figure 2 -- and writes a CSV.
+Declares the 800M GPT benchmark over the paper's global batch sizes on
+five systems as a :class:`CampaignSpec`, fans the 20 workpackages out
+over a process pool, and reads every figure of merit back from the
+content-addressed result store — including the CSV export.
 
 Usage::
 
     python examples/llm_batch_sweep.py [output.csv]
 """
 
-import csv
+# Make the in-repo package importable regardless of the working directory.
 import sys
+import tempfile
+from pathlib import Path
 
-from repro.analysis.figures import FIG2_BATCH_SIZES, fig2_llm_series, fig2_rows
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.campaign import CampaignRunner, CampaignSpec, PoolExecutor, WorkloadSpec, open_store
+
+SYSTEMS = ("A100", "H100", "WAIH100", "GH200", "MI250")
+BATCH_SIZES = (64, 256, 1024, 4096)
 
 
 def main() -> None:
     out_path = sys.argv[1] if len(sys.argv) > 1 else "llm_batch_sweep.csv"
-    series = fig2_llm_series(FIG2_BATCH_SIZES)
-    rows = fig2_rows(series)
-
-    header = f"{'series':<16} {'gbs':>5} {'tok/s/dev':>11} {'Wh/h/dev':>9} {'tok/Wh':>9}"
-    print(header)
-    print("-" * len(header))
-    for row in rows:
-        print(
-            f"{row['series']:<16} {row['gbs']:>5} "
-            f"{row['tokens_per_s_per_device']:>11} "
-            f"{row['energy_per_hour_wh']:>9} {row['tokens_per_wh']:>9}"
-        )
-
-    with open(out_path, "w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
-        writer.writeheader()
-        writer.writerows(rows)
-    print(f"\nwrote {out_path}")
-
-    best = max(rows, key=lambda r: r["tokens_per_s_per_device"])
-    print(
-        f"peak: {best['series']} at GBS {best['gbs']} -> "
-        f"{best['tokens_per_s_per_device']} tokens/s/device "
-        f"(paper: GH200 up to 47505)"
+    spec = CampaignSpec(
+        name="llm-batch-sweep",
+        systems=SYSTEMS,
+        workloads=(
+            WorkloadSpec.of_kind(
+                "llm",
+                axes={"global_batch_size": BATCH_SIZES},
+                fixed={"exit_duration": "15"},
+            ),
+        ),
     )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = open_store(Path(tmp) / "sweep.jsonl")
+        runner = CampaignRunner(store, PoolExecutor())
+        report = runner.run(spec)
+        print(report.describe())
+
+        header = f"{'system':<8} {'gbs':>5} {'tok/s/dev':>11} {'Wh/dev':>8} {'tok/Wh':>9}"
+        print(header)
+        print("-" * len(header))
+        rows = store.query(campaign=spec.name, status="completed")
+        for row in rows:
+            print(
+                f"{row.parameters['system']:<8} "
+                f"{row.parameters['global_batch_size']:>5} "
+                f"{row.outputs['tokens_per_s_per_device']:>11} "
+                f"{row.outputs['energy_per_device_wh']:>8} "
+                f"{row.outputs['efficiency_per_wh']:>9}"
+            )
+
+        store.to_csv(
+            out_path,
+            columns=(
+                "system",
+                "global_batch_size",
+                "tokens_per_s_per_device",
+                "energy_per_device_wh",
+                "efficiency_per_wh",
+            ),
+            campaign=spec.name,
+            status="completed",
+        )
+        print(f"\nwrote {out_path}")
+
+        best = store.aggregate(
+            "tokens_per_s_per_device", by="system", agg="max", campaign=spec.name
+        )
+        peak_system = max(best, key=best.get)
+        print(
+            f"peak: {peak_system} -> {best[peak_system]:.0f} tokens/s/device "
+            f"(paper: GH200 up to 47505)"
+        )
 
 
 if __name__ == "__main__":

@@ -7,6 +7,12 @@ paper positions CARAML's application benchmarks against — and the
 roofline placement of the two application workloads on one system.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.analysis.roofline import build_roofline, roofline_rows
 from repro.engine.microbench import (
     allreduce_busbw_gbs,

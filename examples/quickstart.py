@@ -10,6 +10,12 @@ SYSTEM_TAG is one of the paper's Table I tags (default A100):
 JEDI, GH200, H100, WAIH100, MI250, GC200, A100.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import sys
 
 from repro.core.suite import CaramlSuite

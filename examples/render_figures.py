@@ -9,7 +9,12 @@ Usage::
     python examples/render_figures.py [output_dir]
 """
 
+# Make the in-repo package importable regardless of the working directory.
 import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 
 from repro.analysis.render import render_all
 

@@ -11,6 +11,12 @@ paper spends its "technical challenges" section on:
   accounting.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.core.config import LLMBenchmarkConfig
 from repro.core.llm_training import run_llm_benchmark
 from repro.jube.platform import build_scheduler, platform_for

@@ -9,6 +9,12 @@ size at a fixed target loss and shows that the wall-clock optimum is
 the critical batch size, not the throughput-maximising one.
 """
 
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.analysis.tts import batch_size_tradeoff, optimal_batch_size, tts_rows
 from repro.engine.perf import LLMStepModel
 from repro.hardware.systems import get_system

@@ -1,0 +1,66 @@
+"""The campaign layer: parallel sweep execution with a durable store.
+
+CARAML's value is sweeping a (system × workload × parameter) space and
+comparing throughput and energy across it.  This package makes that
+sweep a first-class subsystem:
+
+* :class:`~repro.campaign.spec.CampaignSpec` declares the cross-product
+  and compiles it to the JUBE workpackage machinery,
+* :class:`~repro.campaign.executor.PoolExecutor` fans workpackages out
+  over a process pool (bit-identical to sequential execution),
+* :class:`~repro.campaign.store.ResultStore` persists every result
+  content-addressed by (script, parameters, calibration constants), so
+  re-running is an exact cache hit and interrupted campaigns resume,
+* :class:`~repro.campaign.runner.CampaignRunner` ties them together
+  with failure isolation and retry-with-backoff.
+
+See the "Campaign layer" section of ARCHITECTURE.md.
+"""
+
+from repro.campaign.executor import (
+    DEFAULT_REGISTRY_FACTORY,
+    IsolatingExecutor,
+    PoolExecutor,
+    RetryPolicy,
+)
+from repro.campaign.hashing import (
+    calibration_fingerprint,
+    result_key,
+    script_fingerprint,
+)
+from repro.campaign.runner import (
+    CampaignReport,
+    CampaignRunner,
+    CampaignStatus,
+    StepStatus,
+)
+from repro.campaign.spec import CampaignSpec, WorkloadSpec, load_campaign_spec
+from repro.campaign.store import (
+    CampaignRow,
+    JsonlStore,
+    ResultStore,
+    SqliteStore,
+    open_store,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CampaignRow",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStatus",
+    "DEFAULT_REGISTRY_FACTORY",
+    "IsolatingExecutor",
+    "JsonlStore",
+    "PoolExecutor",
+    "ResultStore",
+    "RetryPolicy",
+    "SqliteStore",
+    "StepStatus",
+    "WorkloadSpec",
+    "calibration_fingerprint",
+    "load_campaign_spec",
+    "open_store",
+    "result_key",
+    "script_fingerprint",
+]

@@ -1,0 +1,189 @@
+"""Campaign executors: failure-isolated, retried, optionally parallel.
+
+These plug into the :class:`~repro.jube.runner.WorkpackageExecutor`
+seam but differ from the runner's default in two ways campaigns need:
+
+* **failure isolation** — an exception inside one workpackage is
+  captured into its :class:`~repro.jube.runner.WorkResult` instead of
+  propagating, so sibling packages always run to completion,
+* **retry with backoff** — operations raising
+  :class:`~repro.errors.TransientError` are retried up to
+  ``RetryPolicy.max_retries`` times with exponential backoff before
+  the package is recorded as failed.
+
+:class:`PoolExecutor` fans items out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Worker processes
+cannot receive the operation registry itself (it holds closures), so
+they receive a *factory*: either a picklable callable or a
+``"module:function"`` string resolved by import in the worker.  Each
+worker builds the registry once and reuses it for every item it
+executes.  Results come back in item order, which — the simulation
+being bit-deterministic — makes parallel output byte-identical to
+sequential output.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import importlib
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError, TransientError
+from repro.jube.runner import (
+    OperationRegistry,
+    WorkItem,
+    WorkResult,
+    execute_workpackage,
+)
+
+#: Default registry factory: the CARAML benchmark operations.
+DEFAULT_REGISTRY_FACTORY = "repro.core.registry:build_operation_registry"
+
+RegistryFactory = Callable[[], OperationRegistry]
+
+
+def resolve_registry_factory(
+    factory: RegistryFactory | str | None,
+) -> RegistryFactory:
+    """Resolve a factory callable or ``"module:function"`` spec."""
+    if factory is None:
+        factory = DEFAULT_REGISTRY_FACTORY
+    if callable(factory):
+        return factory
+    module_name, _, attr = str(factory).partition(":")
+    if not attr:
+        raise ConfigError(
+            f"registry factory spec {factory!r} must look like 'module:function'"
+        )
+    try:
+        module = importlib.import_module(module_name)
+        resolved = getattr(module, attr)
+    except (ImportError, AttributeError) as exc:
+        raise ConfigError(f"cannot resolve registry factory {factory!r}: {exc}") from None
+    if not callable(resolved):
+        raise ConfigError(f"registry factory {factory!r} is not callable")
+    return resolved
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient failures are retried.
+
+    ``backoff_s`` is the first delay; each further retry doubles it
+    (capped at ``max_backoff_s``).  A policy with ``max_retries=0``
+    never retries.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_s * (2 ** (attempt - 1)), self.max_backoff_s)
+
+
+def run_item_isolated(
+    registry: OperationRegistry,
+    item: WorkItem,
+    retry: RetryPolicy = RetryPolicy(),
+    sleep: Callable[[float], None] = time.sleep,
+) -> WorkResult:
+    """Execute one item, capturing failures and retrying transients."""
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result = execute_workpackage(registry, item)
+            result.attempts = attempt
+            return result
+        except TransientError as exc:
+            if attempt > retry.max_retries:
+                return WorkResult(
+                    error=f"{type(exc).__name__}: {exc}", attempts=attempt
+                )
+            sleep(retry.delay(attempt))
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            return WorkResult(error=f"{type(exc).__name__}: {exc}", attempts=attempt)
+
+
+class IsolatingExecutor:
+    """Sequential executor with failure isolation and retries.
+
+    The campaign's reference executor: same in-process execution as the
+    runner default, but a crashing workpackage yields a failed
+    :class:`WorkResult` instead of aborting its siblings.
+    """
+
+    def __init__(
+        self,
+        registry_factory: RegistryFactory | str | None = None,
+        retry: RetryPolicy = RetryPolicy(),
+    ) -> None:
+        self.registry = resolve_registry_factory(registry_factory)()
+        self.retry = retry
+
+    def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
+        """Execute items in order; failures are captured per item."""
+        return [run_item_isolated(self.registry, item, self.retry) for item in items]
+
+
+# -- process pool -----------------------------------------------------------
+
+# Worker-process registry cache: building the operation registry is
+# cheap but not free, and a worker executes many items.
+_worker_registry: OperationRegistry | None = None
+_worker_factory_spec: object = None
+
+
+def _pool_worker(
+    factory: RegistryFactory | str | None,
+    item: WorkItem,
+    retry: RetryPolicy,
+) -> WorkResult:
+    """Executed in the worker process: build/reuse registry, run item."""
+    global _worker_registry, _worker_factory_spec
+    if _worker_registry is None or _worker_factory_spec != factory:
+        _worker_registry = resolve_registry_factory(factory)()
+        _worker_factory_spec = factory
+    return run_item_isolated(_worker_registry, item, retry)
+
+
+class PoolExecutor:
+    """Process-pool executor: one step's workpackages fan out over cores.
+
+    ``run_items`` is a barrier — it returns only when every item has a
+    result — so plugging this into :class:`~repro.jube.runner.JubeRunner`
+    keeps dependency-ordered steps correct.  Failures are always
+    captured (pool siblings must never be torn down by one bad item).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        registry_factory: RegistryFactory | str | None = None,
+        retry: RetryPolicy = RetryPolicy(),
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.registry_factory = (
+            registry_factory if registry_factory is not None else DEFAULT_REGISTRY_FACTORY
+        )
+        self.retry = retry
+        # Fail fast on an unresolvable factory, in the parent process.
+        resolve_registry_factory(self.registry_factory)
+
+    def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
+        """Execute items across the pool; results come back in order."""
+        if not items:
+            return []
+        workers = self.max_workers or min(len(items), 8)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_pool_worker, self.registry_factory, item, self.retry)
+                for item in items
+            ]
+            return [f.result() for f in futures]

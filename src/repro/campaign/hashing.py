@@ -1,0 +1,128 @@
+"""Content addressing for campaign results.
+
+A campaign row is keyed by a stable hash of everything that determines
+its outcome: the benchmark script structure, the workpackage's
+parameters (plus any state seeded from dependency packages), and the
+calibration constants the performance model runs on.  The simulation is
+bit-deterministic (no wall clock anywhere, see ARCHITECTURE.md), so an
+identical key guarantees an identical result — which is what makes the
+result store an exact cache rather than a heuristic one.
+
+The calibration fingerprint covers every constant in
+``repro.engine.calibration.CALIBRATIONS`` and the package version:
+recalibrating a system or upgrading the model invalidates exactly the
+rows it could change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Mapping
+
+from repro.jube.script import BenchmarkScript
+from repro.jube.steps import Step
+
+#: Length of the hex digest used as row keys (collision-safe for any
+#: realistic campaign size while staying readable in logs and CSVs).
+KEY_LENGTH = 32
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON serialisation (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def _digest(value) -> str:
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()[:KEY_LENGTH]
+
+
+def script_fingerprint(script: BenchmarkScript) -> str:
+    """Hash of a benchmark script's full structure.
+
+    Covers parameter sets (names, values, tags), steps (operations,
+    dependencies, parameter sets, tags), continue steps, and result
+    tables — anything that could change which workpackages exist or
+    what they execute.
+    """
+    state = {
+        "name": script.name,
+        "parameter_sets": {
+            name: [
+                {"name": p.name, "values": list(p.values), "tags": sorted(p.tags)}
+                for p in pset.parameters
+            ]
+            for name, pset in sorted(script.parameter_sets.items())
+        },
+        "steps": [
+            {
+                "name": s.name,
+                "operations": list(s.operations),
+                "depends": list(s.depends),
+                "parameter_sets": list(s.parameter_sets),
+                "tags": sorted(s.tags),
+            }
+            for s in script.steps
+        ],
+        "continue_steps": sorted(script.continue_steps),
+        "results": [
+            {"name": t.name, "step": t.step, "columns": list(t.columns)}
+            for t in script.results
+        ],
+    }
+    return _digest(state)
+
+
+def step_fingerprint(step: Step) -> str:
+    """Hash of what a step *executes*: its operation templates.
+
+    Deliberately excludes the step's name, the surrounding script, and
+    sibling steps: a row's outcome is fully determined by the commands
+    it runs (templates + parameters + seeded dependency state), so
+    extending a campaign with new systems or workloads — or renaming a
+    workload — keeps every already-computed row a cache hit.
+    """
+    return _digest({"operations": list(step.operations)})
+
+
+def calibration_fingerprint() -> str:
+    """Hash of every calibration constant plus the package version."""
+    from repro.engine.calibration import CALIBRATIONS
+    from repro.version import __version__
+
+    state = {
+        "version": __version__,
+        "calibrations": {
+            tag: dataclasses.asdict(cal) for tag, cal in sorted(CALIBRATIONS.items())
+        },
+    }
+    return _digest(state)
+
+
+def result_key(
+    step: Step | str,
+    parameters: Mapping[str, str],
+    seeded_outputs: Mapping[str, object] | None = None,
+    calibration_hash: str | None = None,
+) -> str:
+    """Content address of one workpackage's result.
+
+    ``step`` is a :class:`Step` (hashed via :func:`step_fingerprint`)
+    or an already-computed fingerprint string.  ``seeded_outputs`` is
+    the dependency-package state flowing into the workpackage; it
+    participates in the key because operations can read it.
+    ``calibration_hash`` defaults to the current process's
+    :func:`calibration_fingerprint`.
+    """
+    state = {
+        "step": step_fingerprint(step) if isinstance(step, Step) else step,
+        "parameters": dict(parameters),
+        "seeded": dict(seeded_outputs or {}),
+        "calibration": (
+            calibration_hash
+            if calibration_hash is not None
+            else calibration_fingerprint()
+        ),
+    }
+    return _digest(state)

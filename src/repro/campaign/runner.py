@@ -1,0 +1,232 @@
+"""Campaign orchestration: plan, cache-check, execute, record.
+
+:class:`CampaignRunner` drives a :class:`~repro.campaign.spec.CampaignSpec`
+through the JUBE machinery with the campaign guarantees layered on top:
+
+* every planned workpackage is content-addressed
+  (:mod:`repro.campaign.hashing`) and looked up in the result store
+  first — an identical re-run executes nothing,
+* misses go through a failure-isolating executor
+  (:mod:`repro.campaign.executor`), so one crashing package never
+  aborts its siblings; its failure is recorded as a durable row,
+* ``continue_run`` re-plans and executes only what is missing (plus,
+  by default, what previously failed) — resuming an interrupted
+  campaign is the same cache walk as re-running a finished one.
+
+Steps remain barriers: a workload that depends on another only plans
+its keys once the dependency's rows exist, because dependency outputs
+flow into both the workpackage and its hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.executor import IsolatingExecutor
+from repro.campaign.hashing import calibration_fingerprint, result_key, step_fingerprint
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    CampaignRow,
+    ResultStore,
+)
+from repro.jube.parameters import expand_parameter_space
+from repro.jube.runner import WorkItem, WorkpackageExecutor, work_item_for
+from repro.jube.steps import order_steps
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one ``run``/``continue`` invocation."""
+
+    campaign: str
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    rows: list[CampaignRow] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Planned workpackages that are now completed."""
+        return self.total - self.failed
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"campaign {self.campaign!r}: {self.total} workpackages, "
+            f"{self.executed} executed, {self.cached} from cache, "
+            f"{self.failed} failed"
+        )
+
+
+@dataclass(frozen=True)
+class StepStatus:
+    """Store-vs-plan state of one workload step."""
+
+    step: str
+    planned: int
+    completed: int
+    failed: int
+
+    @property
+    def missing(self) -> int:
+        """Planned workpackages with no row yet."""
+        return self.planned - self.completed - self.failed
+
+
+@dataclass
+class CampaignStatus:
+    """Store-vs-plan state of a whole campaign."""
+
+    campaign: str
+    steps: list[StepStatus] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        """Whether every planned workpackage has completed."""
+        return all(s.missing == 0 and s.failed == 0 for s in self.steps)
+
+    def describe(self) -> str:
+        """Multi-line summary."""
+        lines = [f"campaign {self.campaign!r}:"]
+        for s in self.steps:
+            lines.append(
+                f"  {s.step}: {s.completed}/{s.planned} completed, "
+                f"{s.failed} failed, {s.missing} missing"
+            )
+        lines.append("status: " + ("done" if self.done else "incomplete"))
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Executes campaign specs against a content-addressed store."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        executor: WorkpackageExecutor | None = None,
+    ) -> None:
+        self.store = store
+        self.executor = executor if executor is not None else IsolatingExecutor()
+
+    # -- planning -----------------------------------------------------------
+
+    def _planned_items(self, script, step, tags, seeds, calibration_hash):
+        """Keyed work items of one step, seeded from ``seeds``."""
+        sets = [script.parameter_set(name) for name in step.parameter_sets]
+        combos = expand_parameter_space(sets, tags)
+        step_hash = step_fingerprint(step)
+        planned = []
+        for i, combo in enumerate(combos):
+            item = work_item_for(step, combo, i, lambda name: seeds.get(name, []))
+            key = result_key(step_hash, combo, item.outputs, calibration_hash)
+            planned.append((key, item))
+        return planned
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        tags: list[str] | tuple[str, ...] = (),
+        *,
+        resume: bool = True,
+        retry_failed: bool = False,
+    ) -> CampaignReport:
+        """Execute the campaign; cache hits are not re-executed.
+
+        With ``resume=False`` every workpackage re-executes and its row
+        is superseded.  ``retry_failed`` additionally re-executes
+        workpackages whose stored row is failed (``continue_run`` sets
+        it).
+        """
+        script = spec.compile()
+        tagset = frozenset(tags)
+        calibration_hash = calibration_fingerprint()
+        report = CampaignReport(campaign=spec.name)
+        seeds: dict[str, list[CampaignRow]] = {}
+        for step in order_steps(script.steps, tagset):
+            planned = self._planned_items(script, step, tagset, seeds, calibration_hash)
+            report.total += len(planned)
+
+            to_run: list[tuple[str, WorkItem]] = []
+            final: dict[str, CampaignRow] = {}
+            for key, item in planned:
+                row = self.store.get(key) if resume else None
+                if row is not None and (row.completed or not retry_failed):
+                    final[key] = row
+                    if row.completed:
+                        report.cached += 1
+                else:
+                    to_run.append((key, item))
+
+            results = self.executor.run_items([item for _, item in to_run])
+            for (key, item), result in zip(to_run, results):
+                row = CampaignRow(
+                    key=key,
+                    campaign=spec.name,
+                    step=step.name,
+                    index=item.index,
+                    parameters=dict(item.parameters),
+                    status=STATUS_FAILED if result.error else STATUS_COMPLETED,
+                    outputs=dict(result.outputs),
+                    stdout=result.stdout,
+                    error=result.error,
+                    attempts=result.attempts,
+                )
+                self.store.put(row)
+                final[key] = row
+                report.executed += 1
+
+            step_rows = [final[key] for key, _ in planned]
+            report.rows.extend(step_rows)
+            report.failed += sum(1 for row in step_rows if not row.completed)
+            seeds[step.name] = [row for row in step_rows if row.completed]
+        return report
+
+    def continue_run(
+        self, spec: CampaignSpec, tags: list[str] | tuple[str, ...] = ()
+    ) -> CampaignReport:
+        """Resume an interrupted campaign (also retries failed rows)."""
+        return self.run(spec, tags, resume=True, retry_failed=True)
+
+    # -- inspection ---------------------------------------------------------
+
+    def status(
+        self, spec: CampaignSpec, tags: list[str] | tuple[str, ...] = ()
+    ) -> CampaignStatus:
+        """Compare the plan against the store without executing."""
+        script = spec.compile()
+        tagset = frozenset(tags)
+        calibration_hash = calibration_fingerprint()
+        status = CampaignStatus(campaign=spec.name)
+        seeds: dict[str, list[CampaignRow]] = {}
+        for step in order_steps(script.steps, tagset):
+            planned = self._planned_items(script, step, tagset, seeds, calibration_hash)
+            completed = failed = 0
+            step_completed: list[CampaignRow] = []
+            for key, _item in planned:
+                row = self.store.get(key)
+                if row is None:
+                    continue
+                if row.completed:
+                    completed += 1
+                    step_completed.append(row)
+                else:
+                    failed += 1
+            status.steps.append(
+                StepStatus(
+                    step=step.name,
+                    planned=len(planned),
+                    completed=completed,
+                    failed=failed,
+                )
+            )
+            seeds[step.name] = step_completed
+        return status
+
+    def results(self, spec: CampaignSpec) -> list[CampaignRow]:
+        """All stored rows of this campaign."""
+        return self.store.query(campaign=spec.name)

@@ -1,0 +1,349 @@
+"""Content-addressed campaign result stores.
+
+Every executed workpackage becomes one durable :class:`CampaignRow`
+keyed by its content hash (:mod:`repro.campaign.hashing`).  Because the
+simulation is bit-deterministic, the store doubles as an exact cache:
+re-running a campaign looks every planned key up first and only
+executes the misses, and ``campaign continue`` resumes an interrupted
+run from whatever rows made it to disk.
+
+Two on-disk backends behind one interface:
+
+* :class:`JsonlStore` — append-only JSON lines, the default; later
+  lines for the same key supersede earlier ones, so retries are plain
+  appends and the file stays valid after a crash mid-campaign,
+* :class:`SqliteStore` — a single-table SQLite database for campaigns
+  large enough that full-file scans hurt.
+
+:func:`open_store` picks the backend from the path suffix.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.campaign.hashing import canonical_json
+from repro.errors import ConfigError
+
+#: Row lifecycle states.
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """One workpackage's durable result."""
+
+    key: str
+    campaign: str
+    step: str
+    index: int
+    parameters: dict[str, str] = field(default_factory=dict)
+    status: str = STATUS_COMPLETED
+    outputs: dict[str, object] = field(default_factory=dict)
+    stdout: str = ""
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def completed(self) -> bool:
+        """Whether the workpackage finished successfully."""
+        return self.status == STATUS_COMPLETED
+
+    def to_dict(self) -> dict:
+        """Plain-mapping form (JSON-serialisable)."""
+        return {
+            "key": self.key,
+            "campaign": self.campaign,
+            "step": self.step,
+            "index": self.index,
+            "parameters": dict(self.parameters),
+            "status": self.status,
+            "outputs": dict(self.outputs),
+            "stdout": self.stdout,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "CampaignRow":
+        """Rebuild a row from its mapping form."""
+        return cls(
+            key=str(raw["key"]),
+            campaign=str(raw.get("campaign", "")),
+            step=str(raw["step"]),
+            index=int(raw.get("index", 0)),
+            parameters=dict(raw.get("parameters", {})),
+            status=str(raw.get("status", STATUS_COMPLETED)),
+            outputs=dict(raw.get("outputs", {})),
+            stdout=str(raw.get("stdout", "")),
+            error=raw.get("error"),
+            attempts=int(raw.get("attempts", 1)),
+        )
+
+    def canonical(self) -> str:
+        """Canonical byte representation (for exactness comparisons)."""
+        return canonical_json(self.to_dict())
+
+    def flat(self) -> dict:
+        """Flattened view for tables/CSV: metadata + parameters + outputs."""
+        return {
+            "step": self.step,
+            "status": self.status,
+            **self.parameters,
+            **self.outputs,
+        }
+
+
+class ResultStore:
+    """Interface + shared query/aggregation layer of the backends."""
+
+    path: Path
+
+    # -- backend primitives -------------------------------------------------
+
+    def put(self, row: CampaignRow) -> None:
+        """Insert or supersede one row."""
+        raise NotImplementedError
+
+    def get(self, key: str) -> CampaignRow | None:
+        """Latest row for a key, or None."""
+        raise NotImplementedError
+
+    def rows(self) -> list[CampaignRow]:
+        """All current rows (latest per key), in insertion order."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.rows())
+
+    # -- query / aggregation ------------------------------------------------
+
+    def query(
+        self,
+        *,
+        campaign: str | None = None,
+        step: str | None = None,
+        status: str | None = None,
+        where: Mapping[str, str] | None = None,
+    ) -> list[CampaignRow]:
+        """Filter rows by campaign, step, status, and parameter values."""
+        out = []
+        for row in self.rows():
+            if campaign is not None and row.campaign != campaign:
+                continue
+            if step is not None and row.step != step:
+                continue
+            if status is not None and row.status != status:
+                continue
+            if where and any(
+                row.parameters.get(k) != str(v) for k, v in where.items()
+            ):
+                continue
+            out.append(row)
+        return out
+
+    def aggregate(
+        self,
+        metric: str,
+        *,
+        by: str | None = None,
+        agg: str = "mean",
+        **query_kwargs,
+    ) -> dict[str, float]:
+        """Aggregate a numeric output over completed rows.
+
+        ``by`` groups by a parameter (or output) name; ``agg`` is one of
+        mean/min/max/sum.  Rows lacking the metric are skipped.
+        """
+        reducers = {
+            "mean": lambda vs: sum(vs) / len(vs),
+            "min": min,
+            "max": max,
+            "sum": sum,
+        }
+        try:
+            reduce = reducers[agg]
+        except KeyError:
+            raise ConfigError(
+                f"unknown aggregation {agg!r}; known: {sorted(reducers)}"
+            ) from None
+        groups: dict[str, list[float]] = {}
+        for row in self.query(status=STATUS_COMPLETED, **query_kwargs):
+            value = row.outputs.get(metric)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            group = str(row.parameters.get(by, row.outputs.get(by, ""))) if by else ""
+            groups.setdefault(group, []).append(float(value))
+        return {group: reduce(values) for group, values in sorted(groups.items())}
+
+    def to_csv(
+        self,
+        path: str | Path,
+        *,
+        columns: Iterable[str] | None = None,
+        **query_kwargs,
+    ) -> Path:
+        """Export (filtered) rows as CSV; returns the written path.
+
+        Without ``columns``, the header is the union of flattened field
+        names in first-seen order.
+        """
+        import csv
+
+        rows = [row.flat() for row in self.query(**query_kwargs)]
+        if columns is None:
+            seen: dict[str, None] = {}
+            for flat in rows:
+                for name in flat:
+                    seen.setdefault(name)
+            columns = list(seen)
+        else:
+            columns = list(columns)
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+            writer.writeheader()
+            for flat in rows:
+                writer.writerow({name: flat.get(name, "") for name in columns})
+        return target
+
+
+class JsonlStore(ResultStore):
+    """Append-only JSON-lines store (the default backend)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._rows: dict[str, CampaignRow] = {}
+        if self.path.exists():
+            for line in self.path.read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    row = CampaignRow.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    raise ConfigError(
+                        f"corrupt campaign store {self.path}: {exc!r}"
+                    ) from None
+                self._rows.pop(row.key, None)  # supersede keeps append order
+                self._rows[row.key] = row
+
+    def put(self, row: CampaignRow) -> None:
+        """Append a row; an existing key is superseded."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(row.to_dict(), default=str) + "\n")
+        self._rows.pop(row.key, None)
+        self._rows[row.key] = row
+
+    def get(self, key: str) -> CampaignRow | None:
+        """Latest row for a key, or None."""
+        return self._rows.get(key)
+
+    def rows(self) -> list[CampaignRow]:
+        """All current rows in append order."""
+        return list(self._rows.values())
+
+
+class SqliteStore(ResultStore):
+    """Single-table SQLite store for large campaigns."""
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS campaign_rows (
+            rowid_seq  INTEGER PRIMARY KEY AUTOINCREMENT,
+            key        TEXT UNIQUE NOT NULL,
+            campaign   TEXT NOT NULL,
+            step       TEXT NOT NULL,
+            idx        INTEGER NOT NULL,
+            parameters TEXT NOT NULL,
+            status     TEXT NOT NULL,
+            outputs    TEXT NOT NULL,
+            stdout     TEXT NOT NULL,
+            error      TEXT,
+            attempts   INTEGER NOT NULL
+        )
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(self.path)
+        self._db.execute(self._SCHEMA)
+        self._db.commit()
+
+    def put(self, row: CampaignRow) -> None:
+        """Upsert one row."""
+        self._db.execute("DELETE FROM campaign_rows WHERE key = ?", (row.key,))
+        self._db.execute(
+            "INSERT INTO campaign_rows "
+            "(key, campaign, step, idx, parameters, status, outputs, stdout, "
+            " error, attempts) VALUES (?,?,?,?,?,?,?,?,?,?)",
+            (
+                row.key,
+                row.campaign,
+                row.step,
+                row.index,
+                json.dumps(row.parameters, default=str),
+                row.status,
+                json.dumps(row.outputs, default=str),
+                row.stdout,
+                row.error,
+                row.attempts,
+            ),
+        )
+        self._db.commit()
+
+    def _from_record(self, record) -> CampaignRow:
+        (key, campaign, step, idx, parameters, status, outputs, stdout,
+         error, attempts) = record
+        return CampaignRow(
+            key=key,
+            campaign=campaign,
+            step=step,
+            index=idx,
+            parameters=json.loads(parameters),
+            status=status,
+            outputs=json.loads(outputs),
+            stdout=stdout,
+            error=error,
+            attempts=attempts,
+        )
+
+    _COLUMNS = (
+        "key, campaign, step, idx, parameters, status, outputs, stdout, "
+        "error, attempts"
+    )
+
+    def get(self, key: str) -> CampaignRow | None:
+        """Latest row for a key, or None."""
+        record = self._db.execute(
+            f"SELECT {self._COLUMNS} FROM campaign_rows WHERE key = ?", (key,)
+        ).fetchone()
+        return self._from_record(record) if record else None
+
+    def rows(self) -> list[CampaignRow]:
+        """All rows in insertion order."""
+        records = self._db.execute(
+            f"SELECT {self._COLUMNS} FROM campaign_rows ORDER BY rowid_seq"
+        ).fetchall()
+        return [self._from_record(r) for r in records]
+
+    def close(self) -> None:
+        """Close the database connection."""
+        self._db.close()
+
+
+def open_store(path: str | Path) -> ResultStore:
+    """Open (creating if needed) a store; backend chosen by suffix.
+
+    ``.sqlite`` / ``.db`` select SQLite; everything else is JSONL.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix in (".sqlite", ".db"):
+        return SqliteStore(path)
+    return JsonlStore(path)

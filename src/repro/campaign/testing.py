@@ -1,0 +1,42 @@
+"""Test-support operations for exercising campaign machinery.
+
+These deterministic toy operations are intentionally cheap so that
+executor, runner, and store behaviour (isolation, retry, caching) can
+be tested without paying for full benchmark simulations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransientError
+from repro.jube.runner import OperationRegistry
+
+
+def build_toy_registry() -> OperationRegistry:
+    """Registry with three toy operations.
+
+    ``emit`` succeeds and returns ``value``/``doubled``, ``boom`` always
+    raises :class:`ValueError`, and ``flaky`` raises
+    :class:`TransientError` until its per-registry call counter reaches
+    the ``--succeed-on`` attempt number (default 2).
+    """
+    registry = OperationRegistry()
+    calls = {"flaky": 0}
+
+    @registry.register("emit")
+    def emit(args, wp):
+        value = int(args["value"])
+        wp.log(f"emitted {value}")
+        return {"value": value, "doubled": 2 * value}
+
+    @registry.register("boom")
+    def boom(args, wp):
+        raise ValueError(f"kaboom on {args.get('value')}")
+
+    @registry.register("flaky")
+    def flaky(args, wp):
+        calls["flaky"] += 1
+        if calls["flaky"] < int(args.get("succeed-on", "2")):
+            raise TransientError(f"glitch on attempt {calls['flaky']}")
+        return {"ok": calls["flaky"]}
+
+    return registry

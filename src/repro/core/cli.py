@@ -6,6 +6,10 @@ Subcommands::
     caraml run-llm --system A100 --gbs 256 [...]
     caraml run-resnet --system A100 --gbs 256 [...]
     caraml jube run <script> [--tag T ...]   # run a JUBE script
+    caraml campaign run <spec.yaml>          # sweep with store + pool
+    caraml campaign continue <spec.yaml>     # resume (retries failures)
+    caraml campaign status <spec.yaml>
+    caraml campaign results <spec.yaml> [--csv out.csv]
 """
 
 from __future__ import annotations
@@ -91,6 +95,53 @@ def build_parser() -> argparse.ArgumentParser:
     continuous.add_argument(
         "--tolerance", type=float, default=0.05, help="regression threshold"
     )
+    continuous.add_argument(
+        "--campaign-store",
+        default=None,
+        help="source the baseline from a campaign result store instead of "
+        "re-measuring (see 'caraml campaign')",
+    )
+
+    campaign = sub.add_parser(
+        "campaign", help="run benchmark campaigns against a result store"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    for verb, help_text in (
+        ("run", "execute the campaign (cache hits are skipped)"),
+        ("continue", "resume an interrupted campaign, retrying failures"),
+        ("status", "compare the plan against the store"),
+        ("results", "print (and optionally export) the stored rows"),
+    ):
+        cp = campaign_sub.add_parser(verb, help=help_text)
+        cp.add_argument("spec", help="campaign spec YAML file")
+        cp.add_argument(
+            "--store",
+            default=None,
+            help="result store path (.jsonl or .sqlite); defaults to the "
+            "spec's 'store' entry or <name>.campaign.jsonl",
+        )
+        if verb in ("run", "continue"):
+            cp.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help="process-pool size (default: one per workpackage, max 8)",
+            )
+            cp.add_argument(
+                "--sequential",
+                action="store_true",
+                help="run in-process instead of through the process pool",
+            )
+            cp.add_argument("--tag", action="append", default=[], dest="tags")
+        if verb == "run":
+            cp.add_argument(
+                "--retry-failed",
+                action="store_true",
+                help="also re-execute workpackages whose stored row is failed",
+            )
+        if verb == "results":
+            cp.add_argument("--csv", default=None, help="export rows to this CSV")
+            cp.add_argument("--step", default=None, help="only this workload step")
 
     jube = sub.add_parser("jube", help="drive the JUBE workflow engine")
     jube_sub = jube.add_subparsers(dest="jube_command", required=True)
@@ -104,6 +155,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jr.add_argument("--table", default=None, help="result table to print")
     return parser
+
+
+def _run_campaign(args, out) -> int:
+    """The ``caraml campaign`` subcommand family."""
+    from repro.campaign import (
+        CampaignRunner,
+        IsolatingExecutor,
+        PoolExecutor,
+        load_campaign_spec,
+        open_store,
+    )
+
+    spec = load_campaign_spec(args.spec)
+    store_path = args.store or spec.store or f"{spec.name}.campaign.jsonl"
+    store = open_store(store_path)
+
+    if args.campaign_command in ("run", "continue"):
+        executor = (
+            IsolatingExecutor()
+            if args.sequential
+            else PoolExecutor(max_workers=args.workers)
+        )
+        runner = CampaignRunner(store, executor)
+        if args.campaign_command == "continue":
+            report = runner.continue_run(spec, tags=args.tags)
+        else:
+            report = runner.run(
+                spec, tags=args.tags, retry_failed=getattr(args, "retry_failed", False)
+            )
+        print(report.describe(), file=out)
+        print(f"store: {store.path}", file=out)
+        return 0 if report.failed == 0 else 1
+
+    runner = CampaignRunner(store)
+    if args.campaign_command == "status":
+        print(runner.status(spec).describe(), file=out)
+        return 0
+
+    if args.campaign_command == "results":
+        rows = store.query(campaign=spec.name, step=args.step)
+        for row in rows:
+            flat = row.flat()
+            if row.error:
+                flat["error"] = row.error
+            print("  " + "  ".join(f"{k}={v}" for k, v in flat.items()), file=out)
+        print(f"{len(rows)} rows in {store.path}", file=out)
+        if args.csv:
+            path = store.to_csv(args.csv, campaign=spec.name, step=args.step)
+            print(f"wrote {path}", file=out)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _print_result_row(result, out) -> None:
@@ -197,7 +300,13 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
             path = cb.record_baseline(args.baseline)
             print(f"recorded baseline {path}", file=out)
             return 0
-        comparisons = cb.compare(args.baseline)
+        if args.campaign_store:
+            from repro.campaign import open_store
+
+            baseline = cb.baseline_from_store(open_store(args.campaign_store))
+            comparisons = cb.compare_with(baseline)
+        else:
+            comparisons = cb.compare(args.baseline)
         for comparison in comparisons:
             print(comparison.describe(), file=out)
         regressions = [c for c in comparisons if c.regressed(args.tolerance)]
@@ -210,6 +319,9 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
         items = validate_reproduction()
         print(validation_summary(items), file=out)
         return 0 if all(item.passed for item in items) else 1
+
+    if args.command == "campaign":
+        return _run_campaign(args, out)
 
     if args.command == "jube" and args.jube_command == "run":
         jube_run = suite.jube_run(args.script, tags=args.tags)

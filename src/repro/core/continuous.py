@@ -12,9 +12,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.suite import CaramlSuite
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaign.store import ResultStore
 
 #: Default relative slowdown that counts as a regression.
 DEFAULT_TOLERANCE = 0.05
@@ -133,9 +137,56 @@ class ContinuousBenchmark:
                 raise ConfigError(f"baseline {path} lacks point {point.key}")
         return data
 
-    def compare(self, baseline_path: str | Path) -> list[Comparison]:
-        """Re-measure and compare every point against the baseline."""
-        baseline = self.load_baseline(baseline_path)
+    def baseline_from_store(self, store: "ResultStore") -> dict[str, dict[str, float]]:
+        """Derive a baseline from a campaign result store.
+
+        Each tracked point is matched against the store's completed
+        rows by benchmark family, system, and global batch size (the
+        ``benchmark``/``system``/``global_batch_size`` outputs every
+        training row carries), so a nightly ``caraml campaign run``
+        doubles as the regression baseline without re-measuring.
+        """
+        baseline: dict[str, dict[str, float]] = {}
+        rows = [row for row in store.rows() if row.completed]
+        for point in self.points:
+            for row in rows:
+                benchmark = str(row.outputs.get("benchmark", ""))
+                if not benchmark.startswith(f"{point.benchmark}-"):
+                    continue
+                if benchmark.startswith(f"{point.benchmark}-infer"):
+                    continue
+                if row.outputs.get("system") != point.system:
+                    continue
+                if int(row.outputs.get("global_batch_size", -1)) != point.global_batch_size:
+                    continue
+                throughput = next(
+                    (
+                        float(v)
+                        for k, v in row.outputs.items()
+                        if k.startswith("throughput_") and not k.endswith("_per_device")
+                    ),
+                    None,
+                )
+                if throughput is None:
+                    continue
+                baseline[point.key] = {
+                    "throughput": throughput,
+                    "efficiency_per_wh": float(row.outputs.get("efficiency_per_wh", 0.0)),
+                }
+                break
+            else:
+                raise ConfigError(
+                    f"campaign store has no completed row for point {point.key}"
+                )
+        return baseline
+
+    def compare_with(
+        self, baseline: Mapping[str, Mapping[str, float]]
+    ) -> list[Comparison]:
+        """Re-measure and compare every point against a baseline mapping."""
+        for point in self.points:
+            if point.key not in baseline:
+                raise ConfigError(f"baseline lacks point {point.key}")
         current = self.measure()
         out = []
         for point in self.points:
@@ -151,6 +202,10 @@ class ContinuousBenchmark:
                 )
             )
         return out
+
+    def compare(self, baseline_path: str | Path) -> list[Comparison]:
+        """Re-measure and compare every point against a baseline file."""
+        return self.compare_with(self.load_baseline(baseline_path))
 
     def check(
         self, baseline_path: str | Path, tolerance: float = DEFAULT_TOLERANCE

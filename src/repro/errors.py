@@ -52,3 +52,12 @@ class JubeError(ReproError):
 
 class DataError(ReproError):
     """Synthetic data substrate failure (tokenizer, corpus, dataset)."""
+
+
+class TransientError(ReproError):
+    """A failure worth retrying (flaky node, scheduler hiccup, ...).
+
+    Campaign executors retry operations that raise this (with
+    exponential backoff) before recording the workpackage as failed;
+    any other exception fails the workpackage immediately.
+    """

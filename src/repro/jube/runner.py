@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import shlex
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 from repro.errors import JubeError
 from repro.jube.parameters import expand_parameter_space, substitute
@@ -80,6 +80,109 @@ class OperationRegistry:
                 wp.record(key, value)
 
 
+# -- workpackage execution seam -------------------------------------------
+#
+# One step's workpackages are independent of each other (dependencies
+# exist only *between* steps), so their execution is factored behind an
+# executor: the runner prepares self-contained :class:`WorkItem`\ s,
+# hands them to its executor, and folds the :class:`WorkResult`\ s back
+# into the run.  The default executor runs items in order in-process;
+# ``repro.campaign.executor`` plugs a process pool into the same seam.
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """Everything needed to execute one workpackage, picklable.
+
+    ``outputs`` and ``stdout`` carry the state seeded from dependency
+    packages (JUBE's dependency directories).
+    """
+
+    step: Step
+    parameters: dict[str, str]
+    index: int
+    outputs: dict[str, object] = field(default_factory=dict)
+    stdout: str = ""
+
+
+@dataclass
+class WorkResult:
+    """Outcome of executing one :class:`WorkItem`.
+
+    ``error`` is ``None`` on success; executors that capture failures
+    (campaign mode) record ``"ExcType: message"`` instead of raising.
+    ``attempts`` counts executions including retries.
+    """
+
+    outputs: dict[str, object] = field(default_factory=dict)
+    stdout: str = ""
+    error: str | None = None
+    attempts: int = 1
+
+
+def execute_workpackage(registry: OperationRegistry, item: WorkItem) -> WorkResult:
+    """Execute one workpackage's operations; exceptions propagate."""
+    wp = Workpackage(step=item.step, parameters=dict(item.parameters), index=item.index)
+    wp.outputs.update(item.outputs)
+    wp.stdout = item.stdout
+    for template in item.step.operations:
+        command = substitute(template, item.parameters)
+        registry.dispatch(command, wp)
+    return WorkResult(outputs=wp.outputs, stdout=wp.stdout)
+
+
+def work_item_for(
+    step: Step,
+    combo: dict[str, str],
+    index: int,
+    packages_for: Callable[[str], list],
+) -> WorkItem:
+    """Build a step's work item, seeding dependency state.
+
+    Results and logs of dependency packages with matching parameters
+    flow into the item (JUBE's dependency directories: outputs and the
+    job stdout are both visible).  ``packages_for`` maps a step name to
+    its finished packages — anything with ``parameters`` / ``outputs``
+    / ``stdout`` attributes.
+    """
+    outputs: dict[str, object] = {}
+    stdout = ""
+    for dep in step.depends:
+        for dep_wp in packages_for(dep):
+            if all(combo.get(k, v) == v for k, v in dep_wp.parameters.items()):
+                outputs.update(dep_wp.outputs)
+                if dep_wp.stdout:
+                    stdout += dep_wp.stdout
+    return WorkItem(
+        step=step, parameters=combo, index=index, outputs=outputs, stdout=stdout
+    )
+
+
+class WorkpackageExecutor(Protocol):
+    """The executor seam of :meth:`JubeRunner._run_step`.
+
+    Implementations must return one :class:`WorkResult` per item, in
+    item order, and must not reorder or drop items; a barrier at the
+    end of each step (returning only when every item finished) is what
+    keeps dependency-ordered steps correct.
+    """
+
+    def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
+        """Execute the items of one step."""
+        ...  # pragma: no cover
+
+
+class SequentialExecutor:
+    """Default in-process executor: items run in order, errors raise."""
+
+    def __init__(self, registry: OperationRegistry) -> None:
+        self.registry = registry
+
+    def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
+        """Execute items one after the other in this process."""
+        return [execute_workpackage(self.registry, item) for item in items]
+
+
 @dataclass
 class JubeRun:
     """State of one benchmark run (JUBE's run directory equivalent)."""
@@ -100,10 +203,21 @@ class JubeRun:
 
 
 class JubeRunner:
-    """Executes benchmark scripts against an operation registry."""
+    """Executes benchmark scripts against an operation registry.
 
-    def __init__(self, registry: OperationRegistry) -> None:
+    ``executor`` replaces how one step's workpackages are executed
+    (default: sequential in-process).  Whatever the executor, step
+    boundaries stay barriers: a dependent step only starts once every
+    package of its dependencies has finished.
+    """
+
+    def __init__(
+        self,
+        registry: OperationRegistry,
+        executor: WorkpackageExecutor | None = None,
+    ) -> None:
         self.registry = registry
+        self.executor = executor if executor is not None else SequentialExecutor(registry)
 
     # -- run ------------------------------------------------------------
 
@@ -139,22 +253,23 @@ class JubeRunner:
         sets = [run.script.parameter_set(name) for name in step.parameter_sets]
         combos = expand_parameter_space(sets, run.tags)
         base_index = len(run.packages_for(step.name))
-        for i, combo in enumerate(combos):
-            wp = Workpackage(step=step, parameters=combo, index=base_index + i)
-            # Results and logs of dependency packages with matching
-            # parameters flow into this package (JUBE's dependency
-            # directories: outputs and the job stdout are both visible).
-            for dep in step.depends:
-                for dep_wp in run.packages_for(dep):
-                    if all(
-                        combo.get(k, v) == v for k, v in dep_wp.parameters.items()
-                    ):
-                        wp.outputs.update(dep_wp.outputs)
-                        if dep_wp.stdout:
-                            wp.stdout += dep_wp.stdout
-            for template in step.operations:
-                command = substitute(template, combo)
-                self.registry.dispatch(command, wp)
+        items = [
+            work_item_for(step, combo, base_index + i, run.packages_for)
+            for i, combo in enumerate(combos)
+        ]
+        results = self.executor.run_items(items)
+        if len(results) != len(items):
+            raise JubeError(
+                f"executor returned {len(results)} results for {len(items)} items"
+            )
+        for item, result in zip(items, results):
+            if result.error is not None:
+                raise JubeError(
+                    f"workpackage {step.name}#{item.index} failed: {result.error}"
+                )
+            wp = Workpackage(step=step, parameters=item.parameters, index=item.index)
+            wp.outputs = dict(result.outputs)
+            wp.stdout = result.stdout
             wp.done = True
             run.workpackages.append(wp)
         run.completed_steps.add(step.name)

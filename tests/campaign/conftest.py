@@ -1,0 +1,39 @@
+"""Shared fixtures for the campaign-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, WorkloadSpec
+
+
+@pytest.fixture
+def toy_spec() -> CampaignSpec:
+    """A 2-system × 3-value campaign over the ``emit`` toy operation."""
+    return CampaignSpec(
+        name="toy",
+        systems=("A100", "H100"),
+        workloads=(
+            WorkloadSpec(
+                name="emit",
+                operations=("emit --value $x",),
+                axes={"x": ("1", "2", "3")},
+            ),
+        ),
+    )
+
+
+@pytest.fixture
+def llm_mini_spec() -> CampaignSpec:
+    """A small real-workload campaign (4 workpackages)."""
+    return CampaignSpec(
+        name="llm-mini",
+        systems=("A100", "GH200"),
+        workloads=(
+            WorkloadSpec.of_kind(
+                "llm",
+                axes={"global_batch_size": (256, 1024)},
+                fixed={"exit_duration": "10"},
+            ),
+        ),
+    )

@@ -1,0 +1,146 @@
+"""The ``caraml campaign`` subcommand family, end to end."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+import yaml
+
+from repro.core.cli import run as cli_run
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    spec = {
+        "name": "cli-sweep",
+        "systems": ["A100", "GH200"],
+        "workloads": [
+            {
+                "kind": "llm",
+                "axes": {"global_batch_size": [256]},
+                "fixed": {"exit_duration": "10"},
+            }
+        ],
+    }
+    path = tmp_path / "campaign.yaml"
+    path.write_text(yaml.safe_dump(spec))
+    return path
+
+
+@pytest.fixture
+def crashy_spec_path(tmp_path):
+    spec = {
+        "name": "cli-crashy",
+        "systems": ["A100"],
+        "workloads": [
+            {
+                "kind": "llm",
+                "axes": {"global_batch_size": [256, "not-a-number"]},
+                "fixed": {"exit_duration": "10"},
+            }
+        ],
+    }
+    path = tmp_path / "crashy.yaml"
+    path.write_text(yaml.safe_dump(spec))
+    return path
+
+
+def invoke(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = cli_run(list(argv), stdout=out)
+    return code, out.getvalue()
+
+
+class TestCampaignCli:
+    def test_run_status_results_cycle(self, spec_path, tmp_path):
+        store = str(tmp_path / "rows.jsonl")
+
+        code, text = invoke(
+            "campaign", "status", str(spec_path), "--store", store
+        )
+        assert code == 0
+        assert "incomplete" in text
+
+        code, text = invoke(
+            "campaign", "run", str(spec_path), "--store", store, "--sequential"
+        )
+        assert code == 0
+        assert "2 workpackages, 2 executed, 0 from cache, 0 failed" in text
+        assert store in text
+
+        code, text = invoke(
+            "campaign", "status", str(spec_path), "--store", store
+        )
+        assert code == 0
+        assert "2/2 completed" in text
+        assert "done" in text
+
+        csv_path = tmp_path / "rows.csv"
+        code, text = invoke(
+            "campaign", "results", str(spec_path), "--store", store,
+            "--csv", str(csv_path),
+        )
+        assert code == 0
+        assert "2 rows" in text
+        assert "system=A100" in text
+        header = csv_path.read_text().splitlines()[0]
+        assert "global_batch_size" in header
+
+    def test_rerun_is_cached(self, spec_path, tmp_path):
+        store = str(tmp_path / "rows.jsonl")
+        invoke("campaign", "run", str(spec_path), "--store", store, "--sequential")
+        code, text = invoke(
+            "campaign", "run", str(spec_path), "--store", store, "--sequential"
+        )
+        assert code == 0
+        assert "0 executed, 2 from cache" in text
+
+    def test_failed_workpackage_sets_exit_code(self, crashy_spec_path, tmp_path):
+        store = str(tmp_path / "rows.jsonl")
+        code, text = invoke(
+            "campaign", "run", str(crashy_spec_path), "--store", store,
+            "--sequential",
+        )
+        assert code == 1
+        assert "1 failed" in text
+
+        code, text = invoke(
+            "campaign", "results", str(crashy_spec_path), "--store", store
+        )
+        assert code == 0
+        assert "error=" in text
+
+        # continue re-runs only the failed row; it crashes again.
+        code, text = invoke(
+            "campaign", "continue", str(crashy_spec_path), "--store", store,
+            "--sequential",
+        )
+        assert code == 1
+        assert "1 executed, 1 from cache, 1 failed" in text
+
+    def test_store_defaults_to_spec_entry(self, tmp_path):
+        store = tmp_path / "from-spec.jsonl"
+        spec = {
+            "name": "cli-store-default",
+            "systems": ["A100"],
+            "store": str(store),
+            "workloads": [
+                {
+                    "kind": "llm",
+                    "axes": {"global_batch_size": [256]},
+                    "fixed": {"exit_duration": "10"},
+                }
+            ],
+        }
+        path = tmp_path / "campaign.yaml"
+        path.write_text(yaml.safe_dump(spec))
+        code, text = invoke("campaign", "run", str(path), "--sequential")
+        assert code == 0
+        assert store.exists()
+
+    def test_missing_spec_is_config_error(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="no campaign spec"):
+            invoke("campaign", "run", str(tmp_path / "nope.yaml"))

@@ -1,0 +1,208 @@
+"""Campaign runs: caching, isolation, resumption, parallel exactness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.executor import IsolatingExecutor, PoolExecutor, RetryPolicy
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, WorkloadSpec
+from repro.campaign.store import JsonlStore
+from repro.campaign.testing import build_toy_registry
+
+
+def toy_runner(tmp_path, name="store.jsonl", **executor_kwargs) -> CampaignRunner:
+    return CampaignRunner(
+        JsonlStore(tmp_path / name),
+        IsolatingExecutor(build_toy_registry, **executor_kwargs),
+    )
+
+
+class TestRun:
+    def test_cold_run_executes_everything(self, toy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        report = runner.run(toy_spec)
+        assert (report.total, report.executed, report.cached, report.failed) == (
+            6, 6, 0, 0,
+        )
+        assert len(runner.store) == 6
+        row = runner.store.query(where={"system": "A100", "x": "3"})[0]
+        assert row.outputs == {"value": 3, "doubled": 6}
+        assert "emitted 3" in row.stdout
+        assert "6 workpackages, 6 executed" in report.describe()
+
+    def test_rerun_is_entirely_cached(self, toy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        cold = runner.run(toy_spec)
+        warm = runner.run(toy_spec)
+        assert (warm.executed, warm.cached) == (0, 6)
+        assert [r.canonical() for r in warm.rows] == [
+            r.canonical() for r in cold.rows
+        ]
+
+    def test_resume_false_forces_reexecution(self, toy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        runner.run(toy_spec)
+        forced = runner.run(toy_spec, resume=False)
+        assert (forced.executed, forced.cached) == (6, 0)
+        assert len(runner.store) == 6  # superseded, not duplicated
+
+    def test_extending_campaign_reuses_cache(self, toy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        runner.run(toy_spec)
+        extended = toy_spec.to_dict()
+        extended["systems"].append("GH200")
+        report = runner.run(CampaignSpec.from_dict(extended))
+        assert (report.total, report.cached, report.executed) == (9, 6, 3)
+
+    def test_dependency_outputs_seed_downstream_step(self, tmp_path):
+        spec = CampaignSpec(
+            name="chain",
+            systems=("A100",),
+            workloads=(
+                WorkloadSpec(name="prepare", operations=("emit --value 5",)),
+                WorkloadSpec(
+                    name="train",
+                    operations=("emit --value 7",),
+                    depends=("prepare",),
+                ),
+            ),
+        )
+        runner = toy_runner(tmp_path)
+        report = runner.run(spec)
+        assert report.total == 2 and report.failed == 0
+        train_row = runner.store.query(step="train")[0]
+        # stdout and outputs seeded from the dependency, then extended.
+        assert "emitted 5" in train_row.stdout
+        assert "emitted 7" in train_row.stdout
+
+
+class TestFailureIsolation:
+    @pytest.fixture
+    def crashy_spec(self) -> CampaignSpec:
+        # "bad" makes the emit operation raise; siblings must survive.
+        return CampaignSpec(
+            name="crashy",
+            systems=("A100",),
+            workloads=(
+                WorkloadSpec(
+                    name="emit",
+                    operations=("emit --value $x",),
+                    axes={"x": ("1", "bad", "3")},
+                ),
+            ),
+        )
+
+    def test_crash_recorded_without_aborting_siblings(self, crashy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        report = runner.run(crashy_spec)
+        assert (report.total, report.executed, report.failed) == (3, 3, 1)
+        assert report.completed == 2
+        failed = runner.store.query(status="failed")
+        assert len(failed) == 1
+        assert failed[0].parameters["x"] == "bad"
+        assert failed[0].error.startswith("ValueError")
+        assert {r.parameters["x"] for r in runner.store.query(status="completed")} == {
+            "1", "3",
+        }
+
+    def test_failed_rows_not_retried_without_flag(self, crashy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        runner.run(crashy_spec)
+        warm = runner.run(crashy_spec)
+        assert (warm.executed, warm.cached, warm.failed) == (0, 2, 1)
+
+    def test_continue_retries_failed_rows(self, crashy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        runner.run(crashy_spec)
+        resumed = runner.continue_run(crashy_spec)
+        assert (resumed.executed, resumed.cached) == (1, 2)
+        assert resumed.failed == 1  # still crashes — but only it re-ran
+
+
+class TestContinueAfterTransientFailure:
+    def test_flaky_workload_succeeds_on_continue(self, tmp_path):
+        spec = CampaignSpec(
+            name="flaky",
+            systems=("A100",),
+            workloads=(
+                WorkloadSpec(name="flaky", operations=("flaky --succeed-on 2",)),
+            ),
+        )
+        # No retries: the first run records the transient failure.
+        runner = toy_runner(tmp_path, retry=RetryPolicy(max_retries=0))
+        first = runner.run(spec)
+        assert first.failed == 1
+        assert "TransientError" in runner.store.rows()[0].error
+        assert not runner.status(spec).done
+
+        resumed = runner.continue_run(spec)
+        assert (resumed.executed, resumed.failed) == (1, 0)
+        assert runner.status(spec).done
+
+
+class TestStatus:
+    def test_before_during_after(self, toy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        empty = runner.status(toy_spec)
+        assert not empty.done
+        assert empty.steps[0].planned == 6
+        assert empty.steps[0].missing == 6
+
+        runner.run(toy_spec)
+        done = runner.status(toy_spec)
+        assert done.done
+        assert done.steps[0].completed == 6
+        assert "6/6 completed" in done.describe()
+
+    def test_results_scoped_to_campaign(self, toy_spec, tmp_path):
+        runner = toy_runner(tmp_path)
+        runner.run(toy_spec)
+        assert len(runner.results(toy_spec)) == 6
+        other = CampaignSpec(
+            name="other",
+            systems=("A100",),
+            workloads=(WorkloadSpec(name="emit", operations=("emit --value 1",)),),
+        )
+        assert runner.results(other) == []
+
+
+class TestParallelExactness:
+    """Acceptance criteria: a real >=20-workpackage sweep through the
+    process pool is byte-identical to sequential, and a re-run is a
+    full cache hit."""
+
+    @pytest.fixture
+    def sweep_spec(self) -> CampaignSpec:
+        return CampaignSpec(
+            name="sweep",
+            systems=("A100", "H100", "WAIH100", "GH200", "MI250"),
+            workloads=(
+                WorkloadSpec.of_kind(
+                    "llm",
+                    axes={"global_batch_size": (64, 256, 1024, 4096)},
+                    fixed={"exit_duration": "10"},
+                ),
+            ),
+        )
+
+    @pytest.mark.slow
+    def test_pool_matches_sequential_and_caches(self, sweep_spec, tmp_path):
+        assert sweep_spec.size == 20
+        sequential = CampaignRunner(JsonlStore(tmp_path / "seq.jsonl"))
+        parallel = CampaignRunner(
+            JsonlStore(tmp_path / "par.jsonl"), PoolExecutor(max_workers=4)
+        )
+        seq_report = sequential.run(sweep_spec)
+        par_report = parallel.run(sweep_spec)
+        assert seq_report.failed == par_report.failed == 0
+        assert par_report.executed == 20
+        assert [r.canonical() for r in par_report.rows] == [
+            r.canonical() for r in seq_report.rows
+        ]
+
+        warm = parallel.run(sweep_spec)
+        assert (warm.executed, warm.cached) == (0, 20)
+        assert [r.canonical() for r in warm.rows] == [
+            r.canonical() for r in par_report.rows
+        ]

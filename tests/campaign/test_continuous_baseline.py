@@ -1,0 +1,62 @@
+"""ContinuousBenchmark sourcing its baseline from a campaign store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, WorkloadSpec
+from repro.campaign.store import JsonlStore
+from repro.core.continuous import BenchmarkPoint, ContinuousBenchmark
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def nightly_store(tmp_path):
+    spec = CampaignSpec(
+        name="nightly",
+        systems=("A100",),
+        workloads=(
+            WorkloadSpec.of_kind("llm", axes={"global_batch_size": (256,)}),
+        ),
+    )
+    store = JsonlStore(tmp_path / "nightly.jsonl")
+    report = CampaignRunner(store).run(spec)
+    assert report.failed == 0
+    return store
+
+
+def test_baseline_from_store_matches_live_measurement(nightly_store):
+    cb = ContinuousBenchmark(points=(BenchmarkPoint("llm", "A100", 256),))
+    baseline = cb.baseline_from_store(nightly_store)
+    assert set(baseline) == {"llm:A100:gbs256"}
+    assert baseline["llm:A100:gbs256"]["throughput"] > 0
+
+    (comparison,) = cb.compare_with(baseline)
+    # Campaign rows round figures; the ratio is 1.0 up to that rounding.
+    assert comparison.throughput_ratio == pytest.approx(1.0, rel=1e-6)
+    assert not comparison.regressed()
+
+
+def test_missing_point_raises(nightly_store):
+    cb = ContinuousBenchmark(points=(BenchmarkPoint("llm", "MI250", 256),))
+    with pytest.raises(ConfigError, match="no completed row.*MI250"):
+        cb.baseline_from_store(nightly_store)
+
+
+def test_failed_rows_are_ignored(tmp_path):
+    spec = CampaignSpec(
+        name="broken",
+        systems=("A100",),
+        workloads=(
+            WorkloadSpec.of_kind(
+                "llm", axes={"global_batch_size": ("not-a-number",)}
+            ),
+        ),
+    )
+    store = JsonlStore(tmp_path / "broken.jsonl")
+    report = CampaignRunner(store).run(spec)
+    assert report.failed == 1
+    cb = ContinuousBenchmark(points=(BenchmarkPoint("llm", "A100", 256),))
+    with pytest.raises(ConfigError, match="no completed row"):
+        cb.baseline_from_store(store)

@@ -1,0 +1,129 @@
+"""Failure isolation, retry-with-backoff, and the process pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.executor import (
+    DEFAULT_REGISTRY_FACTORY,
+    IsolatingExecutor,
+    PoolExecutor,
+    RetryPolicy,
+    resolve_registry_factory,
+    run_item_isolated,
+)
+from repro.campaign.testing import build_toy_registry
+from repro.errors import ConfigError
+from repro.jube.runner import WorkItem
+from repro.jube.steps import Step
+
+NO_BACKOFF = RetryPolicy(max_retries=2, backoff_s=0.0)
+
+
+def _item(op: str, index: int = 0, **params) -> WorkItem:
+    return WorkItem(
+        step=Step(name="s", operations=(op,)),
+        parameters={k: str(v) for k, v in params.items()},
+        index=index,
+    )
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(max_retries=5, backoff_s=0.1, max_backoff_s=0.5)
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.5]
+
+
+class TestRunItemIsolated:
+    def test_success_single_attempt(self):
+        result = run_item_isolated(
+            build_toy_registry(), _item("emit --value $x", x=3), NO_BACKOFF
+        )
+        assert result.error is None
+        assert result.attempts == 1
+        assert result.outputs == {"value": 3, "doubled": 6}
+        assert "emitted 3" in result.stdout
+
+    def test_transient_retries_then_succeeds(self):
+        slept = []
+        result = run_item_isolated(
+            build_toy_registry(),
+            _item("flaky --succeed-on 3"),
+            RetryPolicy(max_retries=3, backoff_s=0.01),
+            sleep=slept.append,
+        )
+        assert result.error is None
+        assert result.attempts == 3
+        assert slept == [0.01, 0.02]
+
+    def test_transient_exhausts_retries(self):
+        result = run_item_isolated(
+            build_toy_registry(),
+            _item("flaky --succeed-on 99"),
+            RetryPolicy(max_retries=2, backoff_s=0.0),
+            sleep=lambda _s: None,
+        )
+        assert result.attempts == 3
+        assert result.error is not None
+        assert "TransientError" in result.error
+
+    def test_hard_failure_is_not_retried(self):
+        result = run_item_isolated(
+            build_toy_registry(), _item("boom --value 7"), NO_BACKOFF
+        )
+        assert result.attempts == 1
+        assert result.error == "ValueError: kaboom on 7"
+
+
+class TestIsolatingExecutor:
+    def test_failures_do_not_abort_siblings(self):
+        executor = IsolatingExecutor(build_toy_registry, retry=NO_BACKOFF)
+        items = [
+            _item("emit --value $x", 0, x=1),
+            _item("boom --value 2", 1),
+            _item("emit --value $x", 2, x=3),
+        ]
+        results = executor.run_items(items)
+        assert [r.error is None for r in results] == [True, False, True]
+        assert results[2].outputs["doubled"] == 6
+
+
+class TestRegistryFactoryResolution:
+    def test_callable_passthrough(self):
+        assert resolve_registry_factory(build_toy_registry) is build_toy_registry
+
+    def test_default_spec_resolves(self):
+        registry = resolve_registry_factory(None)()
+        assert "llm_train" in registry.names()
+
+    def test_bad_specs(self):
+        with pytest.raises(ConfigError, match="module:function"):
+            resolve_registry_factory("no_colon_here")
+        with pytest.raises(ConfigError, match="cannot resolve"):
+            resolve_registry_factory("repro.core.registry:missing_attr")
+        with pytest.raises(ConfigError, match="cannot resolve"):
+            resolve_registry_factory("not_a_module:thing")
+
+
+class TestPoolExecutor:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigError, match="max_workers"):
+            PoolExecutor(max_workers=0)
+
+    def test_empty_items(self):
+        assert PoolExecutor(max_workers=1).run_items([]) == []
+
+    def test_results_in_item_order_with_isolated_failure(self):
+        # Real registry: prepare_data is cheap; the middle item's
+        # missing required argument fails without touching siblings.
+        executor = PoolExecutor(max_workers=2, registry_factory=DEFAULT_REGISTRY_FACTORY)
+        items = [
+            _item("prepare_data --synthetic true", 0),
+            _item("llm_train --gbs 256", 1),  # missing --system
+            _item("prepare_data --synthetic true", 2),
+        ]
+        results = executor.run_items(items)
+        assert results[0].outputs == {"dataset": "synthetic", "tokens": 0}
+        assert results[1].error is not None
+        assert "JubeError" in results[1].error
+        assert results[2].outputs == results[0].outputs

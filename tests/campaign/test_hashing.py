@@ -1,0 +1,73 @@
+"""Content-address stability and sensitivity."""
+
+from __future__ import annotations
+
+from repro.campaign.hashing import (
+    KEY_LENGTH,
+    calibration_fingerprint,
+    canonical_json,
+    result_key,
+    script_fingerprint,
+    step_fingerprint,
+)
+from repro.jube.steps import Step
+
+
+def _step(**kwargs) -> Step:
+    defaults = dict(name="train", operations=("emit --value $x",))
+    defaults.update(kwargs)
+    return Step(**defaults)
+
+
+class TestFingerprints:
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_step_fingerprint_depends_only_on_operations(self):
+        base = step_fingerprint(_step())
+        assert step_fingerprint(_step(name="other")) == base
+        assert step_fingerprint(_step(depends=("prep",))) == base
+        assert step_fingerprint(_step(operations=("emit --value $y",))) != base
+
+    def test_script_fingerprint_sensitive_to_structure(self, toy_spec):
+        base = script_fingerprint(toy_spec.compile())
+        bigger = toy_spec.to_dict()
+        bigger["systems"].append("GH200")
+        from repro.campaign.spec import CampaignSpec
+
+        assert script_fingerprint(CampaignSpec.from_dict(bigger).compile()) != base
+
+    def test_calibration_fingerprint_is_stable(self):
+        assert calibration_fingerprint() == calibration_fingerprint()
+        assert len(calibration_fingerprint()) == KEY_LENGTH
+
+
+class TestResultKey:
+    def test_stable_across_calls(self):
+        a = result_key(_step(), {"x": "1"})
+        b = result_key(_step(), {"x": "1"})
+        assert a == b
+        assert len(a) == KEY_LENGTH
+
+    def test_accepts_precomputed_fingerprint(self):
+        assert result_key(step_fingerprint(_step()), {"x": "1"}) == result_key(
+            _step(), {"x": "1"}
+        )
+
+    def test_sensitive_to_parameters(self):
+        assert result_key(_step(), {"x": "1"}) != result_key(_step(), {"x": "2"})
+
+    def test_sensitive_to_seeded_outputs(self):
+        bare = result_key(_step(), {"x": "1"})
+        seeded = result_key(_step(), {"x": "1"}, {"tokens": 42})
+        assert bare != seeded
+
+    def test_sensitive_to_calibration(self):
+        real = result_key(_step(), {"x": "1"})
+        other = result_key(_step(), {"x": "1"}, calibration_hash="0" * KEY_LENGTH)
+        assert real != other
+
+    def test_parameter_order_is_irrelevant(self):
+        assert result_key(_step(), {"a": "1", "b": "2"}) == result_key(
+            _step(), {"b": "2", "a": "1"}
+        )

@@ -1,0 +1,149 @@
+"""Result store round-trips, persistence, and the query layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.store import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    CampaignRow,
+    JsonlStore,
+    SqliteStore,
+    open_store,
+)
+from repro.errors import ConfigError
+
+BACKENDS = {
+    "jsonl": "store.jsonl",
+    "sqlite": "store.sqlite",
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def store(request, tmp_path):
+    return open_store(tmp_path / BACKENDS[request.param])
+
+
+def _row(key: str = "k1", **kwargs) -> CampaignRow:
+    defaults = dict(
+        key=key,
+        campaign="camp",
+        step="train",
+        index=0,
+        parameters={"system": "A100", "gbs": "256"},
+        status=STATUS_COMPLETED,
+        outputs={"tokens_per_s": 1234.5, "note": "ok"},
+        stdout="iteration 1\n",
+        attempts=1,
+    )
+    defaults.update(kwargs)
+    return CampaignRow(**defaults)
+
+
+class TestBackends:
+    def test_open_store_picks_backend(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.jsonl"), JsonlStore)
+        assert isinstance(open_store(tmp_path / "a.sqlite"), SqliteStore)
+        assert isinstance(open_store(tmp_path / "a.db"), SqliteStore)
+        assert isinstance(open_store(tmp_path / "noext"), JsonlStore)
+
+    def test_round_trip_exact(self, store):
+        row = _row()
+        store.put(row)
+        assert store.get("k1") == row
+        assert store.get("k1").canonical() == row.canonical()
+
+    def test_get_missing(self, store):
+        assert store.get("nope") is None
+
+    def test_supersede_keeps_latest(self, store):
+        store.put(_row(status=STATUS_FAILED, error="ValueError: kaboom", outputs={}))
+        store.put(_row(attempts=2))
+        assert len(store) == 1
+        assert store.get("k1").completed
+        assert store.get("k1").attempts == 2
+
+    def test_reopen_persists(self, store):
+        store.put(_row("k1"))
+        store.put(_row("k2", index=1))
+        reopened = open_store(store.path)
+        assert [r.key for r in reopened.rows()] == ["k1", "k2"]
+        assert reopened.get("k2") == _row("k2", index=1)
+
+    def test_failed_row_round_trip(self, store):
+        row = _row(status=STATUS_FAILED, error="ValueError: kaboom", outputs={})
+        store.put(row)
+        loaded = store.get("k1")
+        assert not loaded.completed
+        assert loaded.error == "ValueError: kaboom"
+
+
+class TestQueryLayer:
+    @pytest.fixture
+    def filled(self, store):
+        store.put(_row("k1", parameters={"system": "A100", "gbs": "256"}))
+        store.put(
+            _row(
+                "k2",
+                index=1,
+                parameters={"system": "H100", "gbs": "256"},
+                outputs={"tokens_per_s": 2000.0},
+            )
+        )
+        store.put(
+            _row(
+                "k3",
+                index=2,
+                step="analyse",
+                parameters={"system": "A100", "gbs": "512"},
+                status=STATUS_FAILED,
+                outputs={},
+                error="boom",
+            )
+        )
+        return store
+
+    def test_query_by_step_status_params(self, filled):
+        assert len(filled.query(step="train")) == 2
+        assert [r.key for r in filled.query(status=STATUS_FAILED)] == ["k3"]
+        assert [r.key for r in filled.query(where={"system": "A100"})] == ["k1", "k3"]
+        assert filled.query(campaign="other") == []
+
+    def test_aggregate(self, filled):
+        by_system = filled.aggregate("tokens_per_s", by="system")
+        assert by_system == {"A100": 1234.5, "H100": 2000.0}
+        total = filled.aggregate("tokens_per_s", agg="sum")
+        assert total[""] == pytest.approx(3234.5)
+
+    def test_aggregate_skips_non_numeric_and_failed(self, filled):
+        # "note" is a string output; k3 is failed — neither contributes.
+        assert filled.aggregate("note") == {}
+        assert "512" not in filled.aggregate("tokens_per_s", by="gbs")
+
+    def test_aggregate_unknown_reducer(self, filled):
+        with pytest.raises(ConfigError, match="unknown aggregation"):
+            filled.aggregate("tokens_per_s", agg="median")
+
+    def test_to_csv(self, filled, tmp_path):
+        out = filled.to_csv(tmp_path / "out.csv", status=STATUS_COMPLETED)
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("step,status,system,gbs")
+        assert len(lines) == 3
+
+    def test_to_csv_explicit_columns(self, filled, tmp_path):
+        out = filled.to_csv(
+            tmp_path / "out.csv", columns=("system", "tokens_per_s"), step="train"
+        )
+        assert out.read_text().splitlines() == [
+            "system,tokens_per_s",
+            "A100,1234.5",
+            "H100,2000.0",
+        ]
+
+
+def test_corrupt_jsonl_raises(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"key": "k1"}\nnot json\n')
+    with pytest.raises(ConfigError, match="corrupt campaign store"):
+        JsonlStore(path)
