@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures report validate campaign-demo clean
+.PHONY: install test bench figures report validate campaign-demo trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -25,6 +25,9 @@ validate:
 campaign-demo:
 	$(PYTHON) examples/campaign_sweep.py
 
+trace-demo:
+	$(PYTHON) examples/trace_demo.py trace_demo.json
+
 clean:
-	rm -rf figures caraml_report.md benchmarks/output .pytest_cache
+	rm -rf figures caraml_report.md trace_demo.json benchmarks/output .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Trace a tiny campaign and export it as Perfetto-loadable JSON.
+
+Runs a two-system LLM campaign with ``--trace``, validates the
+resulting Chrome Trace Event file against the schema, and prints the
+per-span time and energy summary. The output file opens directly in
+https://ui.perfetto.dev — nested spans for every phase and
+workpackage, one power counter track per simulated device, and the
+campaign's cache/retry events.
+
+Usage::
+
+    python examples/trace_demo.py [trace_demo.json]
+"""
+
+# Make the in-repo package importable regardless of the working directory.
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import yaml
+
+from repro.core.cli import run as caraml
+
+SPEC = {
+    "name": "trace-demo",
+    "systems": ["A100", "GH200"],
+    "workloads": [
+        {
+            "kind": "llm",
+            "axes": {"global_batch_size": [256, 1024]},
+            "fixed": {"exit_duration": "10"},
+        }
+    ],
+}
+
+
+def main() -> None:
+    trace = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("trace_demo.json")
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = Path(tmp) / "campaign.yaml"
+        spec_path.write_text(yaml.safe_dump(SPEC))
+        store = Path(tmp) / "rows.jsonl"
+        commands = [
+            ["campaign", "run", str(spec_path), "--store", str(store),
+             "--trace", str(trace)],
+            ["trace", "validate", str(trace)],
+            ["trace", "summary", str(trace)],
+        ]
+        for argv in commands:
+            code = caraml(argv)
+            if code != 0:
+                sys.exit(code)
+    print(f"\nopen {trace} in https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,17 @@ from repro.jube.runner import (
     WorkResult,
     execute_workpackage,
 )
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+
+logger = get_logger(__name__)
+
+#: Sleep signature: receives the delay in seconds.  ``time.sleep`` by
+#: default; tests and traced runs inject a virtual clock's ``advance``
+#: so backoff waits are deterministic (and visible on the timeline)
+#: instead of real.
+SleepFn = Callable[[float], None]
 
 #: Default registry factory: the CARAML benchmark operations.
 DEFAULT_REGISTRY_FACTORY = "repro.core.registry:build_operation_registry"
@@ -89,9 +100,17 @@ def run_item_isolated(
     registry: OperationRegistry,
     item: WorkItem,
     retry: RetryPolicy = RetryPolicy(),
-    sleep: Callable[[float], None] = time.sleep,
+    sleep: SleepFn = time.sleep,
 ) -> WorkResult:
-    """Execute one item, capturing failures and retrying transients."""
+    """Execute one item, capturing failures and retrying transients.
+
+    Retries and their backoff waits are observable: each transient
+    failure emits a ``campaign/retry`` event and the wait itself is a
+    ``campaign/backoff`` span, so a traced campaign shows exactly where
+    retry time went.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
     attempt = 0
     while True:
         attempt += 1
@@ -101,11 +120,34 @@ def run_item_isolated(
             return result
         except TransientError as exc:
             if attempt > retry.max_retries:
+                logger.warning(
+                    "workpackage %s#%d failed after %d attempts: %s",
+                    item.step.name, item.index, attempt, exc,
+                )
                 return WorkResult(
                     error=f"{type(exc).__name__}: {exc}", attempts=attempt
                 )
-            sleep(retry.delay(attempt))
+            delay = retry.delay(attempt)
+            logger.info(
+                "workpackage %s#%d transient failure (attempt %d), retrying in %gs: %s",
+                item.step.name, item.index, attempt, delay, exc,
+            )
+            metrics.counter("campaign_retries_total", "transient retries").inc(
+                step=item.step.name
+            )
+            tracer.event(
+                "campaign/retry",
+                attrs={"step": item.step.name, "index": item.index, "attempt": attempt},
+            )
+            with tracer.span(
+                "campaign/backoff",
+                attrs={"step": item.step.name, "index": item.index, "delay_s": delay},
+            ):
+                sleep(delay)
         except Exception as exc:  # noqa: BLE001 — isolation is the point
+            logger.warning(
+                "workpackage %s#%d failed: %s", item.step.name, item.index, exc
+            )
             return WorkResult(error=f"{type(exc).__name__}: {exc}", attempts=attempt)
 
 
@@ -121,13 +163,18 @@ class IsolatingExecutor:
         self,
         registry_factory: RegistryFactory | str | None = None,
         retry: RetryPolicy = RetryPolicy(),
+        sleep: SleepFn = time.sleep,
     ) -> None:
         self.registry = resolve_registry_factory(registry_factory)()
         self.retry = retry
+        self.sleep = sleep
 
     def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
         """Execute items in order; failures are captured per item."""
-        return [run_item_isolated(self.registry, item, self.retry) for item in items]
+        return [
+            run_item_isolated(self.registry, item, self.retry, self.sleep)
+            for item in items
+        ]
 
 
 # -- process pool -----------------------------------------------------------
@@ -142,13 +189,14 @@ def _pool_worker(
     factory: RegistryFactory | str | None,
     item: WorkItem,
     retry: RetryPolicy,
+    sleep: SleepFn = time.sleep,
 ) -> WorkResult:
     """Executed in the worker process: build/reuse registry, run item."""
     global _worker_registry, _worker_factory_spec
     if _worker_registry is None or _worker_factory_spec != factory:
         _worker_registry = resolve_registry_factory(factory)()
         _worker_factory_spec = factory
-    return run_item_isolated(_worker_registry, item, retry)
+    return run_item_isolated(_worker_registry, item, retry, sleep)
 
 
 class PoolExecutor:
@@ -165,6 +213,7 @@ class PoolExecutor:
         max_workers: int | None = None,
         registry_factory: RegistryFactory | str | None = None,
         retry: RetryPolicy = RetryPolicy(),
+        sleep: SleepFn = time.sleep,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be >= 1")
@@ -173,6 +222,7 @@ class PoolExecutor:
             registry_factory if registry_factory is not None else DEFAULT_REGISTRY_FACTORY
         )
         self.retry = retry
+        self.sleep = sleep  # must be picklable (it ships to the workers)
         # Fail fast on an unresolvable factory, in the parent process.
         resolve_registry_factory(self.registry_factory)
 
@@ -181,9 +231,12 @@ class PoolExecutor:
         if not items:
             return []
         workers = self.max_workers or min(len(items), 8)
+        logger.info("pool executor: %d items across %d workers", len(items), workers)
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_pool_worker, self.registry_factory, item, self.retry)
+                pool.submit(
+                    _pool_worker, self.registry_factory, item, self.retry, self.sleep
+                )
                 for item in items
             ]
             return [f.result() for f in futures]

@@ -23,6 +23,9 @@ from typing import Mapping
 
 from repro.jube.script import BenchmarkScript
 from repro.jube.steps import Step
+from repro.obs.log import get_logger
+
+logger = get_logger(__name__)
 
 #: Length of the hex digest used as row keys (collision-safe for any
 #: realistic campaign size while staying readable in logs and CSVs).
@@ -125,4 +128,6 @@ def result_key(
             else calibration_fingerprint()
         ),
     }
-    return _digest(state)
+    key = _digest(state)
+    logger.debug("result key %s <- %s", key, state["parameters"])
+    return key

@@ -34,6 +34,11 @@ from repro.campaign.store import (
 from repro.jube.parameters import expand_parameter_space
 from repro.jube.runner import WorkItem, WorkpackageExecutor, work_item_for
 from repro.jube.steps import order_steps
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -147,6 +152,9 @@ class CampaignRunner:
         calibration_hash = calibration_fingerprint()
         report = CampaignReport(campaign=spec.name)
         seeds: dict[str, list[CampaignRow]] = {}
+        tracer = get_tracer()
+        metrics = get_metrics()
+        logger.info("campaign %s: run (resume=%s)", spec.name, resume)
         for step in order_steps(script.steps, tagset):
             planned = self._planned_items(script, step, tagset, seeds, calibration_hash)
             report.total += len(planned)
@@ -159,10 +167,28 @@ class CampaignRunner:
                     final[key] = row
                     if row.completed:
                         report.cached += 1
+                        metrics.counter(
+                            "campaign_cache_hits_total", "store hits"
+                        ).inc(step=step.name)
+                        tracer.event(
+                            "campaign/cache_hit",
+                            attrs={"step": step.name, "key": key[:12]},
+                        )
+                        logger.debug(
+                            "cache hit %s#%d (%s)", step.name, item.index, key[:12]
+                        )
                 else:
                     to_run.append((key, item))
 
-            results = self.executor.run_items([item for _, item in to_run])
+            logger.info(
+                "step %s: %d planned, %d cached, %d to execute",
+                step.name, len(planned), len(planned) - len(to_run), len(to_run),
+            )
+            with tracer.span(
+                "campaign/step",
+                attrs={"step": step.name, "planned": len(planned), "misses": len(to_run)},
+            ):
+                results = self.executor.run_items([item for _, item in to_run])
             for (key, item), result in zip(to_run, results):
                 row = CampaignRow(
                     key=key,
@@ -179,11 +205,31 @@ class CampaignRunner:
                 self.store.put(row)
                 final[key] = row
                 report.executed += 1
+                metrics.counter(
+                    "campaign_executed_total", "workpackages executed"
+                ).inc(step=step.name)
+                if result.error:
+                    metrics.counter(
+                        "campaign_failures_total", "workpackages failed"
+                    ).inc(step=step.name)
+                    tracer.event(
+                        "campaign/failure",
+                        attrs={
+                            "step": step.name,
+                            "index": item.index,
+                            "error": result.error,
+                        },
+                    )
+                    logger.warning(
+                        "workpackage %s#%d failed: %s",
+                        step.name, item.index, result.error,
+                    )
 
             step_rows = [final[key] for key, _ in planned]
             report.rows.extend(step_rows)
             report.failed += sum(1 for row in step_rows if not row.completed)
             seeds[step.name] = [row for row in step_rows if row.completed]
+        logger.info("%s", report.describe())
         return report
 
     def continue_run(

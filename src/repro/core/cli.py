@@ -16,12 +16,32 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from repro.core.config import AMDVariant
 from repro.core.suite import SHIPPED_SCRIPTS, CaramlSuite
 from repro.errors import ReproError
 from repro.hardware.systems import SYSTEM_TAGS, get_system
+from repro.obs.cli import add_trace_subparser, run_trace_command
+from repro.obs.log import (
+    add_verbosity_flags,
+    configure_logging,
+    get_logger,
+    verbosity_from_args,
+)
 from repro.simcluster.affinity import BindingPolicy
+
+logger = get_logger(__name__)
+
+
+def _add_trace_flag(parser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a simulated-time trace (.json for Perfetto, .jsonl "
+        "for the event log); open .json files in ui.perfetto.dev",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="caraml",
         description="CARAML: assess AI workloads on (simulated) accelerators.",
     )
+    add_verbosity_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("systems", help="list the Table I systems")
@@ -41,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     llm.add_argument("--mbs", type=int, default=4)
     llm.add_argument("--duration", type=float, default=120.0, help="seconds")
     llm.add_argument("--amd-variant", default="gcd", choices=["gcd", "gpu"])
+    _add_trace_flag(llm)
 
     cnn = sub.add_parser("run-resnet", help="run one ResNet benchmark point")
     cnn.add_argument("--system", required=True, choices=SYSTEM_TAGS)
@@ -55,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[p.value for p in BindingPolicy],
         help="CPU binding policy (paper section V-C)",
     )
+    _add_trace_flag(cnn)
 
     infer = sub.add_parser(
         "run-infer", help="run the LLM inference extension benchmark"
@@ -133,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                 help="run in-process instead of through the process pool",
             )
             cp.add_argument("--tag", action="append", default=[], dest="tags")
+            _add_trace_flag(cp)
         if verb == "run":
             cp.add_argument(
                 "--retry-failed",
@@ -154,7 +178,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not run the deferred post-processing steps",
     )
     jr.add_argument("--table", default=None, help="result table to print")
+    _add_trace_flag(jr)
+
+    add_trace_subparser(sub)
     return parser
+
+
+def _open_tracer(path: str):
+    """A tracer recording simulated time into the sink for ``path``."""
+    from repro.obs.sinks import sink_for_path
+    from repro.obs.trace import Tracer
+    from repro.simcluster.clock import VirtualClock
+
+    return Tracer(clock=VirtualClock(), sinks=[sink_for_path(path)])
+
+
+@contextmanager
+def _maybe_traced(trace_path: str | None, out):
+    """Activate a tracer for the block when ``--trace`` was given."""
+    from repro.obs.trace import activate
+
+    if not trace_path:
+        yield None
+        return
+    tracer = _open_tracer(trace_path)
+    with activate(tracer):
+        yield tracer
+    tracer.close()
+    print(f"trace: {trace_path}", file=out)
 
 
 def _run_campaign(args, out) -> int:
@@ -172,20 +223,37 @@ def _run_campaign(args, out) -> int:
     store = open_store(store_path)
 
     if args.campaign_command in ("run", "continue"):
-        executor = (
-            IsolatingExecutor()
-            if args.sequential
-            else PoolExecutor(max_workers=args.workers)
-        )
-        runner = CampaignRunner(store, executor)
-        if args.campaign_command == "continue":
-            report = runner.continue_run(spec, tags=args.tags)
+        from repro.obs.trace import NULL_TRACER, activate
+
+        tracer = NULL_TRACER
+        if args.trace:
+            # Traced campaigns run sequentially so every workpackage
+            # records into one shared simulated-time timeline (worker
+            # processes cannot reach the parent's tracer), and retry
+            # backoff advances the trace clock instead of real-sleeping.
+            if not args.sequential:
+                logger.info("tracing forces the sequential executor")
+            tracer = _open_tracer(args.trace)
+            executor = IsolatingExecutor(sleep=tracer.virtual_clock.advance)
+        elif args.sequential:
+            executor = IsolatingExecutor()
         else:
-            report = runner.run(
-                spec, tags=args.tags, retry_failed=getattr(args, "retry_failed", False)
-            )
+            executor = PoolExecutor(max_workers=args.workers)
+        runner = CampaignRunner(store, executor)
+        with activate(tracer):
+            if args.campaign_command == "continue":
+                report = runner.continue_run(spec, tags=args.tags)
+            else:
+                report = runner.run(
+                    spec,
+                    tags=args.tags,
+                    retry_failed=getattr(args, "retry_failed", False),
+                )
+        tracer.close()
         print(report.describe(), file=out)
         print(f"store: {store.path}", file=out)
+        if args.trace:
+            print(f"trace: {args.trace}", file=out)
         return 0 if report.failed == 0 else 1
 
     runner = CampaignRunner(store)
@@ -218,6 +286,7 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
     """CLI body; returns the exit code."""
     out = stdout if stdout is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    configure_logging(verbosity_from_args(args))
     suite = CaramlSuite()
 
     if args.command == "systems":
@@ -227,27 +296,29 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
         return 0
 
     if args.command == "run-llm":
-        result = suite.run_llm(
-            args.system,
-            model_size=args.model,
-            global_batch_size=args.gbs,
-            micro_batch_size=args.mbs,
-            exit_duration_s=args.duration,
-            amd_variant=AMDVariant(args.amd_variant),
-        )
+        with _maybe_traced(args.trace, out):
+            result = suite.run_llm(
+                args.system,
+                model_size=args.model,
+                global_batch_size=args.gbs,
+                micro_batch_size=args.mbs,
+                exit_duration_s=args.duration,
+                amd_variant=AMDVariant(args.amd_variant),
+            )
         _print_result_row(result, out)
         return 0
 
     if args.command == "run-resnet":
-        result = suite.run_resnet(
-            args.system,
-            model=args.model,
-            global_batch_size=args.gbs,
-            devices=args.devices,
-            amd_variant=AMDVariant(args.amd_variant),
-            synthetic_data=args.synthetic,
-            binding=BindingPolicy(args.binding),
-        )
+        with _maybe_traced(args.trace, out):
+            result = suite.run_resnet(
+                args.system,
+                model=args.model,
+                global_batch_size=args.gbs,
+                devices=args.devices,
+                amd_variant=AMDVariant(args.amd_variant),
+                synthetic_data=args.synthetic,
+                binding=BindingPolicy(args.binding),
+            )
         _print_result_row(result, out)
         return 0
 
@@ -323,10 +394,14 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
     if args.command == "campaign":
         return _run_campaign(args, out)
 
+    if args.command == "trace":
+        return run_trace_command(args, out)
+
     if args.command == "jube" and args.jube_command == "run":
-        jube_run = suite.jube_run(args.script, tags=args.tags)
-        if not args.skip_continue:
-            suite.jube_continue(jube_run)
+        with _maybe_traced(args.trace, out):
+            jube_run = suite.jube_run(args.script, tags=args.tags)
+            if not args.skip_continue:
+                suite.jube_continue(jube_run)
         print(suite.jube_result(jube_run, args.table), file=out)
         return 0
 
@@ -338,7 +413,7 @@ def main() -> None:
     try:
         sys.exit(run())
     except ReproError as exc:
-        print(f"caraml: error: {exc}", file=sys.stderr)
+        logger.error("caraml: %s", exc)
         sys.exit(2)
 
 

@@ -178,7 +178,16 @@ class InferenceEngine:
             return requests
 
         _, elapsed, energy_wh, mean_power = measure_run(
-            self.node, 1, body, sample_interval_ms=sample_interval_ms
+            self.node,
+            1,
+            body,
+            sample_interval_ms=sample_interval_ms,
+            span_name="llm/serve",
+            span_attrs={
+                "model": self.model.name,
+                "batch_size": workload.batch_size,
+                "requests": requests,
+            },
         )
         generated = requests * workload.batch_size * workload.generate_tokens
         return TrainResult(

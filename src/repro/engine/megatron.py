@@ -21,6 +21,7 @@ from repro.errors import ConfigError, OutOfMemoryError
 from repro.hardware.accelerator import AcceleratorKind
 from repro.hardware.node import NodeSpec
 from repro.models.lossmodel import GPT_LOSS
+from repro.obs.metrics import get_metrics
 from repro.models.parallelism import ParallelLayout
 from repro.models.transformer import GPTConfig
 from repro.simcluster.affinity import BindingPolicy
@@ -107,10 +108,22 @@ class MegatronEngine:
             return iterations
 
         _, elapsed, energy_wh, mean_power = measure_run(
-            self.node, local_devices, body, sample_interval_ms=sample_interval_ms
+            self.node,
+            local_devices,
+            body,
+            sample_interval_ms=sample_interval_ms,
+            span_name="llm/train",
+            span_attrs={
+                "model": self.model.name,
+                "global_batch_size": global_batch_size,
+                "iterations": iterations,
+            },
         )
         tokens = global_batch_size * self.model.seq_length * iterations
         throughput = tokens / elapsed
+        get_metrics().gauge("llm_tokens_per_s", "LLM training throughput").set(
+            throughput, system=self.node.jube_tag, model=self.model.name
+        )
         final_loss = GPT_LOSS.loss(tokens, global_batch_size)
         return TrainResult(
             system_tag=self.node.jube_tag,

@@ -212,6 +212,11 @@ class PoplarGPTEngine:
             self.pipeline_stages * self.instances,
             body,
             sample_interval_ms=sample_interval_ms,
+            span_name="llm/train",
+            span_attrs={
+                "model": self.model.name,
+                "global_batch_size": global_batch_size,
+            },
         )
         throughput = global_batch_size / t_iter
         return TrainResult(
@@ -324,7 +329,15 @@ class PoplarResNetEngine:
             return 1
 
         _, elapsed, energy_wh, mean_power = measure_run(
-            self.node, self.replicas, body, sample_interval_ms=sample_interval_ms
+            self.node,
+            self.replicas,
+            body,
+            sample_interval_ms=sample_interval_ms,
+            span_name="resnet/train",
+            span_attrs={
+                "model": self.model.name,
+                "global_batch_size": global_batch_size,
+            },
         )
         return TrainResult(
             system_tag=self.node.jube_tag,

@@ -24,6 +24,7 @@ from repro.hardware.accelerator import AcceleratorKind
 from repro.hardware.node import NodeSpec
 from repro.models.lossmodel import RESNET_LOSS
 from repro.models.resnet import CNNConfig
+from repro.obs.metrics import get_metrics
 from repro.simcluster.affinity import BindingPolicy
 
 #: The benchmark's fixed iteration count.
@@ -104,10 +105,22 @@ class TFCNNEngine:
             return iterations
 
         _, elapsed, energy_wh, mean_power = measure_run(
-            self.node, local_devices, body, sample_interval_ms=sample_interval_ms
+            self.node,
+            local_devices,
+            body,
+            sample_interval_ms=sample_interval_ms,
+            span_name="resnet/train",
+            span_attrs={
+                "model": self.model.name,
+                "global_batch_size": global_batch_size,
+                "iterations": iterations,
+            },
         )
         images = global_batch_size * iterations
         throughput = images / elapsed
+        get_metrics().gauge("resnet_images_per_s", "CNN training throughput").set(
+            throughput, system=self.node.jube_tag, model=self.model.name
+        )
         epoch_s = self.dataset_images / throughput
         epoch_energy_per_device_wh = mean_power * epoch_s / 3600.0
         return TrainResult(

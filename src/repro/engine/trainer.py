@@ -17,11 +17,14 @@ from repro.errors import ConfigError
 from repro.hardware.accelerator import Vendor
 from repro.hardware.node import NodeSpec
 from repro.jpwr.ctxmgr import MeasuredScope, get_power
+from repro.jpwr.energy import TIME_COLUMN
 from repro.jpwr.methods.base import PowerMethod
 from repro.jpwr.methods.gcipuinfo import GcIpuInfoMethod
 from repro.jpwr.methods.gh import GraceHopperMethod
 from repro.jpwr.methods.pynvml import PynvmlMethod
 from repro.jpwr.methods.rocmsmi import RocmSmiMethod
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.power.sensors import DeviceRegistry, SimulatedDevice
 from repro.simcluster.clock import VirtualClock
 
@@ -126,21 +129,24 @@ class PhaseRunner:
         """One constant-utilisation phase across all active devices."""
         if duration_s <= 0:
             return
-        for dev in self.devices:
-            dev.set_utilisation(utilisation)
-        self.scope.sample()
-        self.clock.advance(duration_s)
-        self.scope.sample()
+        with get_tracer().span("engine/phase", attrs={"utilisation": utilisation}):
+            for dev in self.devices:
+                dev.set_utilisation(utilisation)
+            self.scope.sample()
+            self.clock.advance(duration_s)
+            self.scope.sample()
 
     def run_step(self, step: StepBreakdown) -> None:
         """One optimizer step: a busy phase plus a low-utilisation tail."""
-        self.run_phase(step.busy_s, step.utilisation)
-        tail = step.total_s - step.busy_s
-        self.run_phase(tail, min(step.utilisation, LOW_PHASE_UTILISATION))
+        with get_tracer().span("engine/step"):
+            self.run_phase(step.busy_s, step.utilisation)
+            tail = step.total_s - step.busy_s
+            self.run_phase(tail, min(step.utilisation, LOW_PHASE_UTILISATION))
 
     def idle(self, duration_s: float) -> None:
         """Idle period (setup, data staging)."""
-        self.run_phase(duration_s, 0.0)
+        with get_tracer().span("engine/idle"):
+            self.run_phase(duration_s, 0.0)
 
 
 def measure_run(
@@ -149,25 +155,38 @@ def measure_run(
     body,
     *,
     sample_interval_ms: float = 100.0,
+    span_name: str = "engine/run",
+    span_attrs: dict | None = None,
 ) -> tuple[object, float, float, float]:
     """Execute ``body(runner, clock)`` under a jpwr scope.
 
     Returns ``(body_result, elapsed_s, energy_per_device_wh,
     mean_power_per_device_w)`` where energy/power are averaged over the
     active devices only.
+
+    When a tracer with a virtual clock is active (``--trace`` runs),
+    the run adopts that clock instead of creating its own, so every run
+    in the traced scope shares one monotonically advancing simulated
+    timeline; the run is recorded as a ``span_name`` span and the jpwr
+    sample frame is replayed onto ``power/<device>`` counter tracks.
     """
     if devices_used < 1 or devices_used > node.logical_devices_per_node:
         raise ConfigError(
             f"devices_used={devices_used} out of range for {node.name}"
         )
-    clock = VirtualClock()
+    tracer = get_tracer()
+    clock = tracer.virtual_clock if tracer.virtual_clock is not None else VirtualClock()
     registry = DeviceRegistry.for_node(node, clock=clock)
     active = [registry.get(i) for i in range(devices_used)]
     methods = jpwr_methods_for_node(node, registry)
     start = clock.now()
-    with get_power(methods, sample_interval_ms, clock=clock, manual=True) as scope:
-        runner = PhaseRunner(clock, scope, active)
-        result = body(runner, clock)
+    attrs = {"system": node.jube_tag, "devices": devices_used}
+    if span_attrs:
+        attrs.update(span_attrs)
+    with tracer.span(span_name, attrs=attrs):
+        with get_power(methods, sample_interval_ms, clock=clock, manual=True) as scope:
+            runner = PhaseRunner(clock, scope, active)
+            result = body(runner, clock)
     elapsed = clock.now() - start
     # Energy per active device from the primary method's columns, which
     # are named f"{prefix}{device_index}" (gpu0, gcd3, ipu1, ...).
@@ -184,4 +203,23 @@ def measure_run(
         prefix_labels
     )
     mean_power = per_device_wh * 3600.0 / elapsed if elapsed > 0 else 0.0
+    if tracer.enabled:
+        # Replay the sample frame as counter tracks aligned with the
+        # spans; only the active-device columns carry the result-table
+        # energy, so only they become power/ tracks (auxiliary backends
+        # like the GH200 sysfs module get a power_aux/ prefix).
+        for row in scope.df.rows():
+            t = row[TIME_COLUMN]
+            for label, value in row.items():
+                if label == TIME_COLUMN:
+                    continue
+                prefix = "power/" if label in prefix_labels else "power_aux/"
+                tracer.counter(f"{prefix}{label}", value, t=t)
+    metrics = get_metrics()
+    metrics.counter(
+        "energy_wh_total", "integrated device energy across runs"
+    ).inc(per_device_wh * len(active), system=node.jube_tag)
+    metrics.histogram(
+        "run_elapsed_s", "simulated duration of measured runs"
+    ).observe(elapsed, system=node.jube_tag)
     return result, elapsed, per_device_wh, mean_power

@@ -30,8 +30,16 @@ from repro.jpwr.ctxmgr import get_power
 from repro.jpwr.export import FILETYPES, export_measurement
 from repro.jpwr.methods import available_methods, create_method
 from repro.jpwr.methods.base import set_active_registry
+from repro.obs.log import (
+    add_verbosity_flags,
+    configure_logging,
+    get_logger,
+    verbosity_from_args,
+)
 from repro.power.sensors import DeviceRegistry
 from repro.simcluster.clock import VirtualClock
+
+logger = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="jpwr",
         description="Measure power and energy of (simulated) compute devices.",
     )
+    add_verbosity_flags(parser)
     parser.add_argument(
         "--methods",
         nargs="+",
@@ -115,6 +124,7 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
     out = stdout if stdout is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(verbosity_from_args(args))
 
     command = list(args.command)
     if command and command[0] == "--":
@@ -196,7 +206,7 @@ def main() -> None:
     try:
         sys.exit(run())
     except ReproError as exc:
-        print(f"jpwr: error: {exc}", file=sys.stderr)
+        logger.error("jpwr: %s", exc)
         sys.exit(2)
 
 

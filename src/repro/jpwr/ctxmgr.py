@@ -33,6 +33,9 @@ from repro.errors import MeasurementError
 from repro.jpwr.energy import TIME_COLUMN, energy_frame
 from repro.jpwr.frame import DataFrame
 from repro.jpwr.methods.base import PowerMethod
+from repro.obs.log import get_logger
+
+logger = get_logger(__name__)
 
 
 class MeasuredScope:
@@ -102,6 +105,15 @@ class MeasuredScope:
             self._thread.join()
             self._thread = None
         self.sample()
+        if self.dropped_samples:
+            logger.warning(
+                "dropped %d power samples to sensor read failures",
+                self.dropped_samples,
+            )
+        logger.debug(
+            "measurement scope closed: %d samples, %d columns",
+            len(self.df), max(0, len(self.df.columns) - 1),
+        )
 
     def _loop(self) -> None:
         period_s = self.interval_ms / 1000.0

@@ -21,6 +21,14 @@ from repro.errors import ReproError
 from repro.jube.runner import JubeRunner
 from repro.jube.rundir import load_run, resolve_run_id, save_run
 from repro.jube.script import load_script
+from repro.obs.log import (
+    add_verbosity_flags,
+    configure_logging,
+    get_logger,
+    verbosity_from_args,
+)
+
+logger = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="jube-lite",
         description="Minimal JUBE workflow runner for the CARAML scripts.",
     )
+    add_verbosity_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="execute a benchmark script")
@@ -50,6 +59,7 @@ def main_body(argv: list[str] | None = None, *, stdout=None) -> int:
     """CLI body; returns the exit code."""
     out = stdout if stdout is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    configure_logging(verbosity_from_args(args))
     runner = JubeRunner(build_operation_registry())
 
     if args.command == "run":
@@ -88,7 +98,7 @@ def main() -> None:
     try:
         sys.exit(main_body())
     except ReproError as exc:
-        print(f"jube-lite: error: {exc}", file=sys.stderr)
+        logger.error("jube-lite: %s", exc)
         sys.exit(2)
 
 

@@ -17,6 +17,10 @@ from repro.jube.parameters import expand_parameter_space, substitute
 from repro.jube.result import ResultTable, render_table
 from repro.jube.script import BenchmarkScript
 from repro.jube.steps import Step, Workpackage, order_steps
+from repro.obs.log import get_logger
+from repro.obs.trace import get_tracer
+
+logger = get_logger(__name__)
 
 #: Operation signature: (args, workpackage) -> optional dict of outputs.
 Operation = Callable[[dict[str, str], Workpackage], dict | None]
@@ -125,9 +129,14 @@ def execute_workpackage(registry: OperationRegistry, item: WorkItem) -> WorkResu
     wp = Workpackage(step=item.step, parameters=dict(item.parameters), index=item.index)
     wp.outputs.update(item.outputs)
     wp.stdout = item.stdout
-    for template in item.step.operations:
-        command = substitute(template, item.parameters)
-        registry.dispatch(command, wp)
+    attrs = {"step": item.step.name, "index": item.index, **item.parameters}
+    with get_tracer().span("jube/workpackage", attrs=attrs):
+        for template in item.step.operations:
+            command = substitute(template, item.parameters)
+            logger.debug(
+                "workpackage %s#%d: %s", item.step.name, item.index, command
+            )
+            registry.dispatch(command, wp)
     return WorkResult(outputs=wp.outputs, stdout=wp.stdout)
 
 
@@ -257,7 +266,11 @@ class JubeRunner:
             work_item_for(step, combo, base_index + i, run.packages_for)
             for i, combo in enumerate(combos)
         ]
-        results = self.executor.run_items(items)
+        logger.info("step %s: %d workpackages", step.name, len(items))
+        with get_tracer().span(
+            "jube/step", attrs={"step": step.name, "workpackages": len(items)}
+        ):
+            results = self.executor.run_items(items)
         if len(results) != len(items):
             raise JubeError(
                 f"executor returned {len(results)} results for {len(items)} items"

@@ -1,0 +1,78 @@
+"""The ``caraml trace`` subcommand group.
+
+Operates on trace files produced by ``--trace`` runs::
+
+    caraml trace summary run.json       # per-span time/energy table
+    caraml trace convert run.jsonl run.json   # event log -> Perfetto
+    caraml trace validate run.json      # Trace Event schema check
+
+``summary`` accepts both formats (the JSONL event log and the exported
+Perfetto JSON) and prints the per-span-name time breakdown, event
+counts and the Wh integrated from the power counter tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.log import get_logger
+from repro.obs.sinks import load_jsonl, validate_trace_events, write_perfetto
+from repro.obs.summary import load_trace, render_summary, summarize
+
+logger = get_logger(__name__)
+
+
+def add_trace_subparser(sub) -> None:
+    """Register the ``trace`` group on the main CLI's subparsers."""
+    trace = sub.add_parser("trace", help="inspect and convert recorded traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    summary = trace_sub.add_parser(
+        "summary", help="per-span time/energy breakdown of a trace"
+    )
+    summary.add_argument("file", help="trace file (.jsonl event log or Perfetto .json)")
+
+    convert = trace_sub.add_parser(
+        "convert", help="convert a JSONL event log to Perfetto JSON"
+    )
+    convert.add_argument("input", help="JSONL event log")
+    convert.add_argument("output", help="Perfetto JSON output path")
+
+    validate = trace_sub.add_parser(
+        "validate", help="check a Perfetto JSON file against the Trace Event schema"
+    )
+    validate.add_argument("file", help="Perfetto JSON trace")
+
+
+def run_trace_command(args, out) -> int:
+    """Dispatch one ``caraml trace ...`` invocation; returns exit code."""
+    if args.trace_command == "summary":
+        summary = summarize(load_trace(args.file))
+        print(render_summary(summary), file=out)
+        return 0
+
+    if args.trace_command == "convert":
+        records = load_jsonl(args.input)
+        if not records:
+            raise ReproError(f"no trace records in {args.input}")
+        path = write_perfetto(records, args.output)
+        logger.info("converted %d records", len(records))
+        print(f"wrote {path}", file=out)
+        return 0
+
+    if args.trace_command == "validate":
+        try:
+            doc = json.loads(Path(args.file).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read trace {args.file!r}: {exc}") from None
+        problems = validate_trace_events(doc)
+        for problem in problems:
+            print(f"  {problem}", file=out)
+        events = len(doc.get("traceEvents", [])) if isinstance(doc, dict) else 0
+        verdict = "valid" if not problems else f"{len(problems)} problems"
+        print(f"{args.file}: {events} events, {verdict}", file=out)
+        return 0 if not problems else 1
+
+    raise AssertionError("unreachable")  # pragma: no cover

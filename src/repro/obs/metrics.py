@@ -1,0 +1,228 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+The quantities the paper reports — tokens/s, images/s, Wh — plus the
+operational counters a campaign produces (cache hits, retries,
+failures) are recorded against a process-wide registry::
+
+    metrics = get_metrics()
+    metrics.counter("campaign_cache_hits_total").inc()
+    metrics.gauge("llm_tokens_per_s").set(47500.0, system="A100")
+    metrics.histogram("workpackage_seconds").observe(12.5)
+
+Every instrument is **labelled**: each distinct label set is one
+series, so ``system="A100"`` and ``system="MI250"`` accumulate
+independently.  :meth:`MetricsRegistry.snapshot` returns the whole
+state as plain data for assertions and export; instruments are cheap
+dictionaries, safe to update from the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterator
+
+from repro.errors import ReproError
+
+#: Histogram bucket upper bounds used when none are given (seconds-ish
+#: scale, spanning micro-benchmarks to hour-long simulated runs).
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0, 3600.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be non-negative) to one series."""
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0.0 if never incremented)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> Iterator[tuple[dict[str, str], float]]:
+        """Iterate ``(labels, value)`` pairs in insertion order."""
+        for key, value in self._series.items():
+            yield dict(key), value
+
+
+class Gauge:
+    """Point-in-time value per label set (can go up and down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set one series to ``value``."""
+        self._series[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: str) -> None:
+        """Adjust one series by ``amount``."""
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0.0 if never set)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> Iterator[tuple[dict[str, str], float]]:
+        """Iterate ``(labels, value)`` pairs in insertion order."""
+        for key, value in self._series.items():
+            yield dict(key), value
+
+
+class Histogram:
+    """Bucketed distribution per label set (cumulative buckets)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ReproError(f"histogram {name!r} needs sorted, non-empty buckets")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self._series: dict[LabelKey, dict] = {}
+
+    def _state(self, key: LabelKey) -> dict:
+        if key not in self._series:
+            self._series[key] = {
+                "counts": [0] * (len(self.buckets) + 1),  # +inf overflow
+                "sum": 0.0,
+                "count": 0,
+            }
+        return self._series[key]
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into its bucket."""
+        state = self._state(_label_key(labels))
+        state["sum"] += float(value)
+        state["count"] += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                state["counts"][i] += 1
+                return
+        state["counts"][-1] += 1
+
+    def count(self, **labels: str) -> int:
+        """Observations recorded in one series."""
+        return self._series.get(_label_key(labels), {"count": 0})["count"]
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observed values in one series."""
+        return self._series.get(_label_key(labels), {"sum": 0.0})["sum"]
+
+    def mean(self, **labels: str) -> float:
+        """Mean observed value (0.0 with no observations)."""
+        n = self.count(**labels)
+        return self.sum(**labels) / n if n else 0.0
+
+    def series(self) -> Iterator[tuple[dict[str, str], dict]]:
+        """Iterate ``(labels, state)`` pairs in insertion order."""
+        for key, state in self._series.items():
+            yield dict(key), {
+                "counts": list(state["counts"]),
+                "sum": state["sum"],
+                "count": state["count"],
+            }
+
+
+class MetricsRegistry:
+    """Creates and holds named instruments; get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ReproError(
+                        f"metric {name!r} is a {existing.kind}, not a {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> list[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """The whole registry as plain data (stable across calls)."""
+        out: dict = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            out[name] = {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "series": [
+                    {"labels": labels, "value": value}
+                    for labels, value in instrument.series()
+                ],
+            }
+        return out
+
+    def to_json(self) -> str:
+        """Deterministic JSON form of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":"))
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+_default = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry instrumented code records against."""
+    return _default
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default
+    previous = _default
+    _default = registry
+    return previous

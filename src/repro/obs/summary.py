@@ -1,0 +1,203 @@
+"""Trace summarisation: where did the (simulated) seconds and Wh go.
+
+Loads a trace produced by the sinks — either the JSONL event log or
+the exported Perfetto JSON — and aggregates it into a per-span-name
+time breakdown plus per-counter-track integrals.  Power counters
+(``power/<device>``, watts) integrate trapezoidally to Wh with exactly
+the arithmetic :mod:`repro.jpwr.energy` applies to the live sample
+frame, so the summary's energy matches the run's result table to float
+tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.obs.sinks import load_jsonl
+from repro.units import joules_to_wh
+
+#: Counter-name prefix identifying power tracks (values in watts).
+POWER_PREFIX = "power/"
+
+
+@dataclass
+class SpanStat:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def add(self, duration: float) -> None:
+        """Fold one span occurrence in."""
+        self.count += 1
+        self.total_s += duration
+        self.min_s = min(self.min_s, duration)
+        self.max_s = max(self.max_s, duration)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean duration."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``caraml trace summary`` reports."""
+
+    spans: dict[str, SpanStat] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+    counter_samples: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    t_min: float = float("inf")
+    t_max: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall span of the trace: first span start to last span end."""
+        return max(0.0, self.t_max - self.t_min) if self.spans else 0.0
+
+    def counter_integral(self, name: str) -> float:
+        """Trapezoidal integral of one counter track (value·seconds)."""
+        samples = self.counter_samples.get(name)
+        if not samples or len(samples) < 2:
+            return 0.0
+        t = np.asarray([s[0] for s in samples], dtype=float)
+        v = np.asarray([s[1] for s in samples], dtype=float)
+        return float(np.trapezoid(v, t))
+
+    def energy_wh(self) -> dict[str, float]:
+        """Integrated Wh per power track, in track order."""
+        return {
+            name[len(POWER_PREFIX):]: joules_to_wh(self.counter_integral(name))
+            for name in self.counter_samples
+            if name.startswith(POWER_PREFIX)
+        }
+
+    def total_energy_wh(self) -> float:
+        """Sum of the power tracks' integrated energy."""
+        return sum(self.energy_wh().values())
+
+
+def records_from_trace_events(doc: dict) -> list[dict]:
+    """Convert a Trace Event JSON object back to trace records."""
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ReproError("not a Trace Event document: no 'traceEvents' array")
+    thread_names: dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            thread_names[event.get("tid")] = event.get("args", {}).get("name", "main")
+    records: list[dict] = []
+    for event in events:
+        phase = event.get("ph")
+        if phase == "X":
+            t0 = event["ts"] / 1e6
+            records.append(
+                {
+                    "type": "span",
+                    "name": event["name"],
+                    "track": thread_names.get(event.get("tid"), "main"),
+                    "t0": t0,
+                    "t1": t0 + event.get("dur", 0.0) / 1e6,
+                    "attrs": event.get("args", {}),
+                }
+            )
+        elif phase == "i":
+            records.append(
+                {
+                    "type": "instant",
+                    "name": event["name"],
+                    "track": thread_names.get(event.get("tid"), "main"),
+                    "t": event["ts"] / 1e6,
+                    "attrs": event.get("args", {}),
+                }
+            )
+        elif phase == "C":
+            records.append(
+                {
+                    "type": "counter",
+                    "name": event["name"],
+                    "t": event["ts"] / 1e6,
+                    "value": event.get("args", {}).get("value", 0.0),
+                }
+            )
+    return records
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Load trace records from a JSONL log or a Perfetto JSON export."""
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"no trace file at {p}")
+    text = p.read_text(encoding="utf-8").strip()
+    if not text:
+        raise ReproError(f"trace file {p} is empty")
+    if text.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            return records_from_trace_events(doc)
+    return load_jsonl(p)
+
+
+def summarize(records: list[dict]) -> TraceSummary:
+    """Aggregate trace records into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            stat = summary.spans.setdefault(record["name"], SpanStat(record["name"]))
+            stat.add(record["t1"] - record["t0"])
+            summary.t_min = min(summary.t_min, record["t0"])
+            summary.t_max = max(summary.t_max, record["t1"])
+        elif kind == "instant":
+            summary.events[record["name"]] = summary.events.get(record["name"], 0) + 1
+        elif kind == "counter":
+            summary.counter_samples.setdefault(record["name"], []).append(
+                (record["t"], record["value"])
+            )
+    return summary
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Readable breakdown table (the ``caraml trace summary`` output)."""
+    lines: list[str] = []
+    total = summary.total_time_s
+    lines.append(f"trace span: {total:.3f} s simulated")
+    if summary.spans:
+        name_width = max(len("span"), *(len(n) for n in summary.spans))
+        lines.append(
+            f"{'span'.ljust(name_width)}  {'count':>6}  {'total_s':>10}  "
+            f"{'mean_s':>10}  {'share':>6}"
+        )
+        for name in sorted(
+            summary.spans, key=lambda n: -summary.spans[n].total_s
+        ):
+            stat = summary.spans[name]
+            share = stat.total_s / total if total > 0 else 0.0
+            lines.append(
+                f"{name.ljust(name_width)}  {stat.count:>6}  {stat.total_s:>10.3f}  "
+                f"{stat.mean_s:>10.4f}  {share:>5.1%}"
+            )
+    if summary.events:
+        lines.append("")
+        lines.append("events:")
+        for name in sorted(summary.events):
+            lines.append(f"  {name}: {summary.events[name]}")
+    energy = summary.energy_wh()
+    if energy:
+        lines.append("")
+        lines.append("energy (trapezoidal over power tracks):")
+        for device, wh in energy.items():
+            lines.append(f"  {device}: {wh:.4f} Wh")
+        lines.append(f"  total: {summary.total_energy_wh():.4f} Wh")
+    return "\n".join(lines)

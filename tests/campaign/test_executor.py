@@ -76,6 +76,21 @@ class TestRunItemIsolated:
 
 
 class TestIsolatingExecutor:
+    def test_injected_sleep_makes_backoff_deterministic(self):
+        from repro.simcluster.clock import VirtualClock
+
+        clock = VirtualClock()
+        executor = IsolatingExecutor(
+            build_toy_registry,
+            retry=RetryPolicy(max_retries=3, backoff_s=0.25),
+            sleep=clock.advance,
+        )
+        results = executor.run_items([_item("flaky --succeed-on 3")])
+        assert results[0].error is None
+        assert results[0].attempts == 3
+        # Exponential backoff (0.25 + 0.5) elapsed on the virtual clock.
+        assert clock() == pytest.approx(0.75)
+
     def test_failures_do_not_abort_siblings(self):
         executor = IsolatingExecutor(build_toy_registry, retry=NO_BACKOFF)
         items = [

@@ -1,0 +1,23 @@
+"""Isolation fixtures for the observability tests.
+
+The tracer and metrics registry are process-wide singletons; every
+test here gets a fresh registry and a guaranteed-null tracer, restored
+afterwards so tests cannot leak state into each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.trace import NULL_TRACER, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Fresh metrics registry + null tracer around every test."""
+    previous_metrics = set_metrics(MetricsRegistry())
+    previous_tracer = set_tracer(NULL_TRACER)
+    yield
+    set_metrics(previous_metrics)
+    set_tracer(previous_tracer)

@@ -1,0 +1,149 @@
+"""Instrumentation wired through the engine and campaign layers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campaign.executor import RetryPolicy, run_item_isolated
+from repro.campaign.testing import build_toy_registry
+from repro.engine.trainer import measure_run
+from repro.jube.runner import WorkItem
+from repro.jube.steps import Step
+from repro.obs.metrics import get_metrics
+from repro.obs.sinks import InMemorySink
+from repro.obs.summary import summarize
+from repro.obs.trace import Tracer, activate
+from repro.simcluster.clock import VirtualClock
+
+
+def _flaky_item(succeed_on: int) -> WorkItem:
+    return WorkItem(
+        step=Step(name="s", operations=(f"flaky --succeed-on {succeed_on}",)),
+        parameters={},
+        index=0,
+    )
+
+
+class TestEngineInstrumentation:
+    def test_measure_run_adopts_tracer_clock(self, a100_node):
+        clock = VirtualClock(start_s=100.0)
+        sink = InMemorySink()
+
+        def body(runner, run_clock):
+            assert run_clock is clock  # the tracer's clock, not a fresh one
+            runner.run_phase(2.0, 0.8)
+            return "done"
+
+        with activate(Tracer(clock=clock, sinks=[sink])):
+            result, elapsed, _, _ = measure_run(
+                a100_node, 2, body, span_name="test/run"
+            )
+        assert result == "done"
+        assert elapsed == pytest.approx(2.0)
+        (run_span,) = [
+            r for r in sink.records if r["type"] == "span" and r["name"] == "test/run"
+        ]
+        assert (run_span["t0"], run_span["t1"]) == (100.0, 102.0)
+        assert run_span["attrs"]["system"] == a100_node.jube_tag
+        assert run_span["attrs"]["devices"] == 2
+
+    def test_consecutive_runs_share_one_timeline(self, a100_node):
+        clock = VirtualClock()
+        sink = InMemorySink()
+
+        def body(runner, _clock):
+            runner.run_phase(3.0, 0.5)
+
+        with activate(Tracer(clock=clock, sinks=[sink])):
+            measure_run(a100_node, 1, body, span_name="run/a")
+            measure_run(a100_node, 1, body, span_name="run/b")
+        spans = {
+            r["name"]: r for r in sink.records if r["type"] == "span"
+            if r["name"].startswith("run/")
+        }
+        assert spans["run/a"]["t0"] == 0.0
+        assert spans["run/b"]["t0"] == spans["run/a"]["t1"] == 3.0
+
+    def test_power_counters_match_result_table_energy(self, a100_node):
+        sink = InMemorySink()
+
+        def body(runner, _clock):
+            runner.run_phase(5.0, 1.0)
+
+        with activate(Tracer(clock=VirtualClock(), sinks=[sink])):
+            _, _, per_device_wh, _ = measure_run(a100_node, 2, body)
+        summary = summarize(sink.records)
+        energy = summary.energy_wh()
+        assert set(energy) == {"gpu0", "gpu1"}  # only the active devices
+        assert summary.total_energy_wh() == pytest.approx(2 * per_device_wh)
+
+    def test_untraced_run_emits_nothing_and_still_measures(self, a100_node):
+        def body(runner, _clock):
+            runner.run_phase(2.0, 0.7)
+
+        _, elapsed, per_device_wh, _ = measure_run(a100_node, 1, body)
+        assert elapsed == pytest.approx(2.0)
+        assert per_device_wh > 0.0
+
+    def test_run_updates_metrics(self, a100_node):
+        def body(runner, _clock):
+            runner.run_phase(2.0, 0.7)
+
+        _, _, per_device_wh, _ = measure_run(a100_node, 2, body)
+        metrics = get_metrics()
+        assert metrics.counter("energy_wh_total").value(
+            system=a100_node.jube_tag
+        ) == pytest.approx(2 * per_device_wh)
+        assert metrics.histogram("run_elapsed_s").count(
+            system=a100_node.jube_tag
+        ) == 1
+
+
+class TestRetryInstrumentation:
+    def test_backoff_spans_and_retry_events_on_virtual_clock(self):
+        clock = VirtualClock()
+        sink = InMemorySink()
+        t_start = time.monotonic()
+        with activate(Tracer(clock=clock, sinks=[sink])):
+            result = run_item_isolated(
+                build_toy_registry(),
+                _flaky_item(succeed_on=3),
+                RetryPolicy(max_retries=3, backoff_s=0.5),
+                sleep=clock.advance,
+            )
+        wall_s = time.monotonic() - t_start
+        assert result.error is None
+        assert result.attempts == 3
+
+        events = [r for r in sink.records if r["type"] == "instant"]
+        assert [e["name"] for e in events] == ["campaign/retry", "campaign/retry"]
+        assert [e["attrs"]["attempt"] for e in events] == [1, 2]
+
+        backoffs = [
+            r for r in sink.records
+            if r["type"] == "span" and r["name"] == "campaign/backoff"
+        ]
+        assert [b["attrs"]["delay_s"] for b in backoffs] == [0.5, 1.0]
+        # The waits advanced simulated time, not wall time.
+        assert clock() == pytest.approx(1.5)
+        assert wall_s < 1.0
+
+        assert get_metrics().counter("campaign_retries_total").value(step="s") == 2.0
+
+    def test_backoff_spans_cover_the_injected_wait(self):
+        clock = VirtualClock()
+        sink = InMemorySink()
+        with activate(Tracer(clock=clock, sinks=[sink])):
+            run_item_isolated(
+                build_toy_registry(),
+                _flaky_item(succeed_on=2),
+                RetryPolicy(max_retries=2, backoff_s=2.0),
+                sleep=clock.advance,
+            )
+        (backoff,) = [
+            r for r in sink.records
+            if r["type"] == "span" and r["name"] == "campaign/backoff"
+        ]
+        assert backoff["t1"] - backoff["t0"] == pytest.approx(2.0)

@@ -1,0 +1,118 @@
+"""Metrics registry: labelled counters, gauges, histograms, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        counter = MetricsRegistry().counter("runs_total")
+        counter.inc(system="A100")
+        counter.inc(2.0, system="A100")
+        counter.inc(system="MI250")
+        assert counter.value(system="A100") == 3.0
+        assert counter.value(system="MI250") == 1.0
+        assert counter.value(system="GH200") == 0.0
+
+    def test_label_order_is_irrelevant(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ReproError, match="cannot decrease"):
+            MetricsRegistry().counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("tokens_per_s")
+        gauge.set(100.0, system="A100")
+        gauge.set(90.0, system="A100")
+        gauge.add(-40.0, system="A100")
+        assert gauge.value(system="A100") == 50.0
+
+
+class TestHistogram:
+    def test_observe_buckets_and_stats(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count() == 4
+        assert hist.sum() == pytest.approx(55.55)
+        assert hist.mean() == pytest.approx(55.55 / 4)
+        ((_, state),) = list(hist.series())
+        assert state["counts"] == [1, 1, 1, 1]  # one overflow observation
+
+    def test_labelled_series_are_independent(self):
+        hist = Histogram("lat")
+        hist.observe(1.0, step="llm")
+        hist.observe(3.0, step="llm")
+        assert hist.count(step="llm") == 2
+        assert hist.count(step="resnet") == 0
+        assert hist.mean(step="llm") == 2.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ReproError, match="sorted"):
+            Histogram("bad", buckets=(1.0, 0.1))
+
+    def test_default_buckets_cover_simulated_scales(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001 and DEFAULT_BUCKETS[-1] >= 3600.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", "cache hits").inc(step="llm")
+        registry.gauge("speed").set(7.0)
+        snap = registry.snapshot()
+        assert snap["hits"]["type"] == "counter"
+        assert snap["hits"]["help"] == "cache hits"
+        assert snap["hits"]["series"] == [{"labels": {"step": "llm"}, "value": 1.0}]
+        assert snap["speed"]["series"] == [{"labels": {}, "value": 7.0}]
+
+    def test_to_json_is_deterministic(self):
+        def build() -> str:
+            registry = MetricsRegistry()
+            registry.gauge("b").set(2.0)
+            registry.counter("a").inc(5, system="A100")
+            return registry.to_json()
+
+        assert build() == build()
+        assert json.loads(build())["a"]["type"] == "counter"
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.names() == []
+
+    def test_process_wide_swap(self):
+        mine = MetricsRegistry()
+        previous = set_metrics(mine)
+        try:
+            assert get_metrics() is mine
+        finally:
+            set_metrics(previous)

@@ -1,0 +1,149 @@
+"""Sinks and the Perfetto export: round-trips, schema, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    PerfettoSink,
+    TRACE_PID,
+    load_jsonl,
+    records_to_trace_events,
+    sink_for_path,
+    validate_trace_events,
+    write_perfetto,
+)
+from repro.obs.trace import Tracer
+from repro.simcluster.clock import VirtualClock
+
+
+def _seeded_run(tracer: Tracer, clock: VirtualClock) -> None:
+    """A deterministic nested-span workload (the 'seeded run')."""
+    with tracer.span("campaign/step", attrs={"step": "llm"}):
+        for iteration in range(2):
+            with tracer.span("llm/train", attrs={"iteration": iteration}):
+                clock.advance(1.5)
+                tracer.counter("power/gpu0", 250.0 + iteration)
+        tracer.event("campaign/cache_hit", attrs={"key": "abc123"})
+
+
+def _trace_to(sink) -> None:
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock, sinks=[sink])
+    _seeded_run(tracer, clock)
+    tracer.close()
+
+
+class TestSinks:
+    def test_in_memory_sink_collects(self):
+        sink = InMemorySink()
+        _trace_to(sink)
+        kinds = [r["type"] for r in sink.records]
+        assert kinds.count("span") == 3
+        assert kinds.count("counter") == 2
+        assert kinds.count("instant") == 1
+        assert sink.closed
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        memory = InMemorySink()
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock, sinks=[JsonlSink(path), memory])
+        _seeded_run(tracer, clock)
+        tracer.close()
+        assert load_jsonl(path) == memory.records
+
+    def test_perfetto_sink_writes_on_close(self, tmp_path):
+        path = tmp_path / "run.json"
+        _trace_to(PerfettoSink(path))
+        doc = json.loads(path.read_text())
+        assert validate_trace_events(doc) == []
+
+    def test_sink_for_path_dispatches_on_suffix(self, tmp_path):
+        assert isinstance(sink_for_path(tmp_path / "a.jsonl"), JsonlSink)
+        assert isinstance(sink_for_path(tmp_path / "a.json"), PerfettoSink)
+
+
+class TestByteIdenticalDeterminism:
+    def test_two_identical_seeded_runs_jsonl(self, tmp_path):
+        for name in ("one.jsonl", "two.jsonl"):
+            _trace_to(JsonlSink(tmp_path / name))
+        assert (tmp_path / "one.jsonl").read_bytes() == (
+            tmp_path / "two.jsonl"
+        ).read_bytes()
+
+    def test_two_identical_seeded_runs_perfetto(self, tmp_path):
+        for name in ("one.json", "two.json"):
+            _trace_to(PerfettoSink(tmp_path / name))
+        assert (tmp_path / "one.json").read_bytes() == (
+            tmp_path / "two.json"
+        ).read_bytes()
+
+
+class TestTraceEventConversion:
+    def test_span_becomes_complete_event_in_microseconds(self):
+        sink = InMemorySink()
+        _trace_to(sink)
+        doc = records_to_trace_events(sink.records)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        train = [e for e in complete if e["name"] == "llm/train"]
+        assert [e["ts"] for e in train] == [0.0, 1.5e6]
+        assert all(e["dur"] == 1.5e6 for e in train)
+        assert all(e["pid"] == TRACE_PID for e in complete)
+
+    def test_metadata_names_process_and_tracks(self):
+        sink = InMemorySink()
+        _trace_to(sink)
+        doc = records_to_trace_events(sink.records)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "caraml-sim" in names and "main" in names
+
+    def test_instants_and_counters(self):
+        sink = InMemorySink()
+        _trace_to(sink)
+        doc = records_to_trace_events(sink.records)
+        (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instant["s"] == "t"
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert [e["args"]["value"] for e in counters] == [250.0, 251.0]
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ReproError, match="unknown trace record type"):
+            records_to_trace_events([{"type": "mystery"}])
+
+    def test_write_perfetto_opens_as_single_json_object(self, tmp_path):
+        sink = InMemorySink()
+        _trace_to(sink)
+        path = write_perfetto(sink.records, tmp_path / "out.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_trace_events([1, 2]) == ["trace must be a JSON object"]
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_trace_events({}) == ["trace lacks a 'traceEvents' array"]
+
+    def test_flags_missing_fields_and_bad_phase(self):
+        problems = validate_trace_events(
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "a", "ts": 0, "dur": 1, "pid": 1},  # no tid
+                    {"ph": "Z", "name": "b"},
+                    {"ph": "C", "name": "c", "ts": -1, "pid": 1, "args": {}},
+                ]
+            }
+        )
+        assert any("lacks 'tid'" in p for p in problems)
+        assert any("unsupported phase 'Z'" in p for p in problems)
+        assert any("non-negative" in p for p in problems)
+        assert any("non-empty 'args'" in p for p in problems)

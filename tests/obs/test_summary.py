@@ -1,0 +1,125 @@
+"""Trace summaries: time breakdown, energy integrals, format inversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.sinks import InMemorySink, JsonlSink, PerfettoSink, records_to_trace_events
+from repro.obs.summary import (
+    load_trace,
+    records_from_trace_events,
+    render_summary,
+    summarize,
+)
+from repro.obs.trace import Tracer
+from repro.simcluster.clock import VirtualClock
+from repro.units import joules_to_wh
+
+
+def _records() -> list[dict]:
+    return [
+        {"type": "span", "name": "llm/train", "track": "main", "t0": 0.0, "t1": 4.0,
+         "depth": 1},
+        {"type": "span", "name": "llm/train", "track": "main", "t0": 4.0, "t1": 6.0,
+         "depth": 1},
+        {"type": "span", "name": "campaign/step", "track": "main", "t0": 0.0,
+         "t1": 6.0, "depth": 0},
+        {"type": "instant", "name": "campaign/cache_hit", "track": "main", "t": 5.0},
+        {"type": "counter", "name": "power/gpu0", "t": 0.0, "value": 100.0},
+        {"type": "counter", "name": "power/gpu0", "t": 6.0, "value": 200.0},
+        {"type": "counter", "name": "power_aux/cpu", "t": 0.0, "value": 50.0},
+        {"type": "counter", "name": "power_aux/cpu", "t": 6.0, "value": 50.0},
+    ]
+
+
+class TestSummarize:
+    def test_span_stats(self):
+        summary = summarize(_records())
+        train = summary.spans["llm/train"]
+        assert train.count == 2
+        assert train.total_s == 6.0
+        assert train.mean_s == 3.0
+        assert (train.min_s, train.max_s) == (2.0, 4.0)
+        assert summary.total_time_s == 6.0
+
+    def test_event_counts(self):
+        assert summarize(_records()).events == {"campaign/cache_hit": 1}
+
+    def test_counter_integral_is_trapezoidal(self):
+        summary = summarize(_records())
+        # (100 + 200) / 2 * 6 s = 900 J
+        assert summary.counter_integral("power/gpu0") == pytest.approx(900.0)
+        assert summary.counter_integral("missing") == 0.0
+
+    def test_energy_only_from_power_tracks(self):
+        summary = summarize(_records())
+        energy = summary.energy_wh()
+        assert list(energy) == ["gpu0"]  # power_aux/ is excluded
+        assert energy["gpu0"] == pytest.approx(joules_to_wh(900.0))
+        assert summary.total_energy_wh() == pytest.approx(joules_to_wh(900.0))
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary.total_time_s == 0.0
+        assert summary.total_energy_wh() == 0.0
+
+
+class TestFormatInversion:
+    def test_trace_events_round_trip_preserves_summary(self):
+        original = summarize(_records())
+        recovered = summarize(records_from_trace_events(records_to_trace_events(_records())))
+        assert recovered.total_time_s == pytest.approx(original.total_time_s)
+        assert recovered.total_energy_wh() == pytest.approx(original.total_energy_wh())
+        assert recovered.events == original.events
+        assert {n: s.count for n, s in recovered.spans.items()} == {
+            n: s.count for n, s in original.spans.items()
+        }
+
+    def test_rejects_non_trace_event_document(self):
+        with pytest.raises(ReproError, match="traceEvents"):
+            records_from_trace_events({"something": "else"})
+
+
+class TestLoadTrace:
+    def _run(self, sink):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock, sinks=[sink])
+        with tracer.span("work"):
+            clock.advance(2.0)
+            tracer.counter("power/gpu0", 120.0)
+        tracer.close()
+
+    def test_loads_both_formats_identically(self, tmp_path):
+        self._run(JsonlSink(tmp_path / "t.jsonl"))
+        self._run(PerfettoSink(tmp_path / "t.json"))
+        from_log = summarize(load_trace(tmp_path / "t.jsonl"))
+        from_perfetto = summarize(load_trace(tmp_path / "t.json"))
+        assert from_log.total_time_s == from_perfetto.total_time_s
+        assert from_log.spans.keys() == from_perfetto.spans.keys()
+
+    def test_missing_and_empty_files(self, tmp_path):
+        with pytest.raises(ReproError, match="no trace file"):
+            load_trace(tmp_path / "nope.json")
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            load_trace(empty)
+
+
+class TestRenderSummary:
+    def test_mentions_spans_events_and_energy(self):
+        text = render_summary(summarize(_records()))
+        assert "trace span: 6.000 s simulated" in text
+        assert "llm/train" in text
+        assert "campaign/cache_hit: 1" in text
+        assert "gpu0" in text and "Wh" in text
+
+    def test_sink_records_render_without_error(self):
+        sink = InMemorySink()
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock, sinks=[sink])
+        with tracer.span("only"):
+            clock.advance(1.0)
+        text = render_summary(summarize(sink.records))
+        assert "only" in text
