@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures report validate campaign-demo trace-demo clean
+.PHONY: install test bench figures report validate campaign-demo trace-demo chaos-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -27,6 +27,9 @@ campaign-demo:
 
 trace-demo:
 	$(PYTHON) examples/trace_demo.py trace_demo.json
+
+chaos-demo:
+	$(PYTHON) examples/chaos_demo.py
 
 clean:
 	rm -rf figures caraml_report.md trace_demo.json benchmarks/output .pytest_cache

@@ -34,6 +34,9 @@ from repro.campaign.runner import (
     CampaignStatus,
     StepStatus,
 )
+# Chaos campaigns: the fault-plan API, re-exported for convenience
+# (CampaignRunner/executors take these directly).
+from repro.faults import FaultPlan, FaultSpec, load_fault_plan
 from repro.campaign.spec import CampaignSpec, WorkloadSpec, load_campaign_spec
 from repro.campaign.store import (
     CampaignRow,
@@ -50,6 +53,8 @@ __all__ = [
     "CampaignSpec",
     "CampaignStatus",
     "DEFAULT_REGISTRY_FACTORY",
+    "FaultPlan",
+    "FaultSpec",
     "IsolatingExecutor",
     "JsonlStore",
     "PoolExecutor",
@@ -60,6 +65,7 @@ __all__ = [
     "WorkloadSpec",
     "calibration_fingerprint",
     "load_campaign_spec",
+    "load_fault_plan",
     "open_store",
     "result_key",
     "script_fingerprint",

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ConfigError, TransientError
+from repro.faults.injector import WorkpackageInjection, activate_injection
+from repro.faults.plan import FaultPlan
 from repro.jube.runner import (
     OperationRegistry,
     WorkItem,
@@ -101,6 +103,7 @@ def run_item_isolated(
     item: WorkItem,
     retry: RetryPolicy = RetryPolicy(),
     sleep: SleepFn = time.sleep,
+    fault_plan: FaultPlan | None = None,
 ) -> WorkResult:
     """Execute one item, capturing failures and retrying transients.
 
@@ -108,7 +111,22 @@ def run_item_isolated(
     failure emits a ``campaign/retry`` event and the wait itself is a
     ``campaign/backoff`` span, so a traced campaign shows exactly where
     retry time went.
+
+    With a ``fault_plan``, the item runs inside its injection scope:
+    matching faults fire through the seams, their provenance lands on
+    the :class:`WorkResult`, and a result that completed despite fired
+    faults comes back ``degraded``.  The scope spans *all* attempts, so
+    ``max_fires`` bounds how often a transient fault can abort retries.
     """
+    if fault_plan is not None:
+        scope = WorkpackageInjection(
+            fault_plan, item.step.name, item.index, item.parameters
+        )
+        with activate_injection(scope):
+            result = run_item_isolated(registry, item, retry, sleep)
+        result.faults = scope.provenance()
+        result.degraded = result.error is None and bool(result.faults)
+        return result
     tracer = get_tracer()
     metrics = get_metrics()
     attempt = 0
@@ -164,15 +182,19 @@ class IsolatingExecutor:
         registry_factory: RegistryFactory | str | None = None,
         retry: RetryPolicy = RetryPolicy(),
         sleep: SleepFn = time.sleep,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.registry = resolve_registry_factory(registry_factory)()
         self.retry = retry
         self.sleep = sleep
+        self.fault_plan = fault_plan
 
     def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
         """Execute items in order; failures are captured per item."""
         return [
-            run_item_isolated(self.registry, item, self.retry, self.sleep)
+            run_item_isolated(
+                self.registry, item, self.retry, self.sleep, self.fault_plan
+            )
             for item in items
         ]
 
@@ -190,13 +212,14 @@ def _pool_worker(
     item: WorkItem,
     retry: RetryPolicy,
     sleep: SleepFn = time.sleep,
+    fault_plan: FaultPlan | None = None,
 ) -> WorkResult:
     """Executed in the worker process: build/reuse registry, run item."""
     global _worker_registry, _worker_factory_spec
     if _worker_registry is None or _worker_factory_spec != factory:
         _worker_registry = resolve_registry_factory(factory)()
         _worker_factory_spec = factory
-    return run_item_isolated(_worker_registry, item, retry, sleep)
+    return run_item_isolated(_worker_registry, item, retry, sleep, fault_plan)
 
 
 class PoolExecutor:
@@ -214,6 +237,7 @@ class PoolExecutor:
         registry_factory: RegistryFactory | str | None = None,
         retry: RetryPolicy = RetryPolicy(),
         sleep: SleepFn = time.sleep,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be >= 1")
@@ -223,6 +247,7 @@ class PoolExecutor:
         )
         self.retry = retry
         self.sleep = sleep  # must be picklable (it ships to the workers)
+        self.fault_plan = fault_plan  # plain data, ships to the workers too
         # Fail fast on an unresolvable factory, in the parent process.
         resolve_registry_factory(self.registry_factory)
 
@@ -235,7 +260,8 @@ class PoolExecutor:
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
-                    _pool_worker, self.registry_factory, item, self.retry, self.sleep
+                    _pool_worker, self.registry_factory, item, self.retry,
+                    self.sleep, self.fault_plan,
                 )
                 for item in items
             ]

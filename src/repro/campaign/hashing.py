@@ -108,6 +108,7 @@ def result_key(
     parameters: Mapping[str, str],
     seeded_outputs: Mapping[str, object] | None = None,
     calibration_hash: str | None = None,
+    fault_hash: str | None = None,
 ) -> str:
     """Content address of one workpackage's result.
 
@@ -116,7 +117,10 @@ def result_key(
     the dependency-package state flowing into the workpackage; it
     participates in the key because operations can read it.
     ``calibration_hash`` defaults to the current process's
-    :func:`calibration_fingerprint`.
+    :func:`calibration_fingerprint`.  ``fault_hash`` is the fingerprint
+    of the active fault plan, if any: a chaos campaign's rows must
+    never collide with (or be cache hits for) clean rows, while the
+    absence of a plan leaves keys exactly as they were.
     """
     state = {
         "step": step_fingerprint(step) if isinstance(step, Step) else step,
@@ -128,6 +132,8 @@ def result_key(
             else calibration_fingerprint()
         ),
     }
+    if fault_hash is not None:
+        state["faults"] = fault_hash
     key = _digest(state)
     logger.debug("result key %s <- %s", key, state["parameters"])
     return key

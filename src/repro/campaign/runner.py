@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from repro.campaign.executor import IsolatingExecutor
 from repro.campaign.hashing import calibration_fingerprint, result_key, step_fingerprint
 from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
 from repro.campaign.store import (
     STATUS_COMPLETED,
     STATUS_FAILED,
@@ -50,6 +52,7 @@ class CampaignReport:
     executed: int = 0
     cached: int = 0
     failed: int = 0
+    degraded: int = 0
     rows: list[CampaignRow] = field(default_factory=list)
 
     @property
@@ -59,26 +62,47 @@ class CampaignReport:
 
     def describe(self) -> str:
         """One-line summary."""
-        return (
+        out = (
             f"campaign {self.campaign!r}: {self.total} workpackages, "
             f"{self.executed} executed, {self.cached} from cache, "
             f"{self.failed} failed"
         )
+        if self.degraded:
+            out += f", {self.degraded} degraded"
+        return out
 
 
 @dataclass(frozen=True)
 class StepStatus:
-    """Store-vs-plan state of one workload step."""
+    """Store-vs-plan state of one workload step.
+
+    ``degraded`` counts completed rows that finished under injected
+    faults; ``failures`` carries each failed row's provenance — index,
+    attempts, error, and the faults that fired — so ``campaign status``
+    can say *why* a package is failed, not just that it is.
+    """
 
     step: str
     planned: int
     completed: int
     failed: int
+    degraded: int = 0
+    failures: tuple = ()
 
     @property
     def missing(self) -> int:
         """Planned workpackages with no row yet."""
         return self.planned - self.completed - self.failed
+
+
+def _failure_entry(row: CampaignRow) -> dict:
+    """Provenance of one failed row for :class:`StepStatus.failures`."""
+    return {
+        "index": row.index,
+        "attempts": row.attempts,
+        "error": row.error,
+        "faults": [dict(f) for f in row.faults],
+    }
 
 
 @dataclass
@@ -94,27 +118,62 @@ class CampaignStatus:
         return all(s.missing == 0 and s.failed == 0 for s in self.steps)
 
     def describe(self) -> str:
-        """Multi-line summary."""
+        """Multi-line summary, including failed rows' fault provenance."""
         lines = [f"campaign {self.campaign!r}:"]
         for s in self.steps:
-            lines.append(
+            line = (
                 f"  {s.step}: {s.completed}/{s.planned} completed, "
                 f"{s.failed} failed, {s.missing} missing"
             )
+            if s.degraded:
+                line += f" ({s.degraded} degraded)"
+            lines.append(line)
+            for failure in s.failures:
+                detail = (
+                    f"    #{failure['index']}: failed after "
+                    f"{failure['attempts']} attempt(s): {failure['error']}"
+                )
+                if failure["faults"]:
+                    fired = ", ".join(
+                        f"{f['label']}@{f['t']:g}s"
+                        + (f" x{f['count']}" if f.get("count", 1) > 1 else "")
+                        for f in failure["faults"]
+                    )
+                    detail += f" [faults: {fired}]"
+                lines.append(detail)
         lines.append("status: " + ("done" if self.done else "incomplete"))
         return "\n".join(lines)
 
 
 class CampaignRunner:
-    """Executes campaign specs against a content-addressed store."""
+    """Executes campaign specs against a content-addressed store.
+
+    ``faults`` turns the run into a chaos campaign: the plan is handed
+    to the executor (unless it already carries one), its fingerprint
+    joins every result key, and fault provenance lands on the rows.
+    """
 
     def __init__(
         self,
         store: ResultStore,
         executor: WorkpackageExecutor | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.store = store
-        self.executor = executor if executor is not None else IsolatingExecutor()
+        self.faults = faults
+        if executor is None:
+            executor = IsolatingExecutor(fault_plan=faults)
+        elif faults is not None and getattr(executor, "fault_plan", None) is None:
+            if not hasattr(executor, "fault_plan"):
+                raise ConfigError(
+                    f"executor {type(executor).__name__} cannot inject faults"
+                )
+            executor.fault_plan = faults
+        self.executor = executor
+
+    @property
+    def _fault_hash(self) -> str | None:
+        return self.faults.fingerprint() if self.faults is not None else None
 
     # -- planning -----------------------------------------------------------
 
@@ -123,10 +182,14 @@ class CampaignRunner:
         sets = [script.parameter_set(name) for name in step.parameter_sets]
         combos = expand_parameter_space(sets, tags)
         step_hash = step_fingerprint(step)
+        fault_hash = self._fault_hash
         planned = []
         for i, combo in enumerate(combos):
             item = work_item_for(step, combo, i, lambda name: seeds.get(name, []))
-            key = result_key(step_hash, combo, item.outputs, calibration_hash)
+            key = result_key(
+                step_hash, combo, item.outputs, calibration_hash,
+                fault_hash=fault_hash,
+            )
             planned.append((key, item))
         return planned
 
@@ -201,6 +264,8 @@ class CampaignRunner:
                     stdout=result.stdout,
                     error=result.error,
                     attempts=result.attempts,
+                    degraded=result.degraded,
+                    faults=tuple(result.faults),
                 )
                 self.store.put(row)
                 final[key] = row
@@ -228,6 +293,7 @@ class CampaignRunner:
             step_rows = [final[key] for key, _ in planned]
             report.rows.extend(step_rows)
             report.failed += sum(1 for row in step_rows if not row.completed)
+            report.degraded += sum(1 for row in step_rows if row.degraded)
             seeds[step.name] = [row for row in step_rows if row.completed]
         logger.info("%s", report.describe())
         return report
@@ -251,23 +317,29 @@ class CampaignRunner:
         seeds: dict[str, list[CampaignRow]] = {}
         for step in order_steps(script.steps, tagset):
             planned = self._planned_items(script, step, tagset, seeds, calibration_hash)
-            completed = failed = 0
+            completed = failed = degraded = 0
             step_completed: list[CampaignRow] = []
+            failures: list[dict] = []
             for key, _item in planned:
                 row = self.store.get(key)
                 if row is None:
                     continue
                 if row.completed:
                     completed += 1
+                    if row.degraded:
+                        degraded += 1
                     step_completed.append(row)
                 else:
                     failed += 1
+                    failures.append(_failure_entry(row))
             status.steps.append(
                 StepStatus(
                     step=step.name,
                     planned=len(planned),
                     completed=completed,
                     failed=failed,
+                    degraded=degraded,
+                    failures=tuple(failures),
                 )
             )
             seeds[step.name] = step_completed

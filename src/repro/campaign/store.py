@@ -36,7 +36,13 @@ STATUS_FAILED = "failed"
 
 @dataclass(frozen=True)
 class CampaignRow:
-    """One workpackage's durable result."""
+    """One workpackage's durable result.
+
+    ``degraded`` marks a row that completed while injected faults fired
+    (a chaos campaign's "finished under duress" outcome); ``faults``
+    carries the provenance of every fired fault — kind, label, time,
+    fire count — whether the row completed or failed.
+    """
 
     key: str
     campaign: str
@@ -48,6 +54,8 @@ class CampaignRow:
     stdout: str = ""
     error: str | None = None
     attempts: int = 1
+    degraded: bool = False
+    faults: tuple = ()
 
     @property
     def completed(self) -> bool:
@@ -67,6 +75,8 @@ class CampaignRow:
             "stdout": self.stdout,
             "error": self.error,
             "attempts": self.attempts,
+            "degraded": self.degraded,
+            "faults": [dict(f) for f in self.faults],
         }
 
     @classmethod
@@ -83,6 +93,8 @@ class CampaignRow:
             stdout=str(raw.get("stdout", "")),
             error=raw.get("error"),
             attempts=int(raw.get("attempts", 1)),
+            degraded=bool(raw.get("degraded", False)),
+            faults=tuple(dict(f) for f in raw.get("faults", ())),
         )
 
     def canonical(self) -> str:
@@ -90,13 +102,20 @@ class CampaignRow:
         return canonical_json(self.to_dict())
 
     def flat(self) -> dict:
-        """Flattened view for tables/CSV: metadata + parameters + outputs."""
-        return {
+        """Flattened view for tables/CSV: metadata + parameters + outputs.
+
+        ``degraded`` appears only when set, keeping clean-campaign CSV
+        headers unchanged.
+        """
+        flat = {
             "step": self.step,
             "status": self.status,
             **self.parameters,
             **self.outputs,
         }
+        if self.degraded:
+            flat["degraded"] = True
+        return flat
 
 
 class ResultStore:
@@ -265,7 +284,9 @@ class SqliteStore(ResultStore):
             outputs    TEXT NOT NULL,
             stdout     TEXT NOT NULL,
             error      TEXT,
-            attempts   INTEGER NOT NULL
+            attempts   INTEGER NOT NULL,
+            degraded   INTEGER NOT NULL DEFAULT 0,
+            faults     TEXT NOT NULL DEFAULT '[]'
         )
     """
 
@@ -274,7 +295,23 @@ class SqliteStore(ResultStore):
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._db = sqlite3.connect(self.path)
         self._db.execute(self._SCHEMA)
+        self._migrate()
         self._db.commit()
+
+    def _migrate(self) -> None:
+        """Add columns newer code expects to databases older code made."""
+        have = {
+            record[1]
+            for record in self._db.execute("PRAGMA table_info(campaign_rows)")
+        }
+        for name, decl in (
+            ("degraded", "INTEGER NOT NULL DEFAULT 0"),
+            ("faults", "TEXT NOT NULL DEFAULT '[]'"),
+        ):
+            if name not in have:
+                self._db.execute(
+                    f"ALTER TABLE campaign_rows ADD COLUMN {name} {decl}"
+                )
 
     def put(self, row: CampaignRow) -> None:
         """Upsert one row."""
@@ -282,7 +319,7 @@ class SqliteStore(ResultStore):
         self._db.execute(
             "INSERT INTO campaign_rows "
             "(key, campaign, step, idx, parameters, status, outputs, stdout, "
-            " error, attempts) VALUES (?,?,?,?,?,?,?,?,?,?)",
+            " error, attempts, degraded, faults) VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
             (
                 row.key,
                 row.campaign,
@@ -294,13 +331,15 @@ class SqliteStore(ResultStore):
                 row.stdout,
                 row.error,
                 row.attempts,
+                int(row.degraded),
+                json.dumps([dict(f) for f in row.faults], default=str),
             ),
         )
         self._db.commit()
 
     def _from_record(self, record) -> CampaignRow:
         (key, campaign, step, idx, parameters, status, outputs, stdout,
-         error, attempts) = record
+         error, attempts, degraded, faults) = record
         return CampaignRow(
             key=key,
             campaign=campaign,
@@ -312,11 +351,13 @@ class SqliteStore(ResultStore):
             stdout=stdout,
             error=error,
             attempts=attempts,
+            degraded=bool(degraded),
+            faults=tuple(json.loads(faults)),
         )
 
     _COLUMNS = (
         "key, campaign, step, idx, parameters, status, outputs, stdout, "
-        "error, attempts"
+        "error, attempts, degraded, faults"
     )
 
     def get(self, key: str) -> CampaignRow | None:

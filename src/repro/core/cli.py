@@ -44,6 +44,16 @@ def _add_trace_flag(parser) -> None:
     )
 
 
+def _add_faults_flag(parser) -> None:
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject faults from this YAML fault plan (chaos mode); see "
+        "the fault-injection section of ARCHITECTURE.md",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for the caraml CLI."""
     parser = argparse.ArgumentParser(
@@ -63,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     llm.add_argument("--duration", type=float, default=120.0, help="seconds")
     llm.add_argument("--amd-variant", default="gcd", choices=["gcd", "gpu"])
     _add_trace_flag(llm)
+    _add_faults_flag(llm)
 
     cnn = sub.add_parser("run-resnet", help="run one ResNet benchmark point")
     cnn.add_argument("--system", required=True, choices=SYSTEM_TAGS)
@@ -78,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="CPU binding policy (paper section V-C)",
     )
     _add_trace_flag(cnn)
+    _add_faults_flag(cnn)
 
     infer = sub.add_parser(
         "run-infer", help="run the LLM inference extension benchmark"
@@ -143,6 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
             help="result store path (.jsonl or .sqlite); defaults to the "
             "spec's 'store' entry or <name>.campaign.jsonl",
         )
+        if verb in ("run", "continue", "status"):
+            _add_faults_flag(cp)
         if verb in ("run", "continue"):
             cp.add_argument(
                 "--workers",
@@ -222,6 +236,15 @@ def _run_campaign(args, out) -> int:
     store_path = args.store or spec.store or f"{spec.name}.campaign.jsonl"
     store = open_store(store_path)
 
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults import load_fault_plan
+
+        faults = load_fault_plan(args.faults)
+        logger.info(
+            "chaos mode: fault plan %r (%d faults)", faults.name, len(faults.faults)
+        )
+
     if args.campaign_command in ("run", "continue"):
         from repro.obs.trace import NULL_TRACER, activate
 
@@ -234,12 +257,14 @@ def _run_campaign(args, out) -> int:
             if not args.sequential:
                 logger.info("tracing forces the sequential executor")
             tracer = _open_tracer(args.trace)
-            executor = IsolatingExecutor(sleep=tracer.virtual_clock.advance)
+            executor = IsolatingExecutor(
+                sleep=tracer.virtual_clock.advance, fault_plan=faults
+            )
         elif args.sequential:
-            executor = IsolatingExecutor()
+            executor = IsolatingExecutor(fault_plan=faults)
         else:
-            executor = PoolExecutor(max_workers=args.workers)
-        runner = CampaignRunner(store, executor)
+            executor = PoolExecutor(max_workers=args.workers, fault_plan=faults)
+        runner = CampaignRunner(store, executor, faults=faults)
         with activate(tracer):
             if args.campaign_command == "continue":
                 report = runner.continue_run(spec, tags=args.tags)
@@ -256,8 +281,8 @@ def _run_campaign(args, out) -> int:
             print(f"trace: {args.trace}", file=out)
         return 0 if report.failed == 0 else 1
 
-    runner = CampaignRunner(store)
     if args.campaign_command == "status":
+        runner = CampaignRunner(store, faults=faults)
         print(runner.status(spec).describe(), file=out)
         return 0
 
@@ -282,6 +307,25 @@ def _print_result_row(result, out) -> None:
         print(f"  {key}: {value}", file=out)
 
 
+def _fault_scope(args, step: str):
+    """Injection scope for a single direct run, or ``None``.
+
+    Direct runs are one implicit workpackage: specs match against the
+    step name (``run-llm`` / ``run-resnet``) and a ``system`` parameter.
+    """
+    if not getattr(args, "faults", None):
+        return None
+    from repro.faults import FaultInjector, load_fault_plan
+
+    plan = load_fault_plan(args.faults)
+    return FaultInjector(plan).scope_for(step, 0, {"system": args.system})
+
+
+def _print_fired_faults(scope, out) -> None:
+    if scope is not None and scope.records:
+        print(f"  injected_faults: {scope.describe()}", file=out)
+
+
 def run(argv: list[str] | None = None, *, stdout=None) -> int:
     """CLI body; returns the exit code."""
     out = stdout if stdout is not None else sys.stdout
@@ -296,7 +340,10 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
         return 0
 
     if args.command == "run-llm":
-        with _maybe_traced(args.trace, out):
+        from repro.faults import activate_injection
+
+        scope = _fault_scope(args, "run-llm")
+        with _maybe_traced(args.trace, out), activate_injection(scope):
             result = suite.run_llm(
                 args.system,
                 model_size=args.model,
@@ -306,10 +353,14 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                 amd_variant=AMDVariant(args.amd_variant),
             )
         _print_result_row(result, out)
+        _print_fired_faults(scope, out)
         return 0
 
     if args.command == "run-resnet":
-        with _maybe_traced(args.trace, out):
+        from repro.faults import activate_injection
+
+        scope = _fault_scope(args, "run-resnet")
+        with _maybe_traced(args.trace, out), activate_injection(scope):
             result = suite.run_resnet(
                 args.system,
                 model=args.model,
@@ -320,6 +371,7 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                 binding=BindingPolicy(args.binding),
             )
         _print_result_row(result, out)
+        _print_fired_faults(scope, out)
         return 0
 
     if args.command == "run-infer":

@@ -10,6 +10,7 @@ paper's Figure 4 does.
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.faults.injector import get_injector
 from repro.hardware.memory import MemoryBudget, MemoryPool
 from repro.hardware.node import NodeSpec
 from repro.models.activation import (
@@ -60,6 +61,7 @@ def check_llm_memory(
     )
     pool.allocate("activations", activations / max(1, layout.tp))
     pool.allocate("framework", FRAMEWORK_RESERVED_BYTES)
+    _allocate_injected_pressure(pool)
     return pool.budget()
 
 
@@ -88,4 +90,17 @@ def check_cnn_memory(
     )
     pool.allocate("workspace", CNN_WORKSPACE_BYTES)
     pool.allocate("framework", FRAMEWORK_RESERVED_BYTES)
+    _allocate_injected_pressure(pool)
     return pool.budget()
+
+
+def _allocate_injected_pressure(pool: MemoryPool) -> None:
+    """Fold injected ``memory_pressure`` faults into a budget.
+
+    An active chaos scope can reserve extra device memory (a leaked
+    allocation, a greedy co-tenant), pushing borderline configurations
+    over the OOM edge exactly where Figure 4 shows the walls.
+    """
+    pressure = get_injector().memory_pressure_bytes()
+    if pressure > 0:
+        pool.allocate("injected_pressure", pressure)

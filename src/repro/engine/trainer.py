@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.perf import StepBreakdown
 from repro.errors import ConfigError
+from repro.faults.injector import get_injector
 from repro.hardware.accelerator import Vendor
 from repro.hardware.node import NodeSpec
 from repro.jpwr.ctxmgr import MeasuredScope, get_power
@@ -124,6 +125,7 @@ class PhaseRunner:
         self.clock = clock
         self.scope = scope
         self.devices = devices
+        self.steps_run = 0
 
     def run_phase(self, duration_s: float, utilisation: float) -> None:
         """One constant-utilisation phase across all active devices."""
@@ -137,10 +139,26 @@ class PhaseRunner:
             self.scope.sample()
 
     def run_step(self, step: StepBreakdown) -> None:
-        """One optimizer step: a busy phase plus a low-utilisation tail."""
+        """One optimizer step: a busy phase plus a low-utilisation tail.
+
+        The active fault-injection scope is consulted first: an armed
+        ``oom`` fault aborts the run mid-training with
+        :class:`~repro.errors.OutOfMemoryError`, and active
+        ``straggler`` faults stretch both phases by their slowdown
+        factor (the device is slower, not busier — utilisation is
+        unchanged, so energy grows with the stretched time).
+        """
+        injector = get_injector()
+        step_index = self.steps_run
+        self.steps_run += 1
+        factor = 1.0
+        if injector.enabled:
+            now = self.clock.now()
+            injector.check_step(now, step_index)
+            factor = injector.straggler_factor(now, step_index)
         with get_tracer().span("engine/step"):
-            self.run_phase(step.busy_s, step.utilisation)
-            tail = step.total_s - step.busy_s
+            self.run_phase(step.busy_s * factor, step.utilisation)
+            tail = (step.total_s - step.busy_s) * factor
             self.run_phase(tail, min(step.utilisation, LOW_PHASE_UTILISATION))
 
     def idle(self, duration_s: float) -> None:

@@ -1,0 +1,54 @@
+"""Deterministic fault injection for chaos campaigns.
+
+The paper's measurement campaigns were disturbed by exactly the
+failures a clean simulation never exercises: MI250 power-sensor
+anomalies, Graphcore host-side gaps, out-of-memory walls, stragglers,
+node crashes and Slurm preemptions.  This package turns those into
+first-class, *seeded* scenarios:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan`\\ s of
+  :class:`FaultSpec`\\ s with trigger conditions on simulated time,
+  step index, device and workpackage parameters, loadable from YAML,
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that arms
+  a plan against one workpackage and is consulted by the existing
+  seams (engines, power sensors, the simulated Slurm scheduler, the
+  JUBE runtime).
+
+Identical ``(seed, plan)`` pairs make identical injection decisions no
+matter how the campaign is executed (sequential or process pool), which
+is what keeps chaos campaigns byte-reproducible.
+"""
+
+from repro.faults.injector import (
+    NULL_INJECTION,
+    FaultInjector,
+    FaultRecord,
+    InjectedOutOfMemoryError,
+    NullInjection,
+    WorkpackageInjection,
+    activate_injection,
+    get_injector,
+    set_injector,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "InjectedOutOfMemoryError",
+    "NULL_INJECTION",
+    "NullInjection",
+    "WorkpackageInjection",
+    "activate_injection",
+    "get_injector",
+    "load_fault_plan",
+    "set_injector",
+]

@@ -1,0 +1,400 @@
+"""The fault injector: arms a plan against one workpackage.
+
+Mirrors the tracer's activation pattern (:mod:`repro.obs.trace`): the
+module-level injection scope is a :class:`NullInjection` that makes
+every seam check a no-op, so instrumented code pays one global lookup
+and one method call while chaos is off.  Executors activate a
+:class:`WorkpackageInjection` around each workpackage::
+
+    injector = FaultInjector(plan)
+    scope = injector.scope_for(step_name, index, parameters)
+    with activate_injection(scope):
+        ...   # seams consult get_injector()
+    provenance = scope.provenance()
+
+Determinism
+-----------
+
+Whether a probabilistic fault is armed is drawn from a RNG seeded by a
+stable hash of ``(plan seed, spec position, step, parameters)`` — not
+by execution order — so sequential and process-pool runs of the same
+plan make identical decisions, and two identical invocations produce
+byte-identical provenance.
+
+Trigger times are *relative*: a scope captures the simulated time of
+its first seam consultation as ``t0`` and evaluates ``at_time_s`` /
+``duration_s`` windows against ``t - t0``, so a plan behaves the same
+whether runs share one traced clock or each start a fresh one.
+
+Every firing is observable: the first firing of a fault emits a
+``fault/<kind>`` instant event on the active tracer, and every firing
+increments the ``faults_injected_total`` metric — a traced chaos
+campaign shows exactly what fired and when.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import OutOfMemoryError, TransientError
+from repro.faults.plan import SENSOR_KINDS, FaultPlan, FaultSpec
+
+# The obs imports happen inside the firing paths, not here: this module
+# is consulted from the lowest layers (power sensors, the memory model),
+# so importing repro.obs at module scope would close an import cycle
+# through obs.trace -> simcluster -> power.sensors -> here.  Firing is
+# rare; the lazy imports are sys.modules lookups after the first one.
+
+
+class InjectedOutOfMemoryError(OutOfMemoryError, TransientError):
+    """An injected mid-training device OOM.
+
+    Inherits both faces: engines and Figure-4 heatmaps see a real
+    :class:`OutOfMemoryError`, while the campaign retry layer sees a
+    retryable :class:`TransientError` — the aborted attempt re-runs,
+    and once the fault is exhausted (``max_fires``) the retry completes
+    with the OOM in its provenance.
+    """
+
+
+@dataclass
+class FaultRecord:
+    """Provenance of one fired fault within one workpackage."""
+
+    kind: str
+    label: str
+    t: float
+    detail: str
+    count: int = 1
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form stored with campaign rows."""
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "t": round(self.t, 6),
+            "detail": self.detail,
+            "count": self.count,
+        }
+
+    def describe(self) -> str:
+        """Compact human-readable form for status output."""
+        times = f" x{self.count}" if self.count > 1 else ""
+        return f"{self.label}@{self.t:g}s{times}"
+
+
+class _ArmedFault:
+    """One spec matched to the current workpackage, with firing state."""
+
+    __slots__ = ("spec", "armed", "fires", "record")
+
+    def __init__(self, spec: FaultSpec, armed: bool) -> None:
+        self.spec = spec
+        self.armed = armed
+        self.fires = 0
+        self.record: FaultRecord | None = None
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether a one-shot fault has fired ``max_fires`` times."""
+        return not self.spec.is_window and self.fires >= self.spec.max_fires
+
+
+class NullInjection:
+    """The disabled scope: every seam check is a no-op.
+
+    Shares the :class:`WorkpackageInjection` surface so seams never
+    branch on whether chaos is active.
+    """
+
+    enabled = False
+    records: tuple = ()
+
+    def check_workpackage_start(self) -> None:
+        """No-op workpackage-start check."""
+
+    def check_step(self, t: float, step_index: int) -> None:
+        """No-op training-step check."""
+
+    def straggler_factor(self, t: float, step_index: int) -> float:
+        """No slowdown."""
+        return 1.0
+
+    def memory_pressure_bytes(self) -> int:
+        """No injected memory pressure."""
+        return 0
+
+    def sensor_fault(self, device_index: int, t: float):
+        """No sensor fault."""
+        return None
+
+    def job_event(self, t: float):
+        """No scheduler-level fault."""
+        return None
+
+    def provenance(self) -> list[dict]:
+        """Nothing fired."""
+        return []
+
+
+NULL_INJECTION = NullInjection()
+
+
+class WorkpackageInjection:
+    """Fault state of one workpackage: armed specs, firings, provenance."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        step: str,
+        index: int,
+        parameters: dict,
+    ) -> None:
+        self.plan = plan
+        self.step = step
+        self.index = index
+        self.parameters = {k: str(v) for k, v in dict(parameters).items()}
+        self.records: list[FaultRecord] = []
+        self._t0: float | None = None
+        self._armed: list[_ArmedFault] = []
+        for position, spec in enumerate(plan.faults):
+            if not spec.matches(step, self.parameters):
+                continue
+            armed = True
+            if spec.probability < 1.0:
+                rng = random.Random(self._derive_seed(position))
+                armed = rng.random() < spec.probability
+            self._armed.append(_ArmedFault(spec, armed))
+
+    def _derive_seed(self, position: int) -> int:
+        """Stable per-(plan, spec, workpackage) RNG seed."""
+        payload = json.dumps(
+            [self.plan.seed, position, self.step, self.parameters],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return int(hashlib.sha256(payload.encode()).hexdigest()[:16], 16)
+
+    # -- time ----------------------------------------------------------------
+
+    def _rel(self, t: float) -> float:
+        """Time since this scope's first seam consultation."""
+        if self._t0 is None:
+            self._t0 = float(t)
+        return float(t) - self._t0
+
+    # -- firing --------------------------------------------------------------
+
+    def _fire(self, armed: _ArmedFault, t: float, detail: str) -> None:
+        from repro.obs.log import get_logger
+        from repro.obs.metrics import get_metrics
+        from repro.obs.trace import get_tracer
+
+        spec = armed.spec
+        armed.fires += 1
+        first = armed.record is None
+        if first:
+            armed.record = FaultRecord(
+                kind=spec.kind, label=spec.label, t=self._rel(t), detail=detail
+            )
+            self.records.append(armed.record)
+            # Window faults fire on every affected read/step; one event
+            # per fault keeps the trace readable while the counter still
+            # counts every firing.
+            get_tracer().event(
+                f"fault/{spec.kind}",
+                attrs={
+                    "label": spec.label,
+                    "step": self.step,
+                    "index": self.index,
+                    "detail": detail,
+                },
+            )
+            get_logger(__name__).info(
+                "fault %s (%s) fired in %s#%d: %s",
+                spec.label, spec.kind, self.step, self.index, detail,
+            )
+        else:
+            armed.record.count += 1
+        get_metrics().counter(
+            "faults_injected_total", "fault firings by kind"
+        ).inc(kind=spec.kind, step=self.step)
+
+    def _eligible(self, armed: _ArmedFault, kinds: tuple[str, ...]) -> bool:
+        return (
+            armed.armed
+            and armed.spec.kind in kinds
+            and not armed.exhausted
+        )
+
+    # -- seam checks ---------------------------------------------------------
+
+    def check_workpackage_start(self) -> None:
+        """Consulted by the JUBE runtime before executing a workpackage.
+
+        Raises :class:`TransientError` for armed ``transient`` and
+        ``node_crash`` faults (a crashed node means the workpackage is
+        rescheduled — a retry, from the campaign's point of view).
+        """
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        t = tracer.now() if tracer.enabled else 0.0
+        self._rel(t)
+        for armed in self._armed:
+            if not self._eligible(armed, ("transient", "node_crash")):
+                continue
+            self._fire(armed, t, f"attempt {armed.fires + 1} aborted")
+            if armed.spec.kind == "node_crash":
+                raise TransientError(
+                    f"injected node crash ({armed.spec.label}): node lost, "
+                    "workpackage rescheduled"
+                )
+            raise TransientError(
+                f"injected transient fault ({armed.spec.label})"
+            )
+
+    def check_step(self, t: float, step_index: int) -> None:
+        """Consulted by the training loop before each optimizer step.
+
+        Raises :class:`OutOfMemoryError` for armed ``oom`` faults whose
+        time/step trigger has been reached.
+        """
+        for armed in self._armed:
+            if not self._eligible(armed, ("oom",)):
+                continue
+            spec = armed.spec
+            if spec.at_step is not None and step_index < spec.at_step:
+                continue
+            if spec.at_step is None and not spec.active_at(self._rel(t)):
+                continue
+            self._fire(armed, t, f"device OOM at step {step_index}")
+            raise InjectedOutOfMemoryError(
+                f"injected device OOM ({spec.label}) at step {step_index}"
+            )
+
+    def straggler_factor(self, t: float, step_index: int) -> float:
+        """Combined slowdown factor of the stragglers active right now."""
+        factor = 1.0
+        for armed in self._armed:
+            if not (armed.armed and armed.spec.kind == "straggler"):
+                continue
+            spec = armed.spec
+            if spec.at_step is not None and step_index < spec.at_step:
+                continue
+            if not spec.active_at(self._rel(t)):
+                continue
+            self._fire(armed, t, f"slowdown x{spec.magnitude:g}")
+            factor *= spec.magnitude
+        return factor
+
+    def memory_pressure_bytes(self) -> int:
+        """Injected memory pressure, consulted by feasibility checks.
+
+        Pressure persists for the scope's whole lifetime (the leaked
+        allocation does not come back); the provenance record counts
+        how many feasibility checks saw it.
+        """
+        total = 0
+        for armed in self._armed:
+            if not (armed.armed and armed.spec.kind == "memory_pressure"):
+                continue
+            self._fire(armed, 0.0, f"{int(armed.spec.magnitude)} bytes reserved")
+            total += int(armed.spec.magnitude)
+        return total
+
+    def sensor_fault(self, device_index: int, t: float):
+        """Active sensor fault for one device read, or ``None``.
+
+        Returns ``(kind, magnitude)``; consulted by
+        :meth:`repro.power.sensors.SimulatedDevice.read`.
+        """
+        for armed in self._armed:
+            if not (armed.armed and armed.spec.kind in SENSOR_KINDS):
+                continue
+            spec = armed.spec
+            if spec.device is not None and spec.device != device_index:
+                continue
+            if not spec.active_at(self._rel(t)):
+                continue
+            self._fire(armed, t, f"device {device_index}")
+            return spec.kind, spec.magnitude
+        return None
+
+    def job_event(self, t: float):
+        """Scheduler-level fault for this job: ``"crash"``, ``"preempt"``
+        or ``None``; consulted by the simulated Slurm scheduler."""
+        for armed in self._armed:
+            if not self._eligible(armed, ("node_crash", "preemption")):
+                continue
+            spec = armed.spec
+            if spec.at_time_s is not None and self._rel(t) < spec.at_time_s:
+                continue
+            if spec.kind == "node_crash":
+                self._fire(armed, t, "node crashed under the job")
+                return "crash"
+            self._fire(armed, t, "job preempted and requeued")
+            return "preempt"
+        return None
+
+    # -- results -------------------------------------------------------------
+
+    def provenance(self) -> list[dict]:
+        """Fired faults in firing order, JSON-serialisable."""
+        return [record.to_dict() for record in self.records]
+
+    def describe(self) -> str:
+        """Compact ``label@time`` summary of what fired."""
+        return ", ".join(record.describe() for record in self.records)
+
+
+class FaultInjector:
+    """Builds per-workpackage injection scopes from one plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def scope_for(
+        self, step: str, index: int, parameters: dict
+    ) -> WorkpackageInjection:
+        """The injection scope of one workpackage."""
+        return WorkpackageInjection(self.plan, step, index, parameters)
+
+
+# -- module-level active scope ----------------------------------------------
+
+_active: WorkpackageInjection | NullInjection = NULL_INJECTION
+
+
+def get_injector() -> WorkpackageInjection | NullInjection:
+    """The injection scope seam checks should consult."""
+    return _active
+
+
+def set_injector(
+    scope: WorkpackageInjection | NullInjection | None,
+) -> WorkpackageInjection | NullInjection:
+    """Install ``scope`` (``None`` disables); returns the previous one."""
+    global _active
+    previous = _active
+    _active = scope if scope is not None else NULL_INJECTION
+    return previous
+
+
+@contextmanager
+def activate_injection(
+    scope: WorkpackageInjection | NullInjection | None,
+) -> Iterator[WorkpackageInjection | NullInjection]:
+    """Scope-install an injection, restoring the previous one on exit."""
+    previous = set_injector(scope)
+    try:
+        yield get_injector()
+    finally:
+        set_injector(previous)

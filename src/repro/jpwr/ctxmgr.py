@@ -25,6 +25,7 @@ engine) calls :meth:`MeasuredScope.sample` at each simulated step.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Callable, Sequence
@@ -72,6 +73,7 @@ class MeasuredScope:
         self.on_error = on_error
         self.df = DataFrame()
         self.dropped_samples = 0
+        self.anomalous_samples = 0
         self._labels: list[str] = []
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -110,6 +112,11 @@ class MeasuredScope:
                 "dropped %d power samples to sensor read failures",
                 self.dropped_samples,
             )
+        if self.anomalous_samples:
+            logger.warning(
+                "discarded %d anomalous (non-finite) power samples",
+                self.anomalous_samples,
+            )
         logger.debug(
             "measurement scope closed: %d samples, %d columns",
             len(self.df), max(0, len(self.df.columns) - 1),
@@ -127,7 +134,11 @@ class MeasuredScope:
 
         A failing read (sensor dropout) either drops the whole sample
         (``on_error='skip'``, counted in :attr:`dropped_samples`) or
-        propagates (``on_error='raise'``).
+        propagates (``on_error='raise'``).  A sample containing a
+        non-finite power value — the MI250-style sensor anomalies the
+        paper reports — is always discarded (counted in
+        :attr:`anomalous_samples`) so one bogus reading cannot poison
+        the trapezoidal energy integration.
         """
         row: dict[str, float] = {TIME_COLUMN: self.clock()}
         try:
@@ -138,6 +149,10 @@ class MeasuredScope:
                 raise
             self.dropped_samples += 1
             return
+        for label, value in row.items():
+            if label != TIME_COLUMN and not math.isfinite(value):
+                self.anomalous_samples += 1
+                return
         with self._lock:
             self.df.add_row(row)
 

@@ -10,6 +10,7 @@ be constructed against an explicit registry.
 from __future__ import annotations
 
 import abc
+import math
 
 
 from repro.errors import MeasurementError
@@ -18,6 +19,18 @@ from repro.jpwr.frame import DataFrame
 from repro.power.sensors import DeviceRegistry, SimulatedDevice
 
 _ACTIVE_REGISTRY: DeviceRegistry | None = None
+
+
+def quantize(value_w: float, scale: float) -> float:
+    """Truncate to a backend's reporting granularity (1/``scale`` watts).
+
+    Non-finite readings (a faulted sensor returning NaN) pass through
+    unchanged so the sampling layer can count and discard them instead
+    of crashing in ``int()``.
+    """
+    if not math.isfinite(value_w):
+        return value_w
+    return int(value_w * scale) / scale
 
 
 def set_active_registry(registry: DeviceRegistry | None) -> None:

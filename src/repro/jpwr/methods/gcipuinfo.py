@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from repro.hardware.accelerator import Vendor
 from repro.jpwr.frame import DataFrame
-from repro.jpwr.methods.base import PowerMethod
+from repro.jpwr.methods.base import PowerMethod, quantize
 
 
 class GcIpuInfoMethod(PowerMethod):
@@ -21,8 +21,7 @@ class GcIpuInfoMethod(PowerMethod):
         """Per-IPU power in watts (gcipuinfo reports tenths of a watt)."""
         out: dict[str, float] = {}
         for dev in self.devices():
-            deciwatts = int(dev.read_power_w() * 10.0)
-            out[f"ipu{dev.index}"] = deciwatts / 10.0
+            out[f"ipu{dev.index}"] = quantize(dev.read_power_w(), 10.0)
         return out
 
     def additional_data(self) -> dict[str, DataFrame]:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.hardware.accelerator import Vendor
 from repro.jpwr.frame import DataFrame
-from repro.jpwr.methods.base import PowerMethod
+from repro.jpwr.methods.base import PowerMethod, quantize
 from repro.power.sensors import SimulatedDevice
 
 
@@ -46,8 +46,8 @@ class GraceHopperMethod(PowerMethod):
         out: dict[str, float] = {}
         for dev in self.devices():
             package_w = dev.read_power_w()
-            module = int(package_w * 1e6) / 1e6
-            cpu = int(package_w * _CPU_SHARE * 1e6) / 1e6
+            module = quantize(package_w, 1e6)
+            cpu = quantize(package_w * _CPU_SHARE, 1e6)
             out[f"gh_module{dev.index}"] = module
             out[f"gh_cpu{dev.index}"] = cpu
         return out

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.hardware.accelerator import Vendor
 from repro.jpwr.frame import DataFrame
-from repro.jpwr.methods.base import PowerMethod
+from repro.jpwr.methods.base import PowerMethod, quantize
 
 
 class PynvmlMethod(PowerMethod):
@@ -28,8 +28,7 @@ class PynvmlMethod(PowerMethod):
         """
         out: dict[str, float] = {}
         for dev in self.devices():
-            milliwatts = int(dev.read_power_w() * 1000.0)
-            out[f"gpu{dev.index}"] = milliwatts / 1000.0
+            out[f"gpu{dev.index}"] = quantize(dev.read_power_w(), 1000.0)
         return out
 
     def additional_data(self) -> dict[str, DataFrame]:

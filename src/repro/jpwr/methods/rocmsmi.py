@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.hardware.accelerator import Vendor
 from repro.jpwr.frame import DataFrame
-from repro.jpwr.methods.base import PowerMethod
+from repro.jpwr.methods.base import PowerMethod, quantize
 
 
 class RocmSmiMethod(PowerMethod):
@@ -22,8 +22,7 @@ class RocmSmiMethod(PowerMethod):
         """Per-GCD average socket power in watts (microwatt precision)."""
         out: dict[str, float] = {}
         for dev in self.devices():
-            microwatts = int(dev.read_power_w() * 1e6)
-            out[f"gcd{dev.index}"] = microwatts / 1e6
+            out[f"gcd{dev.index}"] = quantize(dev.read_power_w(), 1e6)
         return out
 
     def additional_data(self) -> dict[str, DataFrame]:

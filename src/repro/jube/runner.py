@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.errors import JubeError
+from repro.faults.injector import get_injector
 from repro.jube.parameters import expand_parameter_space, substitute
 from repro.jube.result import ResultTable, render_table
 from repro.jube.script import BenchmarkScript
@@ -115,22 +116,35 @@ class WorkResult:
 
     ``error`` is ``None`` on success; executors that capture failures
     (campaign mode) record ``"ExcType: message"`` instead of raising.
-    ``attempts`` counts executions including retries.
+    ``attempts`` counts executions including retries.  ``faults`` is
+    the provenance of injected faults that fired during execution
+    (chaos campaigns); ``degraded`` marks a result that completed
+    despite fired faults — valid, but measured under duress.
     """
 
     outputs: dict[str, object] = field(default_factory=dict)
     stdout: str = ""
     error: str | None = None
     attempts: int = 1
+    faults: list = field(default_factory=list)
+    degraded: bool = False
 
 
 def execute_workpackage(registry: OperationRegistry, item: WorkItem) -> WorkResult:
-    """Execute one workpackage's operations; exceptions propagate."""
+    """Execute one workpackage's operations; exceptions propagate.
+
+    The active fault-injection scope is consulted first: an armed
+    ``transient`` or ``node_crash`` fault aborts the attempt with
+    :class:`~repro.errors.TransientError` before any operation runs,
+    which is exactly the failure the campaign retry/backoff executor
+    exists to absorb.
+    """
     wp = Workpackage(step=item.step, parameters=dict(item.parameters), index=item.index)
     wp.outputs.update(item.outputs)
     wp.stdout = item.stdout
     attrs = {"step": item.step.name, "index": item.index, **item.parameters}
     with get_tracer().span("jube/workpackage", attrs=attrs):
+        get_injector().check_workpackage_start()
         for template in item.step.operations:
             command = substitute(template, item.parameters)
             logger.debug(

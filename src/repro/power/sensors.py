@@ -22,6 +22,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.faults.injector import get_injector
 from repro.hardware.accelerator import AcceleratorSpec
 from repro.power.model import PowerModel, power_model_for_device
 
@@ -114,7 +115,14 @@ class SimulatedDevice:
     # -- counter reads ---------------------------------------------------
 
     def read(self) -> SensorReading:
-        """Read timestamp, instantaneous power and accumulated energy."""
+        """Read timestamp, instantaneous power and accumulated energy.
+
+        An active fault-injection scope can perturb the read the way
+        real management libraries misbehave: ``sensor_dropout`` raises
+        (the device fell off the bus), ``sensor_spike`` offsets the
+        power (the paper's MI250 anomaly class), ``sensor_nan`` poisons
+        it (jpwr discards the sample as anomalous).
+        """
         if not self.healthy:
             raise MeasurementError(f"{self.name}: sensor read failed")
         with self._lock:
@@ -123,7 +131,17 @@ class SimulatedDevice:
             if self.noise_fraction > 0:
                 power *= 1.0 + self.noise_fraction * float(self._rng.standard_normal())
                 power = max(power, 0.0)
-            return SensorReading(time_s=now, power_w=power, energy_j=self._energy_j)
+            energy_j = self._energy_j
+        fault = get_injector().sensor_fault(self.index, now)
+        if fault is not None:
+            kind, magnitude = fault
+            if kind == "sensor_dropout":
+                raise MeasurementError(f"{self.name}: injected sensor dropout")
+            if kind == "sensor_spike":
+                power = max(power + magnitude, 0.0)
+            else:  # sensor_nan
+                power = float("nan")
+        return SensorReading(time_s=now, power_w=power, energy_j=energy_j)
 
     def read_power_w(self) -> float:
         """Instantaneous power only (what nvml's power read returns)."""

@@ -17,6 +17,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SchedulerError
+from repro.faults.injector import (
+    FaultInjector,
+    WorkpackageInjection,
+    activate_injection,
+)
 from repro.hardware.node import NodeSpec
 from repro.power.sensors import DeviceRegistry
 from repro.simcluster.clock import VirtualClock
@@ -79,7 +84,11 @@ class JobContext:
 
 @dataclass
 class JobRecord:
-    """Accounting record of one job (squeue/sacct view)."""
+    """Accounting record of one job (squeue/sacct view).
+
+    ``requeues`` counts injected preemptions (Slurm's requeue count);
+    ``faults`` carries the provenance of faults injected into the job.
+    """
 
     job_id: int
     spec: JobSpec
@@ -89,6 +98,8 @@ class JobRecord:
     end_time_s: float | None = None
     result: object = None
     error: str | None = None
+    requeues: int = 0
+    faults: list = field(default_factory=list)
 
     @property
     def elapsed_s(self) -> float | None:
@@ -121,13 +132,34 @@ class SlurmSimulator:
     and track node occupancy between scheduling rounds.
     """
 
-    def __init__(self, clock: VirtualClock | None = None) -> None:
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        injector: FaultInjector | None = None,
+    ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
+        self.injector = injector
+        self._fault_scopes: dict[int, WorkpackageInjection] = {}
         self._partitions: dict[str, tuple[NodeSpec, int]] = {}
         self._free_nodes: dict[str, list[int]] = {}
         self._jobs: dict[int, JobRecord] = {}
         self._queue: list[int] = []
         self._ids = itertools.count(1)
+
+    def _fault_scope(self, record: JobRecord) -> WorkpackageInjection | None:
+        """The job's injection scope (firing state persists across
+        scheduling rounds, so a preempted job is not preempted forever)."""
+        if self.injector is None:
+            return None
+        scope = self._fault_scopes.get(record.job_id)
+        if scope is None:
+            scope = self.injector.scope_for(
+                record.spec.name,
+                record.job_id,
+                {"job": record.spec.name, "partition": record.spec.partition},
+            )
+            self._fault_scopes[record.job_id] = scope
+        return scope
 
     # -- configuration ---------------------------------------------------
 
@@ -218,22 +250,45 @@ class SlurmSimulator:
         dependencies are still pending is passed over (backfill); one
         whose dependency failed is cancelled (Slurm's
         DependencyNeverSatisfied).
+
+        With a fault injector installed, an armed ``preemption`` fault
+        requeues the job at scheduling time (it runs in a later round,
+        ``requeues`` incremented) and an armed ``node_crash`` fault
+        fails it with ``NodeFail`` the way Slurm reports a node lost
+        under a running job.
         """
-        for job_id in list(self._queue):
-            record = self._jobs[job_id]
-            state = self._dependency_state(record.spec)
-            if state == "never":
-                self._queue.remove(job_id)
-                record.state = JobState.CANCELLED
-                record.error = "DependencyNeverSatisfied"
-                record.end_time_s = self.clock.now()
-                return record
-            if state == "ready":
-                self._queue.remove(job_id)
+        while True:
+            for job_id in list(self._queue):
+                record = self._jobs[job_id]
+                state = self._dependency_state(record.spec)
+                if state == "never":
+                    self._queue.remove(job_id)
+                    record.state = JobState.CANCELLED
+                    record.error = "DependencyNeverSatisfied"
+                    record.end_time_s = self.clock.now()
+                    return record
+                if state == "ready":
+                    self._queue.remove(job_id)
+                    break
+            else:
+                return None
+            scope = self._fault_scope(record)
+            if scope is None:
                 break
-        else:
-            return None
+            event = scope.job_event(self.clock.now())
+            if event is None:
+                break
+            if event == "crash":
+                record.state = JobState.FAILED
+                record.error = "NodeFail: injected node crash"
+                record.end_time_s = self.clock.now()
+                record.faults = scope.provenance()
+                return record
+            # Preempted: back of the queue, try the next runnable job.
+            record.requeues += 1
+            self._queue.append(record.job_id)
         spec = record.spec
+        job_id = record.job_id
         node, _ = self._partitions[spec.partition]
         free = self._free_nodes[spec.partition]
         if len(free) < spec.nodes:  # pragma: no cover - sync model keeps free
@@ -258,7 +313,13 @@ class SlurmSimulator:
         start = self.clock.now()
         try:
             if spec.run is not None:
-                record.result = spec.run(ctx)
+                if scope is not None:
+                    # Engine/sensor faults armed for this job fire while
+                    # its body runs.
+                    with activate_injection(scope):
+                        record.result = spec.run(ctx)
+                else:
+                    record.result = spec.run(ctx)
             record.state = JobState.COMPLETED
         except Exception as exc:  # job bodies may raise anything
             record.state = JobState.FAILED
@@ -266,6 +327,8 @@ class SlurmSimulator:
         finally:
             record.end_time_s = self.clock.now()
             self._free_nodes[spec.partition].extend(allocated)
+            if scope is not None:
+                record.faults = scope.provenance()
         # Enforce the time limit retroactively (virtual time).
         if (
             record.state is JobState.COMPLETED

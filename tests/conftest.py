@@ -46,4 +46,10 @@ def a100_registry(a100_node, clock):
 
 
 def pytest_configure(config):
+    # Registered in pyproject.toml too; repeated here so the suite stays
+    # warning-clean when pytest is invoked without the project config.
     config.addinivalue_line("markers", "slow: long-running integration test")
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection campaign test (runs real workloads under a fault plan)",
+    )

@@ -1,0 +1,112 @@
+"""Golden determinism: identical chaos invocations, identical bytes.
+
+Two CLI invocations of the same traced chaos campaign — same spec,
+same plan, same seed — must write byte-identical JSONL stores and
+byte-identical Perfetto traces.  A mismatch fails with a readable
+unified diff so the drifting field is visible in the test output.
+"""
+
+from __future__ import annotations
+
+import difflib
+import io
+
+import pytest
+import yaml
+
+from repro.core.cli import run as cli_run
+
+
+def invoke(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = cli_run(list(argv), stdout=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def golden_paths(tmp_path_factory):
+    """Spec + chaos plan for a tiny LLM + ResNet campaign."""
+    tmp_path = tmp_path_factory.mktemp("golden")
+    spec = {
+        "name": "golden",
+        "systems": ["A100"],
+        "workloads": [
+            {
+                "kind": "llm",
+                "axes": {"global_batch_size": [64]},
+                "fixed": {"exit_duration": "10"},
+            },
+            {
+                "kind": "resnet",
+                "axes": {"global_batch_size": [256]},
+            },
+        ],
+    }
+    spec_path = tmp_path / "campaign.yaml"
+    spec_path.write_text(yaml.safe_dump(spec))
+    plan = {
+        "name": "golden-chaos",
+        "seed": 21,
+        "faults": [
+            {"kind": "oom", "step": "llm", "at_step": 2},
+            {
+                "kind": "sensor_dropout",
+                "step": "resnet",
+                "at_time_s": 1.0,
+                "duration_s": 2.0,
+            },
+            {"kind": "transient", "step": "resnet", "max_fires": 1},
+        ],
+    }
+    plan_path = tmp_path / "chaos.yaml"
+    plan_path.write_text(yaml.safe_dump(plan))
+    return spec_path, plan_path
+
+
+def run_campaign(tmp_path, spec_path, plan_path, tag):
+    store = tmp_path / f"{tag}.jsonl"
+    trace = tmp_path / f"{tag}-trace.json"
+    code, text = invoke(
+        "campaign", "run", str(spec_path),
+        "--store", str(store),
+        "--faults", str(plan_path),
+        "--trace", str(trace),
+    )
+    assert code == 0, text
+    return store.read_bytes(), trace.read_bytes()
+
+
+def assert_bytes_equal(first: bytes, second: bytes, label: str) -> None:
+    if first == second:
+        return
+    diff = "\n".join(
+        difflib.unified_diff(
+            first.decode(errors="replace").splitlines(),
+            second.decode(errors="replace").splitlines(),
+            fromfile=f"{label} (first run)",
+            tofile=f"{label} (second run)",
+            lineterm="",
+            n=2,
+        )
+    )
+    pytest.fail(f"{label} differs between identical invocations:\n{diff}")
+
+
+@pytest.mark.chaos
+class TestGoldenDeterminism:
+    def test_store_and_trace_bytes_reproduce(self, golden_paths, tmp_path):
+        spec_path, plan_path = golden_paths
+        store_a, trace_a = run_campaign(tmp_path, spec_path, plan_path, "first")
+        store_b, trace_b = run_campaign(tmp_path, spec_path, plan_path, "second")
+        assert len(store_a.splitlines()) == 2  # one row per workpackage
+        assert_bytes_equal(store_a, store_b, "JSONL store")
+        assert_bytes_equal(trace_a, trace_b, "Perfetto trace")
+
+    def test_chaos_actually_happened(self, golden_paths, tmp_path):
+        # Guard against vacuous determinism: the runs must have fired
+        # faults, not skipped them.
+        spec_path, plan_path = golden_paths
+        store, trace = run_campaign(tmp_path, spec_path, plan_path, "probe")
+        assert b'"degraded": true' in store
+        assert b"sensor_dropout" in store
+        assert b"fault/oom" in trace

@@ -1,0 +1,178 @@
+"""Negative paths: exhausted retries, provenance surfacing, resumption."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+import yaml
+
+from repro.campaign.executor import IsolatingExecutor, RetryPolicy
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, WorkloadSpec
+from repro.campaign.store import JsonlStore
+from repro.campaign.testing import build_toy_registry
+from repro.core.cli import run as cli_run
+from repro.faults import FaultPlan, FaultSpec
+
+
+def invoke(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = cli_run(list(argv), stdout=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def emit_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="neg",
+        systems=("A100",),
+        workloads=(WorkloadSpec(name="emit", operations=("emit --value 1",)),),
+    )
+
+
+RELENTLESS = FaultPlan(
+    name="relentless",
+    seed=3,
+    # Outlives any default retry budget: every attempt aborts.
+    faults=(FaultSpec(kind="transient", max_fires=99),),
+)
+
+ONE_SHOT = FaultPlan(
+    name="one-shot",
+    seed=3,
+    faults=(FaultSpec(kind="transient", max_fires=1),),
+)
+
+
+class TestExhaustedRetries:
+    def test_failed_row_carries_provenance(self, emit_spec, tmp_path):
+        runner = CampaignRunner(
+            JsonlStore(tmp_path / "s.jsonl"),
+            IsolatingExecutor(
+                build_toy_registry, retry=RetryPolicy(max_retries=2, backoff_s=0.0)
+            ),
+            faults=RELENTLESS,
+        )
+        report = runner.run(emit_spec)
+        assert (report.failed, report.degraded) == (1, 0)
+        (row,) = runner.results(emit_spec)
+        assert not row.completed
+        assert not row.degraded  # failed rows are failed, not degraded
+        assert row.attempts == 3  # initial + 2 retries, all aborted
+        assert "injected transient fault" in row.error
+        (fault,) = row.faults
+        assert fault["kind"] == "transient"
+        assert fault["count"] == 3  # one firing per aborted attempt
+
+    def test_status_surfaces_last_faults(self, emit_spec, tmp_path):
+        runner = CampaignRunner(
+            JsonlStore(tmp_path / "s.jsonl"),
+            IsolatingExecutor(
+                build_toy_registry, retry=RetryPolicy(max_retries=2, backoff_s=0.0)
+            ),
+            faults=RELENTLESS,
+        )
+        runner.run(emit_spec)
+        status = runner.status(emit_spec)
+        assert not status.done
+        text = status.describe()
+        assert "#0: failed after 3 attempt(s)" in text
+        assert "[faults: transient@" in text
+        assert "x3" in text
+
+
+class TestCliStatusWithFaults:
+    def test_status_needs_the_plan_to_find_chaos_rows(self, tmp_path):
+        spec = {
+            "name": "cli-neg",
+            "systems": ["A100"],
+            "workloads": [
+                {
+                    "kind": "llm",
+                    "axes": {"global_batch_size": [64]},
+                    "fixed": {"exit_duration": "10"},
+                }
+            ],
+        }
+        spec_path = tmp_path / "campaign.yaml"
+        spec_path.write_text(yaml.safe_dump(spec))
+        plan_path = tmp_path / "chaos.yaml"
+        plan_path.write_text(
+            yaml.safe_dump(RELENTLESS.to_dict())
+        )
+        store = str(tmp_path / "rows.jsonl")
+
+        code, text = invoke(
+            "campaign", "run", str(spec_path),
+            "--store", store, "--sequential", "--faults", str(plan_path),
+        )
+        assert code != 0  # every attempt aborted: the campaign failed
+        assert "1 failed" in text
+
+        # Status *with* the plan sees the chaos rows and their faults.
+        code, text = invoke(
+            "campaign", "status", str(spec_path),
+            "--store", store, "--faults", str(plan_path),
+        )
+        assert code == 0
+        assert "#0: failed after 3 attempt(s)" in text
+        assert "[faults: transient@" in text
+
+        # Status *without* the plan keys differently: nothing stored yet
+        # for the clean campaign — chaos rows never shadow clean ones.
+        code, text = invoke(
+            "campaign", "status", str(spec_path), "--store", store
+        )
+        assert code == 0
+        assert "1 missing" in text
+
+
+class TestContinueResumesOnlyFailures:
+    def test_continue_reexecutes_failed_workpackage_only(self, tmp_path):
+        spec = CampaignSpec(
+            name="neg2",
+            systems=("A100",),
+            workloads=(
+                WorkloadSpec(
+                    name="emit",
+                    operations=("emit --value $x",),
+                    axes={"x": ("1", "2")},
+                ),
+            ),
+        )
+        plan = FaultPlan(
+            name="one-shot",
+            seed=3,
+            faults=(
+                FaultSpec(kind="transient", where={"x": "2"}, max_fires=1),
+            ),
+        )
+        store = JsonlStore(tmp_path / "s.jsonl")
+        # No retries: the injected transient becomes a stored failure.
+        brittle = CampaignRunner(
+            store,
+            IsolatingExecutor(build_toy_registry, retry=RetryPolicy(max_retries=0)),
+            faults=plan,
+        )
+        first = brittle.run(spec)
+        assert (first.executed, first.failed) == (2, 1)
+
+        # Continue with retries: only the failed workpackage re-runs —
+        # the clean row is served from cache.
+        patient = CampaignRunner(
+            store,
+            IsolatingExecutor(
+                build_toy_registry, retry=RetryPolicy(max_retries=2, backoff_s=0.0)
+            ),
+            faults=plan,
+        )
+        resumed = patient.continue_run(spec)
+        assert (resumed.executed, resumed.cached, resumed.failed) == (1, 1, 0)
+        recovered = [
+            r for r in patient.results(spec) if r.parameters["x"] == "2"
+        ][0]
+        assert recovered.completed and recovered.degraded
+        (fault,) = recovered.faults
+        assert fault["kind"] == "transient"
+        assert patient.status(spec).done

@@ -1,0 +1,139 @@
+"""Fault plans: validation, matching, triggers, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec, load_fault_plan
+from repro.faults.plan import SENSOR_KINDS, WINDOW_KINDS
+
+
+class TestFaultSpec:
+    def test_every_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            magnitude = 1.5 if kind != "memory_pressure" else 1e9
+            spec = FaultSpec(kind=kind, magnitude=magnitude)
+            assert spec.label == kind  # label defaults to the kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            FaultSpec(kind="gremlin")
+
+    def test_validation_bounds(self):
+        with pytest.raises(ConfigError, match="probability"):
+            FaultSpec(kind="transient", probability=1.5)
+        with pytest.raises(ConfigError, match="max_fires"):
+            FaultSpec(kind="transient", max_fires=0)
+        with pytest.raises(ConfigError, match="duration_s"):
+            FaultSpec(kind="straggler", duration_s=0.0)
+        with pytest.raises(ConfigError, match="at_time_s"):
+            FaultSpec(kind="oom", at_time_s=-1.0)
+        with pytest.raises(ConfigError, match="slowdown factor"):
+            FaultSpec(kind="straggler", magnitude=0.5)
+        with pytest.raises(ConfigError, match="bytes"):
+            FaultSpec(kind="memory_pressure", magnitude=0)
+
+    def test_window_kinds_are_sensor_kinds_plus_straggler(self):
+        assert set(SENSOR_KINDS) < set(WINDOW_KINDS)
+        assert set(WINDOW_KINDS) - set(SENSOR_KINDS) == {"straggler"}
+
+    def test_matches_step_and_parameters(self):
+        spec = FaultSpec(kind="oom", step="llm", where={"system": "A100"})
+        assert spec.matches("llm", {"system": "A100", "gbs": "256"})
+        assert not spec.matches("resnet", {"system": "A100"})
+        assert not spec.matches("llm", {"system": "GH200"})
+        assert not spec.matches("llm", {})
+
+    def test_matches_coerces_value_types(self):
+        spec = FaultSpec(kind="oom", where={"gbs": "256"})
+        assert spec.matches("any", {"gbs": 256})
+
+    def test_active_at_window(self):
+        spec = FaultSpec(kind="straggler", at_time_s=2.0, duration_s=3.0)
+        assert not spec.active_at(1.99)
+        assert spec.active_at(2.0)
+        assert spec.active_at(4.99)
+        assert not spec.active_at(5.0)
+
+    def test_active_at_open_ended(self):
+        spec = FaultSpec(kind="sensor_spike", magnitude=50.0)
+        assert spec.active_at(0.0)
+        assert spec.active_at(1e9)
+
+    def test_round_trip(self):
+        spec = FaultSpec(
+            kind="sensor_spike",
+            label="mi250-anomaly",
+            step="llm",
+            where={"system": "MI250"},
+            device=3,
+            at_time_s=1.5,
+            duration_s=2.0,
+            magnitude=400.0,
+            probability=0.5,
+            max_fires=2,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="unknown fault spec fields"):
+            FaultSpec.from_dict({"kind": "oom", "at_tim_s": 3})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            FaultSpec.from_dict(["oom"])
+
+
+class TestFaultPlan:
+    def test_needs_name(self):
+        with pytest.raises(ConfigError, match="name"):
+            FaultPlan(name="")
+
+    def test_round_trip_and_fingerprint_stability(self):
+        plan = FaultPlan(
+            name="p",
+            seed=42,
+            faults=(
+                FaultSpec(kind="oom", at_step=3),
+                FaultSpec(kind="transient", max_fires=2),
+            ),
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+
+    def test_fingerprint_sensitive_to_seed_and_faults(self):
+        base = FaultPlan(name="p", seed=1, faults=(FaultSpec(kind="oom"),))
+        assert base.fingerprint() != FaultPlan(
+            name="p", seed=2, faults=(FaultSpec(kind="oom"),)
+        ).fingerprint()
+        assert base.fingerprint() != FaultPlan(
+            name="p", seed=1, faults=(FaultSpec(kind="transient"),)
+        ).fingerprint()
+
+    def test_yaml_load(self, tmp_path):
+        path = tmp_path / "plan.yaml"
+        path.write_text(
+            "name: chaos\n"
+            "seed: 9\n"
+            "faults:\n"
+            "  - kind: node_crash\n"
+            "    where: {system: A100}\n"
+            "  - kind: sensor_dropout\n"
+            "    at_time_s: 1.0\n"
+            "    duration_s: 2.5\n"
+        )
+        plan = load_fault_plan(path)
+        assert plan.name == "chaos"
+        assert plan.seed == 9
+        assert [f.kind for f in plan.faults] == ["node_crash", "sensor_dropout"]
+        assert plan.faults[0].where == {"system": "A100"}
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="no fault plan"):
+            load_fault_plan(tmp_path / "nope.yaml")
+
+    def test_invalid_yaml(self):
+        with pytest.raises(ConfigError, match="invalid fault plan YAML"):
+            FaultPlan.from_yaml("name: [unclosed")
