@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures report validate campaign-demo trace-demo chaos-demo clean
+.PHONY: install test bench bench-campaign figures report validate campaign-demo trace-demo chaos-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Campaign harness overhead: fast path vs per-row path, writes
+# BENCH_campaign.json. QUICK=1 runs the small CI sizes.
+bench-campaign:
+	$(PYTHON) benchmarks/bench_campaign_scale.py $(if $(QUICK),--quick)
 
 figures:
 	$(PYTHON) examples/render_figures.py figures

@@ -24,11 +24,13 @@ from repro.campaign.executor import (
     RetryPolicy,
 )
 from repro.campaign.hashing import (
+    ResultKeyer,
     calibration_fingerprint,
     result_key,
     script_fingerprint,
 )
 from repro.campaign.runner import (
+    FLUSH_BATCH,
     CampaignReport,
     CampaignRunner,
     CampaignStatus,
@@ -53,11 +55,13 @@ __all__ = [
     "CampaignSpec",
     "CampaignStatus",
     "DEFAULT_REGISTRY_FACTORY",
+    "FLUSH_BATCH",
     "FaultPlan",
     "FaultSpec",
     "IsolatingExecutor",
     "JsonlStore",
     "PoolExecutor",
+    "ResultKeyer",
     "ResultStore",
     "RetryPolicy",
     "SqliteStore",

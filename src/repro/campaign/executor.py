@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import importlib
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -201,34 +202,55 @@ class IsolatingExecutor:
 
 # -- process pool -----------------------------------------------------------
 
-# Worker-process registry cache: building the operation registry is
-# cheap but not free, and a worker executes many items.
+# Worker-process state, installed once per worker by the pool
+# initializer: the registry is built in the worker (it holds closures
+# and cannot be pickled), and the retry policy / sleep / fault plan
+# arrive once at pool start instead of being pickled with every item.
 _worker_registry: OperationRegistry | None = None
-_worker_factory_spec: object = None
+_worker_retry: RetryPolicy = RetryPolicy()
+_worker_sleep: SleepFn = time.sleep
+_worker_fault_plan: FaultPlan | None = None
 
 
-def _pool_worker(
+def _pool_init(
     factory: RegistryFactory | str | None,
-    item: WorkItem,
     retry: RetryPolicy,
-    sleep: SleepFn = time.sleep,
-    fault_plan: FaultPlan | None = None,
-) -> WorkResult:
-    """Executed in the worker process: build/reuse registry, run item."""
-    global _worker_registry, _worker_factory_spec
-    if _worker_registry is None or _worker_factory_spec != factory:
-        _worker_registry = resolve_registry_factory(factory)()
-        _worker_factory_spec = factory
-    return run_item_isolated(_worker_registry, item, retry, sleep, fault_plan)
+    sleep: SleepFn,
+    fault_plan: FaultPlan | None,
+) -> None:
+    """Pool initializer: runs once in each worker process."""
+    global _worker_registry, _worker_retry, _worker_sleep, _worker_fault_plan
+    _worker_registry = resolve_registry_factory(factory)()
+    _worker_retry = retry
+    _worker_sleep = sleep
+    _worker_fault_plan = fault_plan
+
+
+def _pool_worker(item: WorkItem) -> WorkResult:
+    """Executed in the worker process: run one item; only it is pickled."""
+    return run_item_isolated(
+        _worker_registry, item, _worker_retry, _worker_sleep, _worker_fault_plan
+    )
 
 
 class PoolExecutor:
     """Process-pool executor: one step's workpackages fan out over cores.
 
+    The pool is **persistent**: it spins up lazily on the first
+    ``run_items`` and is reused across step barriers, so a multi-step
+    campaign pays worker startup (process fork + registry build) once,
+    not once per step.  Per-item pickling carries only the
+    :class:`WorkItem` — retry policy, sleep, and fault plan ship once
+    through the pool initializer — and dispatch uses a computed
+    chunksize so thousands of small items don't drown in IPC overhead.
+
     ``run_items`` is a barrier — it returns only when every item has a
     result — so plugging this into :class:`~repro.jube.runner.JubeRunner`
     keeps dependency-ordered steps correct.  Failures are always
     captured (pool siblings must never be torn down by one bad item).
+
+    Call :meth:`close` (or use the executor as a context manager) to
+    shut the workers down; an unclosed pool is reaped at process exit.
     """
 
     def __init__(
@@ -248,21 +270,61 @@ class PoolExecutor:
         self.retry = retry
         self.sleep = sleep  # must be picklable (it ships to the workers)
         self.fault_plan = fault_plan  # plain data, ships to the workers too
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._pool_config: tuple | None = None
+        self._workers = 0
         # Fail fast on an unresolvable factory, in the parent process.
         resolve_registry_factory(self.registry_factory)
+
+    def _config(self) -> tuple:
+        return (self.registry_factory, self.retry, self.sleep, self.fault_plan)
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        """The persistent pool, (re)built if config changed since start."""
+        config = self._config()
+        if self._pool is not None and self._pool_config != config:
+            self.close()
+        if self._pool is None:
+            workers = self.max_workers or min(os.cpu_count() or 8, 8)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_init,
+                initargs=config,
+            )
+            self._pool_config = config
+            self._workers = workers
+            logger.info("pool executor: started %d persistent workers", workers)
+        return self._pool
 
     def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
         """Execute items across the pool; results come back in order."""
         if not items:
             return []
-        workers = self.max_workers or min(len(items), 8)
-        logger.info("pool executor: %d items across %d workers", len(items), workers)
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _pool_worker, self.registry_factory, item, self.retry,
-                    self.sleep, self.fault_plan,
-                )
-                for item in items
-            ]
-            return [f.result() for f in futures]
+        pool = self._ensure_pool()
+        workers = self._workers
+        # ~4 chunks per worker balances IPC overhead against stragglers.
+        chunksize = max(1, len(items) // (workers * 4))
+        logger.info(
+            "pool executor: %d items across %d workers (chunksize %d)",
+            len(items), workers, chunksize,
+        )
+        try:
+            return list(pool.map(_pool_worker, items, chunksize=chunksize))
+        except concurrent.futures.process.BrokenProcessPool:
+            # A dead worker poisons the whole pool; drop it so the next
+            # run_items starts fresh instead of failing forever.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut down the persistent pool (if running)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_config = None
+
+    def __enter__(self) -> "PoolExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

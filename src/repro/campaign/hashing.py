@@ -37,6 +37,37 @@ def canonical_json(value) -> str:
     return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
 
 
+# json.dumps(ensure_ascii=True) escapes strings through exactly this
+# function, so hand-assembled fragments stay byte-identical to it.
+_escape_string = json.encoder.encode_basestring_ascii
+
+
+def _flat_json(mapping: Mapping) -> str | None:
+    """:func:`canonical_json` of a str->str mapping, without the encoder.
+
+    Planning hashes thousands of small parameter dicts; skipping
+    ``json.dumps``'s generic machinery for the all-string common case
+    is a several-x win.  Returns None when any key or value is not a
+    string (caller falls back to :func:`canonical_json`).
+    """
+    try:
+        # Unique keys mean item tuples never compare beyond the key, so
+        # sorting items sorts by key; _escape_string raises TypeError
+        # for any non-string key or value.
+        return (
+            "{"
+            + ",".join(
+                [
+                    _escape_string(k) + ":" + _escape_string(v)
+                    for k, v in sorted(mapping.items())
+                ]
+            )
+            + "}"
+        )
+    except TypeError:
+        return None  # non-string content: let json.dumps handle it
+
+
 def _digest(value) -> str:
     return hashlib.sha256(canonical_json(value).encode()).hexdigest()[:KEY_LENGTH]
 
@@ -101,6 +132,55 @@ def calibration_fingerprint() -> str:
         },
     }
     return _digest(state)
+
+
+class ResultKeyer:
+    """Memoized :func:`result_key` for one (step, calibration, faults).
+
+    Planning a step hashes thousands of keys that differ only in their
+    parameters and seeded outputs; the step fingerprint, calibration
+    hash, and fault hash — and their canonical-JSON encoding — are
+    constant across the whole step.  This precomputes those fragments
+    once so each key serializes only the per-combo delta, producing
+    digests byte-identical to :func:`result_key`.
+
+    The splice relies on :func:`canonical_json` sorting the state's
+    top-level keys: ``calibration`` < ``faults`` < ``parameters`` <
+    ``seeded`` < ``step``.
+    """
+
+    def __init__(
+        self,
+        step: Step | str,
+        calibration_hash: str | None = None,
+        fault_hash: str | None = None,
+    ) -> None:
+        step_hash = step_fingerprint(step) if isinstance(step, Step) else step
+        if calibration_hash is None:
+            calibration_hash = calibration_fingerprint()
+        head = '{"calibration":' + json.dumps(calibration_hash)
+        if fault_hash is not None:
+            head += ',"faults":' + json.dumps(fault_hash)
+        self._head = head + ',"parameters":'
+        self._tail = ',"step":' + json.dumps(step_hash) + "}"
+
+    def key(
+        self,
+        parameters: Mapping[str, str],
+        seeded_outputs: Mapping[str, object] | None = None,
+    ) -> str:
+        """Content address of one workpackage (see :func:`result_key`)."""
+        params = _flat_json(parameters)
+        if params is None:
+            params = canonical_json(dict(parameters))
+        if seeded_outputs:
+            seeded = _flat_json(seeded_outputs)
+            if seeded is None:
+                seeded = canonical_json(dict(seeded_outputs))
+        else:
+            seeded = "{}"
+        payload = self._head + params + ',"seeded":' + seeded + self._tail
+        return hashlib.sha256(payload.encode()).hexdigest()[:KEY_LENGTH]
 
 
 def result_key(

@@ -20,10 +20,12 @@ flow into both the workpackage and its hash.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 
 from repro.campaign.executor import IsolatingExecutor
-from repro.campaign.hashing import calibration_fingerprint, result_key, step_fingerprint
+from repro.campaign.hashing import ResultKeyer, calibration_fingerprint, step_fingerprint
 from repro.campaign.spec import CampaignSpec
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
@@ -38,9 +40,15 @@ from repro.jube.runner import WorkItem, WorkpackageExecutor, work_item_for
 from repro.jube.steps import order_steps
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_metrics
-from repro.obs.trace import get_tracer
+from repro.obs.trace import NULL_TRACER, get_tracer
 
 logger = get_logger(__name__)
+
+#: Default number of result rows buffered before a durable store flush.
+#: Bounds what a crash can lose: at most this many completed-but-not-yet
+#: -flushed rows ever exist, and ``campaign continue`` re-executes
+#: exactly those (re-execution is safe — keys are content addresses).
+FLUSH_BATCH = 64
 
 
 @dataclass
@@ -158,9 +166,13 @@ class CampaignRunner:
         store: ResultStore,
         executor: WorkpackageExecutor | None = None,
         faults: FaultPlan | None = None,
+        flush_batch: int = FLUSH_BATCH,
     ) -> None:
+        if flush_batch < 1:
+            raise ConfigError("flush_batch must be >= 1")
         self.store = store
         self.faults = faults
+        self.flush_batch = flush_batch
         if executor is None:
             executor = IsolatingExecutor(fault_plan=faults)
         elif faults is not None and getattr(executor, "fault_plan", None) is None:
@@ -178,20 +190,36 @@ class CampaignRunner:
     # -- planning -----------------------------------------------------------
 
     def _planned_items(self, script, step, tags, seeds, calibration_hash):
-        """Keyed work items of one step, seeded from ``seeds``."""
+        """Keyed work items of one step, seeded from ``seeds``.
+
+        Keys come from a :class:`ResultKeyer`: the step, calibration,
+        and fault-plan fragments of the content address are serialized
+        once per step, so each combo hashes only its own delta.
+        """
         sets = [script.parameter_set(name) for name in step.parameter_sets]
         combos = expand_parameter_space(sets, tags)
-        step_hash = step_fingerprint(step)
-        fault_hash = self._fault_hash
-        planned = []
-        for i, combo in enumerate(combos):
-            item = work_item_for(step, combo, i, lambda name: seeds.get(name, []))
-            key = result_key(
-                step_hash, combo, item.outputs, calibration_hash,
-                fault_hash=fault_hash,
-            )
-            planned.append((key, item))
-        return planned
+        keyer = ResultKeyer(step_fingerprint(step), calibration_hash, self._fault_hash)
+        if step.depends:
+            seeds_for = lambda name: seeds.get(name, [])  # noqa: E731
+            planned = []
+            for i, combo in enumerate(combos):
+                item = work_item_for(step, combo, i, seeds_for)
+                planned.append((keyer.key(combo, item.outputs), combo, i, item))
+            return planned
+        # Dependency-free steps seed nothing, so their work item is fully
+        # determined by (step, combo, index).  Defer its construction to
+        # cache misses: a fully cached re-run then only hashes keys.
+        key = keyer.key
+        return [(key(combo), combo, i, None) for i, combo in enumerate(combos)]
+
+    def _lookup_planned(self, planned, metrics, step_name: str):
+        """One bulk ``get_many`` over a step's planned keys."""
+        start = time.perf_counter()
+        found = self.store.get_many([p[0] for p in planned])
+        metrics.histogram(
+            "campaign_store_lookup_seconds", "bulk cache lookup time per step"
+        ).observe(time.perf_counter() - start, step=step_name)
+        return found
 
     # -- execution ----------------------------------------------------------
 
@@ -219,29 +247,50 @@ class CampaignRunner:
         metrics = get_metrics()
         logger.info("campaign %s: run (resume=%s)", spec.name, resume)
         for step in order_steps(script.steps, tagset):
+            plan_start = time.perf_counter()
             planned = self._planned_items(script, step, tagset, seeds, calibration_hash)
+            metrics.histogram(
+                "campaign_plan_seconds", "per-step planning (keying) time"
+            ).observe(time.perf_counter() - plan_start, step=step.name)
             report.total += len(planned)
 
+            stored = (
+                self._lookup_planned(planned, metrics, step.name) if resume else {}
+            )
+            cache_hits = metrics.counter("campaign_cache_hits_total", "store hits")
+            # Per-hit overheads are hoisted out of the loop: the counter
+            # is bumped once per step (same final value), trace events
+            # are skipped entirely under the null tracer, and debug
+            # formatting only happens when the level is live.
+            trace_hits = tracer is not NULL_TRACER
+            debug_hits = logger.isEnabledFor(logging.DEBUG)
+            hits = 0
             to_run: list[tuple[str, WorkItem]] = []
             final: dict[str, CampaignRow] = {}
-            for key, item in planned:
-                row = self.store.get(key) if resume else None
-                if row is not None and (row.completed or not retry_failed):
+            for key, combo, index, item in planned:
+                row = stored.get(key)
+                if row is not None and (
+                    row.status == STATUS_COMPLETED or not retry_failed
+                ):
                     final[key] = row
-                    if row.completed:
-                        report.cached += 1
-                        metrics.counter(
-                            "campaign_cache_hits_total", "store hits"
-                        ).inc(step=step.name)
-                        tracer.event(
-                            "campaign/cache_hit",
-                            attrs={"step": step.name, "key": key[:12]},
-                        )
-                        logger.debug(
-                            "cache hit %s#%d (%s)", step.name, item.index, key[:12]
-                        )
+                    if row.status == STATUS_COMPLETED:
+                        hits += 1
+                        if trace_hits:
+                            tracer.event(
+                                "campaign/cache_hit",
+                                attrs={"step": step.name, "key": key[:12]},
+                            )
+                        if debug_hits:
+                            logger.debug(
+                                "cache hit %s#%d (%s)", step.name, index, key[:12]
+                            )
                 else:
+                    if item is None:
+                        item = WorkItem(step=step, parameters=combo, index=index)
                     to_run.append((key, item))
+            if hits:
+                report.cached += hits
+                cache_hits.inc(hits, step=step.name)
 
             logger.info(
                 "step %s: %d planned, %d cached, %d to execute",
@@ -252,49 +301,83 @@ class CampaignRunner:
                 attrs={"step": step.name, "planned": len(planned), "misses": len(to_run)},
             ):
                 results = self.executor.run_items([item for _, item in to_run])
-            for (key, item), result in zip(to_run, results):
-                row = CampaignRow(
-                    key=key,
-                    campaign=spec.name,
-                    step=step.name,
-                    index=item.index,
-                    parameters=dict(item.parameters),
-                    status=STATUS_FAILED if result.error else STATUS_COMPLETED,
-                    outputs=dict(result.outputs),
-                    stdout=result.stdout,
-                    error=result.error,
-                    attempts=result.attempts,
-                    degraded=result.degraded,
-                    faults=tuple(result.faults),
-                )
-                self.store.put(row)
-                final[key] = row
-                report.executed += 1
-                metrics.counter(
-                    "campaign_executed_total", "workpackages executed"
-                ).inc(step=step.name)
-                if result.error:
-                    metrics.counter(
-                        "campaign_failures_total", "workpackages failed"
-                    ).inc(step=step.name)
-                    tracer.event(
-                        "campaign/failure",
-                        attrs={
-                            "step": step.name,
-                            "index": item.index,
-                            "error": result.error,
-                        },
-                    )
-                    logger.warning(
-                        "workpackage %s#%d failed: %s",
-                        step.name, item.index, result.error,
-                    )
+            executed = metrics.counter(
+                "campaign_executed_total", "workpackages executed"
+            )
+            failures = metrics.counter(
+                "campaign_failures_total", "workpackages failed"
+            )
+            flush_timer = metrics.histogram(
+                "campaign_store_flush_seconds", "put_many batch write time"
+            )
+            flushed = metrics.counter(
+                "campaign_store_rows_flushed_total", "result rows written"
+            )
+            pending: list[CampaignRow] = []
 
-            step_rows = [final[key] for key, _ in planned]
+            def flush() -> None:
+                if not pending:
+                    return
+                start = time.perf_counter()
+                self.store.put_many(pending)
+                flush_timer.observe(time.perf_counter() - start, step=step.name)
+                flushed.inc(len(pending), step=step.name)
+                pending.clear()
+
+            # Rows land in the store in bounded batches: each flush is
+            # one durable write, and the finally-flush guarantees an
+            # interrupted run loses at most ``flush_batch`` rows of
+            # progress — which ``continue_run`` simply re-executes.
+            try:
+                for (key, item), result in zip(to_run, results):
+                    row = CampaignRow(
+                        key=key,
+                        campaign=spec.name,
+                        step=step.name,
+                        index=item.index,
+                        parameters=dict(item.parameters),
+                        status=STATUS_FAILED if result.error else STATUS_COMPLETED,
+                        outputs=dict(result.outputs),
+                        stdout=result.stdout,
+                        error=result.error,
+                        attempts=result.attempts,
+                        degraded=result.degraded,
+                        faults=tuple(result.faults),
+                    )
+                    pending.append(row)
+                    if len(pending) >= self.flush_batch:
+                        flush()
+                    final[key] = row
+                    report.executed += 1
+                    executed.inc(step=step.name)
+                    if result.error:
+                        failures.inc(step=step.name)
+                        tracer.event(
+                            "campaign/failure",
+                            attrs={
+                                "step": step.name,
+                                "index": item.index,
+                                "error": result.error,
+                            },
+                        )
+                        logger.warning(
+                            "workpackage %s#%d failed: %s",
+                            step.name, item.index, result.error,
+                        )
+            finally:
+                flush()
+
+            step_rows = [final[p[0]] for p in planned]
             report.rows.extend(step_rows)
-            report.failed += sum(1 for row in step_rows if not row.completed)
-            report.degraded += sum(1 for row in step_rows if row.degraded)
-            seeds[step.name] = [row for row in step_rows if row.completed]
+            step_completed: list[CampaignRow] = []
+            for row in step_rows:
+                if row.degraded:
+                    report.degraded += 1
+                if row.status == STATUS_COMPLETED:
+                    step_completed.append(row)
+                else:
+                    report.failed += 1
+            seeds[step.name] = step_completed
         logger.info("%s", report.describe())
         return report
 
@@ -315,13 +398,15 @@ class CampaignRunner:
         calibration_hash = calibration_fingerprint()
         status = CampaignStatus(campaign=spec.name)
         seeds: dict[str, list[CampaignRow]] = {}
+        metrics = get_metrics()
         for step in order_steps(script.steps, tagset):
             planned = self._planned_items(script, step, tagset, seeds, calibration_hash)
+            stored = self._lookup_planned(planned, metrics, step.name)
             completed = failed = degraded = 0
             step_completed: list[CampaignRow] = []
             failures: list[dict] = []
-            for key, _item in planned:
-                row = self.store.get(key)
+            for planned_item in planned:
+                row = stored.get(planned_item[0])
                 if row is None:
                     continue
                 if row.completed:

@@ -12,9 +12,14 @@ Two on-disk backends behind one interface:
 * :class:`JsonlStore` — append-only JSON lines, the default; later
   lines for the same key supersede earlier ones, so retries are plain
   appends and the file stays valid after a crash mid-campaign,
-* :class:`SqliteStore` — a single-table SQLite database for campaigns
-  large enough that full-file scans hurt.
+* :class:`SqliteStore` — a single-table SQLite database (WAL journal,
+  a ``(campaign, step, status)`` index) for campaigns large enough
+  that full-file scans hurt.
 
+Both backends take batched writes (``put_many``: one transaction /
+one flush per batch) and bulk lookups (``get_many``), which is what
+lets :class:`~repro.campaign.runner.CampaignRunner` plan and flush
+thousands of workpackages without paying a per-row fsync.
 :func:`open_store` picks the backend from the path suffix.
 """
 
@@ -32,6 +37,20 @@ from repro.errors import ConfigError
 #: Row lifecycle states.
 STATUS_COMPLETED = "completed"
 STATUS_FAILED = "failed"
+
+_REDUCERS = {
+    "mean": lambda vs: sum(vs) / len(vs),
+    "min": min,
+    "max": max,
+    "sum": sum,
+}
+
+
+def _reduce(agg: str, values: list[float]) -> float | None:
+    """Apply a reducer, or None for an empty group (never divide by 0)."""
+    if not values:
+        return None
+    return _REDUCERS[agg](values)
 
 
 @dataclass(frozen=True)
@@ -55,7 +74,27 @@ class CampaignRow:
     error: str | None = None
     attempts: int = 1
     degraded: bool = False
-    faults: tuple = ()
+    # default_factory (not ``()``) keeps the class free of a ``faults``
+    # attribute, so lazy rows reach __getattr__ below.
+    faults: tuple = field(default_factory=tuple)
+
+    def __getattr__(self, name: str):
+        # Store-loaded rows may arrive with their three JSON fields
+        # still serialized (``_blob``, see SqliteStore._from_record):
+        # resuming a large campaign touches only ``status``/``degraded``
+        # on cache hits, so deserializing parameters/outputs/faults per
+        # row would dominate the resume.  First access hydrates all
+        # three; rows built via __init__ never take this path.
+        if name in ("parameters", "outputs", "faults"):
+            blob = self.__dict__.pop("_blob", None)
+            if blob is not None:
+                parameters, outputs, faults = json.loads(blob)
+                d = self.__dict__  # frozen dataclass: bypass __setattr__
+                d["parameters"] = parameters
+                d["outputs"] = outputs
+                d["faults"] = tuple(faults)
+                return d[name]
+        raise AttributeError(name)
 
     @property
     def completed(self) -> bool:
@@ -127,18 +166,50 @@ class ResultStore:
 
     def put(self, row: CampaignRow) -> None:
         """Insert or supersede one row."""
+        self.put_many([row])
+
+    def put_many(self, rows: Iterable[CampaignRow]) -> None:
+        """Insert or supersede a batch of rows in one durable write.
+
+        Equivalent to ``put`` in a loop — same supersede semantics, same
+        on-disk representation — but pays the backend's per-write cost
+        (fsync, file open) once per batch instead of once per row.
+        """
         raise NotImplementedError
 
     def get(self, key: str) -> CampaignRow | None:
         """Latest row for a key, or None."""
+        return self.get_many([key]).get(key)
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, CampaignRow]:
+        """Bulk lookup: mapping of the given keys that exist in the store."""
         raise NotImplementedError
 
     def rows(self) -> list[CampaignRow]:
         """All current rows (latest per key), in insertion order."""
         raise NotImplementedError
 
+    def count(
+        self,
+        *,
+        campaign: str | None = None,
+        step: str | None = None,
+        status: str | None = None,
+    ) -> int:
+        """Row count under the filters, without materializing rows."""
+        raise NotImplementedError
+
     def __len__(self) -> int:
-        return len(self.rows())
+        return self.count()
+
+    def close(self) -> None:
+        """Release backend resources (file handles, DB connections)."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- query / aggregation ------------------------------------------------
 
@@ -179,18 +250,10 @@ class ResultStore:
         ``by`` groups by a parameter (or output) name; ``agg`` is one of
         mean/min/max/sum.  Rows lacking the metric are skipped.
         """
-        reducers = {
-            "mean": lambda vs: sum(vs) / len(vs),
-            "min": min,
-            "max": max,
-            "sum": sum,
-        }
-        try:
-            reduce = reducers[agg]
-        except KeyError:
+        if agg not in _REDUCERS:
             raise ConfigError(
-                f"unknown aggregation {agg!r}; known: {sorted(reducers)}"
-            ) from None
+                f"unknown aggregation {agg!r}; known: {sorted(_REDUCERS)}"
+            )
         groups: dict[str, list[float]] = {}
         for row in self.query(status=STATUS_COMPLETED, **query_kwargs):
             value = row.outputs.get(metric)
@@ -198,7 +261,12 @@ class ResultStore:
                 continue
             group = str(row.parameters.get(by, row.outputs.get(by, ""))) if by else ""
             groups.setdefault(group, []).append(float(value))
-        return {group: reduce(values) for group, values in sorted(groups.items())}
+        out: dict[str, float] = {}
+        for group, values in sorted(groups.items()):
+            reduced = _reduce(agg, values)
+            if reduced is not None:
+                out[group] = reduced
+        return out
 
     def to_csv(
         self,
@@ -234,39 +302,76 @@ class ResultStore:
 
 
 class JsonlStore(ResultStore):
-    """Append-only JSON-lines store (the default backend)."""
+    """Append-only JSON-lines store (the default backend).
+
+    Loading streams the file line by line (no whole-file string in
+    memory); appends go through one lazily opened buffered handle that
+    is flushed once per ``put``/``put_many`` batch, so the on-disk bytes
+    after a batch are identical to per-row appends.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._rows: dict[str, CampaignRow] = {}
+        self._appender = None
         if self.path.exists():
-            for line in self.path.read_text().splitlines():
-                if not line.strip():
-                    continue
-                try:
-                    row = CampaignRow.from_dict(json.loads(line))
-                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-                    raise ConfigError(
-                        f"corrupt campaign store {self.path}: {exc!r}"
-                    ) from None
-                self._rows.pop(row.key, None)  # supersede keeps append order
-                self._rows[row.key] = row
+            with self.path.open() as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    try:
+                        row = CampaignRow.from_dict(json.loads(line))
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                        raise ConfigError(
+                            f"corrupt campaign store {self.path}: {exc!r}"
+                        ) from None
+                    self._rows.pop(row.key, None)  # supersede keeps append order
+                    self._rows[row.key] = row
 
-    def put(self, row: CampaignRow) -> None:
-        """Append a row; an existing key is superseded."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(row.to_dict(), default=str) + "\n")
-        self._rows.pop(row.key, None)
-        self._rows[row.key] = row
+    def put_many(self, rows: Iterable[CampaignRow]) -> None:
+        """Append a batch; existing keys are superseded; one flush."""
+        rows = list(rows)
+        if not rows:
+            return
+        if self._appender is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._appender = self.path.open("a")
+        for row in rows:
+            self._appender.write(json.dumps(row.to_dict(), default=str) + "\n")
+            self._rows.pop(row.key, None)
+            self._rows[row.key] = row
+        self._appender.flush()
 
     def get(self, key: str) -> CampaignRow | None:
         """Latest row for a key, or None."""
         return self._rows.get(key)
 
+    def get_many(self, keys: Iterable[str]) -> dict[str, CampaignRow]:
+        """Bulk lookup from the in-memory index."""
+        rows = self._rows
+        return {key: rows[key] for key in keys if key in rows}
+
     def rows(self) -> list[CampaignRow]:
         """All current rows in append order."""
         return list(self._rows.values())
+
+    def count(
+        self,
+        *,
+        campaign: str | None = None,
+        step: str | None = None,
+        status: str | None = None,
+    ) -> int:
+        """Row count; the unfiltered case is the dict size, O(1)."""
+        if campaign is None and step is None and status is None:
+            return len(self._rows)
+        return len(self.query(campaign=campaign, step=step, status=status))
+
+    def close(self) -> None:
+        """Flush and close the append handle (if one was opened)."""
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
 
 
 class SqliteStore(ResultStore):
@@ -290,11 +395,25 @@ class SqliteStore(ResultStore):
         )
     """
 
+    #: SQLite's historical bound on statement variables is 999; stay
+    #: comfortably below it when chunking ``IN (...)`` lookups.
+    _IN_CHUNK = 500
+
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._db = sqlite3.connect(self.path)
+        # WAL keeps readers unblocked during batch commits and makes the
+        # commit itself one sequential log append instead of a page-level
+        # rewrite; NORMAL sync is durable-to-the-WAL, which is the same
+        # crash contract the append-only JSONL backend offers.
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
         self._db.execute(self._SCHEMA)
+        self._db.execute(
+            "CREATE INDEX IF NOT EXISTS idx_campaign_step_status "
+            "ON campaign_rows (campaign, step, status)"
+        )
         self._migrate()
         self._db.commit()
 
@@ -313,51 +432,72 @@ class SqliteStore(ResultStore):
                     f"ALTER TABLE campaign_rows ADD COLUMN {name} {decl}"
                 )
 
-    def put(self, row: CampaignRow) -> None:
-        """Upsert one row."""
-        self._db.execute("DELETE FROM campaign_rows WHERE key = ?", (row.key,))
-        self._db.execute(
-            "INSERT INTO campaign_rows "
+    @staticmethod
+    def _to_record(row: CampaignRow) -> tuple:
+        return (
+            row.key,
+            row.campaign,
+            row.step,
+            row.index,
+            json.dumps(row.parameters, default=str),
+            row.status,
+            json.dumps(row.outputs, default=str),
+            row.stdout,
+            row.error,
+            row.attempts,
+            int(row.degraded),
+            json.dumps([dict(f) for f in row.faults], default=str),
+        )
+
+    def put_many(self, rows: Iterable[CampaignRow]) -> None:
+        """Upsert a batch in one transaction (one commit, one fsync).
+
+        ``INSERT OR REPLACE`` is SQLite's native upsert: a conflicting
+        key deletes the old row and the replacement takes a fresh
+        autoincrement sequence number, so a superseded row moves to the
+        end of insertion order — exactly the JSONL append semantics.
+        """
+        records = [self._to_record(row) for row in rows]
+        if not records:
+            return
+        self._db.executemany(
+            "INSERT OR REPLACE INTO campaign_rows "
             "(key, campaign, step, idx, parameters, status, outputs, stdout, "
             " error, attempts, degraded, faults) VALUES (?,?,?,?,?,?,?,?,?,?,?,?)",
-            (
-                row.key,
-                row.campaign,
-                row.step,
-                row.index,
-                json.dumps(row.parameters, default=str),
-                row.status,
-                json.dumps(row.outputs, default=str),
-                row.stdout,
-                row.error,
-                row.attempts,
-                int(row.degraded),
-                json.dumps([dict(f) for f in row.faults], default=str),
-            ),
+            records,
         )
         self._db.commit()
 
-    def _from_record(self, record) -> CampaignRow:
-        (key, campaign, step, idx, parameters, status, outputs, stdout,
-         error, attempts, degraded, faults) = record
-        return CampaignRow(
+    @staticmethod
+    def _from_record(record) -> CampaignRow:
+        (key, campaign, step, idx, status, stdout,
+         error, attempts, degraded, blob) = record
+        # The three JSON columns come back SQL-concatenated into one
+        # array (see _COLUMNS) and stay serialized until first access
+        # (CampaignRow.__getattr__): a campaign resume touches only the
+        # scalar fields of its cache hits, so parsing JSON here would
+        # be most of the resume's cost.  The row is built through
+        # __dict__ because the frozen dataclass __init__ (one
+        # object.__setattr__ per field) is several times slower and
+        # this runs once per row.
+        row = CampaignRow.__new__(CampaignRow)
+        row.__dict__.update(
             key=key,
             campaign=campaign,
             step=step,
             index=idx,
-            parameters=json.loads(parameters),
             status=status,
-            outputs=json.loads(outputs),
             stdout=stdout,
             error=error,
             attempts=attempts,
             degraded=bool(degraded),
-            faults=tuple(json.loads(faults)),
+            _blob=blob,
         )
+        return row
 
     _COLUMNS = (
-        "key, campaign, step, idx, parameters, status, outputs, stdout, "
-        "error, attempts, degraded, faults"
+        "key, campaign, step, idx, status, stdout, error, attempts, degraded, "
+        "'[' || parameters || ',' || outputs || ',' || faults || ']'"
     )
 
     def get(self, key: str) -> CampaignRow | None:
@@ -366,6 +506,90 @@ class SqliteStore(ResultStore):
             f"SELECT {self._COLUMNS} FROM campaign_rows WHERE key = ?", (key,)
         ).fetchone()
         return self._from_record(record) if record else None
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, CampaignRow]:
+        """Bulk lookup via chunked ``IN (...)`` selects."""
+        keys = list(keys)
+        if not keys:
+            return {}
+        out: dict[str, CampaignRow] = {}
+        from_record = self._from_record
+        if 2 * len(keys) >= self.count():
+            # Most of the table is wanted (the resume/fully-cached-rerun
+            # shape): one sequential scan beats len(keys) index probes.
+            wanted = set(keys)
+            records = self._db.execute(
+                f"SELECT {self._COLUMNS} FROM campaign_rows"
+            ).fetchall()
+            for record in records:
+                if record[0] in wanted:
+                    out[record[0]] = from_record(record)
+            return out
+        for start in range(0, len(keys), self._IN_CHUNK):
+            chunk = keys[start:start + self._IN_CHUNK]
+            placeholders = ",".join("?" * len(chunk))
+            records = self._db.execute(
+                f"SELECT {self._COLUMNS} FROM campaign_rows "
+                f"WHERE key IN ({placeholders})",
+                chunk,
+            ).fetchall()
+            for record in records:
+                out[record[0]] = from_record(record)
+        return out
+
+    @staticmethod
+    def _where(
+        campaign: str | None, step: str | None, status: str | None
+    ) -> tuple[str, list[str]]:
+        clauses, args = [], []
+        for column, value in (
+            ("campaign", campaign), ("step", step), ("status", status)
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                args.append(value)
+        return (" WHERE " + " AND ".join(clauses)) if clauses else "", args
+
+    def query(
+        self,
+        *,
+        campaign: str | None = None,
+        step: str | None = None,
+        status: str | None = None,
+        where: Mapping[str, str] | None = None,
+    ) -> list[CampaignRow]:
+        """Filter rows; campaign/step/status are pushed down to SQL.
+
+        Parameter filters (``where``) still apply in Python — parameters
+        live as a JSON blob — but only over the SQL-narrowed rows.
+        """
+        sql_where, args = self._where(campaign, step, status)
+        records = self._db.execute(
+            f"SELECT {self._COLUMNS} FROM campaign_rows{sql_where} "
+            "ORDER BY rowid_seq",
+            args,
+        ).fetchall()
+        rows = [self._from_record(r) for r in records]
+        if where:
+            rows = [
+                row
+                for row in rows
+                if all(row.parameters.get(k) == str(v) for k, v in where.items())
+            ]
+        return rows
+
+    def count(
+        self,
+        *,
+        campaign: str | None = None,
+        step: str | None = None,
+        status: str | None = None,
+    ) -> int:
+        """``COUNT(*)`` pushdown — never deserializes rows."""
+        sql_where, args = self._where(campaign, step, status)
+        return self._db.execute(
+            f"SELECT COUNT(*) FROM campaign_rows{sql_where}", args
+        ).fetchone()[0]
 
     def rows(self) -> list[CampaignRow]:
         """All rows in insertion order."""

@@ -223,18 +223,22 @@ def _maybe_traced(trace_path: str | None, out):
 
 
 def _run_campaign(args, out) -> int:
-    """The ``caraml campaign`` subcommand family."""
-    from repro.campaign import (
-        CampaignRunner,
-        IsolatingExecutor,
-        PoolExecutor,
-        load_campaign_spec,
-        open_store,
-    )
+    """The ``caraml campaign`` subcommand family.
+
+    The store is opened as a context manager so every exit path —
+    including SQLite-backed chaos/campaign commands — closes the
+    backend instead of leaking the connection.
+    """
+    from repro.campaign import load_campaign_spec, open_store
 
     spec = load_campaign_spec(args.spec)
     store_path = args.store or spec.store or f"{spec.name}.campaign.jsonl"
-    store = open_store(store_path)
+    with open_store(store_path) as store:
+        return _run_campaign_with_store(args, out, spec, store)
+
+
+def _run_campaign_with_store(args, out, spec, store) -> int:
+    from repro.campaign import CampaignRunner, IsolatingExecutor, PoolExecutor
 
     faults = None
     if getattr(args, "faults", None):
@@ -265,15 +269,19 @@ def _run_campaign(args, out) -> int:
         else:
             executor = PoolExecutor(max_workers=args.workers, fault_plan=faults)
         runner = CampaignRunner(store, executor, faults=faults)
-        with activate(tracer):
-            if args.campaign_command == "continue":
-                report = runner.continue_run(spec, tags=args.tags)
-            else:
-                report = runner.run(
-                    spec,
-                    tags=args.tags,
-                    retry_failed=getattr(args, "retry_failed", False),
-                )
+        try:
+            with activate(tracer):
+                if args.campaign_command == "continue":
+                    report = runner.continue_run(spec, tags=args.tags)
+                else:
+                    report = runner.run(
+                        spec,
+                        tags=args.tags,
+                        retry_failed=getattr(args, "retry_failed", False),
+                    )
+        finally:
+            if hasattr(executor, "close"):
+                executor.close()
         tracer.close()
         print(report.describe(), file=out)
         print(f"store: {store.path}", file=out)
@@ -284,6 +292,9 @@ def _run_campaign(args, out) -> int:
     if args.campaign_command == "status":
         runner = CampaignRunner(store, faults=faults)
         print(runner.status(spec).describe(), file=out)
+        # len(store) is O(1) (COUNT(*) / dict size), so this stays cheap
+        # even against a multi-thousand-row store.
+        print(f"store: {len(store)} rows in {store.path}", file=out)
         return 0
 
     if args.campaign_command == "results":
@@ -426,7 +437,8 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
         if args.campaign_store:
             from repro.campaign import open_store
 
-            baseline = cb.baseline_from_store(open_store(args.campaign_store))
+            with open_store(args.campaign_store) as campaign_store:
+                baseline = cb.baseline_from_store(campaign_store)
             comparisons = cb.compare_with(baseline)
         else:
             comparisons = cb.compare(args.baseline)

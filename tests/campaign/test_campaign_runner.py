@@ -9,6 +9,9 @@ from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec, WorkloadSpec
 from repro.campaign.store import JsonlStore
 from repro.campaign.testing import build_toy_registry
+from repro.errors import ConfigError
+from repro.obs.sinks import InMemorySink
+from repro.obs.trace import Tracer, activate
 
 
 def toy_runner(tmp_path, name="store.jsonl", **executor_kwargs) -> CampaignRunner:
@@ -165,6 +168,83 @@ class TestStatus:
             workloads=(WorkloadSpec(name="emit", operations=("emit --value 1",)),),
         )
         assert runner.results(other) == []
+
+
+def ten_package_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="tenpack",
+        systems=("A100",),
+        workloads=(
+            WorkloadSpec(
+                name="emit",
+                operations=("emit --value $x",),
+                axes={"x": tuple(str(i) for i in range(1, 11))},
+            ),
+        ),
+    )
+
+
+class CrashAfterFirstFlush(JsonlStore):
+    """Durably writes the first ``put_many`` batch, then 'crashes'."""
+
+    def __init__(self, path) -> None:
+        super().__init__(path)
+        self.flushes = 0
+
+    def put_many(self, rows) -> None:
+        self.flushes += 1
+        if self.flushes > 1:
+            raise RuntimeError("simulated crash mid-campaign")
+        super().put_many(rows)
+
+
+class TestBatchedFlushContract:
+    """Batched writes must not weaken the crash/continue guarantees."""
+
+    def test_flush_batch_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigError, match="flush_batch"):
+            CampaignRunner(JsonlStore(tmp_path / "s.jsonl"), flush_batch=0)
+
+    def test_crash_loses_at_most_one_batch_and_continue_completes(self, tmp_path):
+        spec = ten_package_spec()
+        crashy = CrashAfterFirstFlush(tmp_path / "store.jsonl")
+        runner = CampaignRunner(
+            crashy, IsolatingExecutor(build_toy_registry), flush_batch=4
+        )
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            runner.run(spec)
+        # Exactly the first durable batch survived the crash.
+        survived = JsonlStore(tmp_path / "store.jsonl")
+        assert len(survived) == 4
+
+        resumed = CampaignRunner(survived, IsolatingExecutor(build_toy_registry))
+        report = resumed.continue_run(spec)
+        assert (report.total, report.cached, report.executed) == (10, 4, 6)
+        assert report.failed == 0
+        assert len(survived) == 10
+        keys = [r.key for r in survived.rows()]
+        assert len(keys) == len(set(keys))  # no duplicate rows
+
+    def run_traced(self, spec, tmp_path, name: str, flush_batch: int):
+        sink = InMemorySink()
+        store = JsonlStore(tmp_path / name)
+        runner = CampaignRunner(
+            store,
+            IsolatingExecutor(build_toy_registry),
+            flush_batch=flush_batch,
+        )
+        with activate(Tracer(clock=lambda: 0.0, sinks=[sink])):
+            report = runner.run(spec)
+        store.close()
+        return report, (tmp_path / name).read_bytes(), sink.records
+
+    def test_flush_batch_one_matches_default_bytes_and_trace(self, tmp_path):
+        spec = ten_package_spec()
+        per_row = self.run_traced(spec, tmp_path, "per_row.jsonl", flush_batch=1)
+        batched = self.run_traced(spec, tmp_path, "batched.jsonl", flush_batch=64)
+        assert per_row[0].executed == batched[0].executed == 10
+        assert per_row[1] == batched[1]  # byte-identical stores
+        assert per_row[2] == batched[2]  # identical trace record sequences
 
 
 class TestParallelExactness:

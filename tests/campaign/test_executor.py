@@ -142,3 +142,44 @@ class TestPoolExecutor:
         assert results[1].error is not None
         assert "JubeError" in results[1].error
         assert results[2].outputs == results[0].outputs
+
+
+class TestPersistentPool:
+    """The pool survives step barriers and only restarts on config change."""
+
+    ITEM = "prepare_data --synthetic true"
+
+    def test_pool_reused_across_run_items(self):
+        with PoolExecutor(max_workers=1) as executor:
+            executor.run_items([_item(self.ITEM, 0)])
+            pool = executor._pool
+            assert pool is not None
+            executor.run_items([_item(self.ITEM, 1)])
+            executor.run_items([_item(self.ITEM, 2)])
+            assert executor._pool is pool
+
+    def test_close_shuts_pool_down(self):
+        executor = PoolExecutor(max_workers=1)
+        executor.run_items([_item(self.ITEM, 0)])
+        executor.close()
+        assert executor._pool is None
+        executor.close()  # idempotent
+        # A closed executor transparently restarts on the next batch.
+        results = executor.run_items([_item(self.ITEM, 1)])
+        assert results[0].error is None
+        executor.close()
+
+    def test_config_change_recreates_pool(self):
+        from repro.faults.plan import FaultPlan
+
+        with PoolExecutor(max_workers=1) as executor:
+            executor.run_items([_item(self.ITEM, 0)])
+            first = executor._pool
+            # Same config: no restart.
+            executor.run_items([_item(self.ITEM, 1)])
+            assert executor._pool is first
+            # New fault plan must reach the workers -> fresh pool.
+            executor.fault_plan = FaultPlan(name="noop")
+            results = executor.run_items([_item(self.ITEM, 2)])
+            assert executor._pool is not first
+            assert results[0].error is None

@@ -71,3 +71,46 @@ class TestResultKey:
         assert result_key(_step(), {"a": "1", "b": "2"}) == result_key(
             _step(), {"b": "2", "a": "1"}
         )
+
+
+class TestResultKeyer:
+    """The memoized keyer must be byte-identical to result_key."""
+
+    CASES = [
+        ({"a": "1", "b": "2"}, None),
+        ({"b": "2", "a": "1"}, None),  # order-insensitive
+        ({}, None),
+        ({"x": "1"}, {"tokens": "42"}),
+        ({"x": "1"}, {}),  # empty seeded == no seeded
+        ({"uni": "é — 中文"}, None),  # non-ASCII escapes
+        ({"quote": 'he said "hi"\n\t\\'}, None),  # JSON escapes
+        ({"n": 5}, None),  # non-string value: canonical_json fallback
+        ({"x": "1"}, {"obj": object()}),  # default=str fallback
+    ]
+
+    def test_matches_result_key(self):
+        from repro.campaign.hashing import ResultKeyer
+
+        cal = "c" * KEY_LENGTH
+        for fault_hash in (None, "f" * KEY_LENGTH):
+            keyer = ResultKeyer(_step(), cal, fault_hash)
+            for params, seeded in self.CASES:
+                assert keyer.key(params, seeded) == result_key(
+                    _step(), params, seeded, cal, fault_hash=fault_hash
+                ), (params, seeded, fault_hash)
+
+    def test_accepts_precomputed_step_hash(self):
+        from repro.campaign.hashing import ResultKeyer
+
+        cal = "c" * KEY_LENGTH
+        step_hash = step_fingerprint(_step())
+        assert ResultKeyer(step_hash, cal).key({"x": "1"}) == ResultKeyer(
+            _step(), cal
+        ).key({"x": "1"})
+
+    def test_default_calibration_matches(self):
+        from repro.campaign.hashing import ResultKeyer
+
+        assert ResultKeyer(_step()).key({"x": "1"}) == result_key(
+            _step(), {"x": "1"}
+        )

@@ -142,6 +142,75 @@ class TestQueryLayer:
         ]
 
 
+class TestBatchPrimitives:
+    def test_put_many_then_get_many(self, store):
+        rows = [_row(f"k{i}", index=i) for i in range(5)]
+        store.put_many(rows)
+        found = store.get_many([f"k{i}" for i in range(5)] + ["absent"])
+        assert set(found) == {f"k{i}" for i in range(5)}
+        assert found["k3"] == rows[3]
+
+    def test_put_many_empty_is_noop(self, store):
+        store.put_many([])
+        assert len(store) == 0
+
+    def test_get_many_empty(self, store):
+        assert store.get_many([]) == {}
+
+    def test_put_many_supersedes_within_batch(self, store):
+        first = _row("k1", attempts=1)
+        second = _row("k1", attempts=2)
+        store.put_many([first, second])
+        assert len(store) == 1
+        assert store.get("k1").attempts == 2
+
+    def test_count_filters(self, store):
+        store.put_many(
+            [
+                _row("k1"),
+                _row("k2", index=1, step="analyse"),
+                _row("k3", index=2, status=STATUS_FAILED, outputs={}),
+            ]
+        )
+        assert store.count() == len(store) == 3
+        assert store.count(step="train") == 2
+        assert store.count(status=STATUS_FAILED) == 1
+        assert store.count(campaign="other") == 0
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self, tmp_path):
+        with open_store(tmp_path / "ctx.sqlite") as store:
+            store.put(_row())
+        # The connection is gone: further statements must fail.
+        import sqlite3
+
+        with pytest.raises(sqlite3.ProgrammingError):
+            store.rows()
+
+    def test_jsonl_close_flushes_appends(self, tmp_path):
+        store = JsonlStore(tmp_path / "flush.jsonl")
+        store.put_many([_row("k1"), _row("k2", index=1)])
+        store.close()
+        assert len(JsonlStore(tmp_path / "flush.jsonl")) == 2
+
+    def test_close_is_idempotent(self, store):
+        store.put(_row())
+        store.close()
+        store.close()
+
+
+class TestAggregateEmptyGuards:
+    def test_empty_store_aggregates_to_empty(self, store):
+        assert store.aggregate("tokens_per_s") == {}
+        assert store.aggregate("tokens_per_s", by="system", agg="mean") == {}
+
+    def test_no_numeric_values_never_divides_by_zero(self, store):
+        store.put(_row(outputs={"note": "strings only"}))
+        assert store.aggregate("tokens_per_s") == {}
+        assert store.aggregate("note") == {}
+
+
 def test_corrupt_jsonl_raises(tmp_path):
     path = tmp_path / "bad.jsonl"
     path.write_text('{"key": "k1"}\nnot json\n')

@@ -1,0 +1,224 @@
+"""Batched fast path vs per-row path: exact observable equivalence.
+
+The campaign fast path (``put_many``/``get_many``, SQL pushdown, lazy
+row hydration) must be invisible: batched writes leave byte-identical
+JSONL files, SQLite pushdown answers match the generic Python query
+layer, and rows loaded lazily from SQLite behave exactly like rows
+built eagerly.  Every test runs with and without fault provenance on
+the rows, since chaos campaigns exercise the extra columns.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+
+from repro.campaign.store import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    CampaignRow,
+    JsonlStore,
+    ResultStore,
+    SqliteStore,
+)
+
+
+def make_rows(with_faults: bool) -> list[CampaignRow]:
+    rows = [
+        CampaignRow(
+            key=f"key-{i:02d}",
+            campaign="equiv",
+            step="train" if i % 2 == 0 else "analyse",
+            index=i,
+            parameters={"system": "A100" if i < 6 else "H100", "x": str(i)},
+            status=STATUS_COMPLETED if i % 3 else STATUS_FAILED,
+            outputs={"tokens_per_s": 100.0 + i} if i % 3 else {},
+            stdout=f"line {i}\n",
+            error=None if i % 3 else "RuntimeError: boom",
+            attempts=1 + (i % 2),
+        )
+        for i in range(10)
+    ]
+    if with_faults:
+        rows = [
+            CampaignRow(
+                **{
+                    **row.to_dict(),
+                    "faults": (
+                        {"kind": "oom", "label": f"f{row.index}", "t": 1.5},
+                    ),
+                    "degraded": row.status == STATUS_COMPLETED,
+                }
+            )
+            for row in rows
+        ]
+    return rows
+
+
+@pytest.fixture(params=[False, True], ids=["clean", "faulted"])
+def rows(request) -> list[CampaignRow]:
+    return make_rows(request.param)
+
+
+class TestJsonlByteEquivalence:
+    def test_put_many_bytes_match_per_row_puts(self, rows, tmp_path):
+        one = JsonlStore(tmp_path / "per_row.jsonl")
+        for row in rows:
+            one.put(row)
+        one.close()
+        many = JsonlStore(tmp_path / "batched.jsonl")
+        many.put_many(rows)
+        many.close()
+        assert (tmp_path / "per_row.jsonl").read_bytes() == (
+            tmp_path / "batched.jsonl"
+        ).read_bytes()
+
+    def test_supersede_bytes_match(self, rows, tmp_path):
+        update = CampaignRow(**{**rows[0].to_dict(), "attempts": 9})
+        one = JsonlStore(tmp_path / "per_row.jsonl")
+        for row in [*rows, update]:
+            one.put(row)
+        one.close()
+        many = JsonlStore(tmp_path / "batched.jsonl")
+        many.put_many(rows)
+        many.put_many([update])
+        many.close()
+        assert (tmp_path / "per_row.jsonl").read_bytes() == (
+            tmp_path / "batched.jsonl"
+        ).read_bytes()
+        reopened = JsonlStore(tmp_path / "batched.jsonl")
+        assert reopened.get(rows[0].key).attempts == 9
+        assert [r.key for r in reopened.rows()][-1] == rows[0].key
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def backend(request):
+    return {"jsonl": JsonlStore, "sqlite": SqliteStore}[request.param]
+
+
+def fill_both(backend, rows, tmp_path):
+    suffix = "sqlite" if backend is SqliteStore else "jsonl"
+    one = backend(tmp_path / f"per_row.{suffix}")
+    for row in rows:
+        one.put(row)
+    many = backend(tmp_path / f"batched.{suffix}")
+    many.put_many(rows)
+    return one, many
+
+
+class TestBackendEquivalence:
+    def test_rows_identical_and_ordered(self, backend, rows, tmp_path):
+        one, many = fill_both(backend, rows, tmp_path)
+        assert [r.canonical() for r in one.rows()] == [
+            r.canonical() for r in many.rows()
+        ]
+        assert [r.key for r in many.rows()] == [r.key for r in rows]
+
+    def test_supersede_moves_row_to_end(self, backend, rows, tmp_path):
+        one, many = fill_both(backend, rows, tmp_path)
+        update = CampaignRow(**{**rows[0].to_dict(), "attempts": 7})
+        one.put(update)
+        many.put_many([update])
+        assert [r.canonical() for r in one.rows()] == [
+            r.canonical() for r in many.rows()
+        ]
+        assert [r.key for r in many.rows()][-1] == rows[0].key
+        assert len(many) == len(rows)
+
+    def test_get_matches_get_many(self, backend, rows, tmp_path):
+        _, store = fill_both(backend, rows, tmp_path)
+        keys = [r.key for r in rows] + ["missing-key"]
+        bulk = store.get_many(keys)
+        assert "missing-key" not in bulk
+        for key in (r.key for r in rows):
+            assert store.get(key) == bulk[key]
+
+    def test_csv_bytes_identical(self, backend, rows, tmp_path):
+        one, many = fill_both(backend, rows, tmp_path)
+        a = one.to_csv(tmp_path / "a.csv", status=STATUS_COMPLETED)
+        b = many.to_csv(tmp_path / "b.csv", status=STATUS_COMPLETED)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_count_matches_len_rows(self, backend, rows, tmp_path):
+        _, store = fill_both(backend, rows, tmp_path)
+        assert store.count() == len(store.rows()) == len(store)
+        for filters in (
+            {"step": "train"},
+            {"status": STATUS_FAILED},
+            {"campaign": "equiv", "step": "analyse"},
+            {"campaign": "elsewhere"},
+        ):
+            assert store.count(**filters) == len(store.query(**filters))
+
+
+class TestSqlitePushdownEquivalence:
+    """SQL-side filtering must answer exactly like the Python layer."""
+
+    @pytest.mark.parametrize(
+        "filters",
+        [
+            {},
+            {"step": "train"},
+            {"status": STATUS_COMPLETED},
+            {"campaign": "equiv", "step": "analyse", "status": STATUS_FAILED},
+            {"where": {"system": "A100"}},
+            {"step": "train", "where": {"system": "H100", "x": "8"}},
+        ],
+    )
+    def test_query_matches_python_reference(self, rows, filters, tmp_path):
+        store = SqliteStore(tmp_path / "s.sqlite")
+        store.put_many(rows)
+        pushed = store.query(**filters)
+        reference = ResultStore.query(store, **filters)
+        assert [r.canonical() for r in pushed] == [
+            r.canonical() for r in reference
+        ]
+
+    def test_get_many_scan_and_probe_paths_agree(self, rows, tmp_path):
+        store = SqliteStore(tmp_path / "s.sqlite")
+        store.put_many(rows)
+        few = [rows[0].key, rows[7].key]  # below the scan threshold
+        most = [r.key for r in rows]  # takes the full-scan path
+        probed = store.get_many(few)
+        scanned = store.get_many(most)
+        assert set(probed) == set(few)
+        assert set(scanned) == {r.key for r in rows}
+        for key in few:
+            assert probed[key] == scanned[key]
+
+
+class TestLazyRowSemantics:
+    """SQLite rows hydrate JSON fields on first access, invisibly."""
+
+    def load(self, rows, tmp_path) -> tuple[CampaignRow, CampaignRow]:
+        store = SqliteStore(tmp_path / "lazy.sqlite")
+        store.put_many(rows)
+        return store.get(rows[1].key), rows[1]
+
+    def test_equality_both_directions(self, rows, tmp_path):
+        lazy, eager = self.load(rows, tmp_path)
+        assert lazy == eager
+        assert eager == lazy
+
+    def test_dict_forms_match(self, rows, tmp_path):
+        lazy, eager = self.load(rows, tmp_path)
+        assert lazy.to_dict() == eager.to_dict()
+        assert lazy.canonical() == eager.canonical()
+        assert lazy.flat() == eager.flat()
+
+    def test_repr_matches(self, rows, tmp_path):
+        lazy, eager = self.load(rows, tmp_path)
+        assert repr(lazy) == repr(eager)
+
+    def test_pickle_and_deepcopy(self, rows, tmp_path):
+        lazy, eager = self.load(rows, tmp_path)
+        assert pickle.loads(pickle.dumps(lazy)) == eager
+        lazy2, _ = self.load(rows, tmp_path)
+        assert copy.deepcopy(lazy2) == eager
+
+    def test_unknown_attribute_still_raises(self, rows, tmp_path):
+        lazy, _ = self.load(rows, tmp_path)
+        with pytest.raises(AttributeError):
+            lazy.no_such_field
