@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-campaign figures report validate campaign-demo trace-demo chaos-demo clean
+.PHONY: install test bench bench-campaign figures report validate campaign-demo trace-demo chaos-demo serve-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -35,6 +35,9 @@ trace-demo:
 
 chaos-demo:
 	$(PYTHON) examples/chaos_demo.py
+
+serve-demo:
+	$(PYTHON) examples/serve_demo.py
 
 clean:
 	rm -rf figures caraml_report.md trace_demo.json benchmarks/output .pytest_cache

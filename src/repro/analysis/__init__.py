@@ -25,6 +25,11 @@ from repro.analysis.explore import Objective, explore_llm, explore_cnn
 from repro.analysis.report import build_report, write_report
 from repro.analysis.roofline import Roofline, build_roofline
 from repro.analysis.sensitivity import sweep as sensitivity_sweep
+from repro.analysis.serving import (
+    SERVING_SYSTEM_TAGS,
+    ServingScenario,
+    serving_rows,
+)
 from repro.analysis.tts import time_to_loss, batch_size_tradeoff
 from repro.analysis.validate import validate_reproduction, validation_summary
 
@@ -37,6 +42,9 @@ __all__ = [
     "Roofline",
     "build_roofline",
     "sensitivity_sweep",
+    "SERVING_SYSTEM_TAGS",
+    "ServingScenario",
+    "serving_rows",
     "time_to_loss",
     "batch_size_tradeoff",
     "validate_reproduction",

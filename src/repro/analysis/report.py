@@ -19,6 +19,7 @@ from repro.analysis.figures import (
 )
 from repro.analysis.heatmap import heatmap_grid_for
 from repro.analysis.render import render_all
+from repro.analysis.serving import ServingScenario, serving_rows
 from repro.analysis.tables import (
     table2_ipu_gpt,
     table3_ipu_resnet,
@@ -59,6 +60,17 @@ def build_report(*, include_figures: bool = False, figure_dir: str = "figures") 
 
     sections.append("\n## Table III: ResNet50 on one GC200\n")
     sections.append(_md_table(table_rows_printable(table3_ipu_resnet(), "Images")))
+
+    scenario = ServingScenario()
+    sections.append("\n## Serving: latency and energy per request\n")
+    sections.append(
+        f"Seeded Poisson stream ({scenario.requests} requests at "
+        f"{scenario.rate_per_s:g} req/s, {scenario.prompt_tokens} prompt / "
+        f"{scenario.generate_tokens} generated tokens, batch cap "
+        f"{scenario.batch_cap}; SLO ttft<={scenario.slo_ttft_s:g}s, "
+        f"e2e<={scenario.slo_e2e_s:g}s).\n"
+    )
+    sections.append(_md_table(serving_rows(scenario)))
 
     sections.append("\n## Figure 4: throughput heatmaps\n")
     for tag in SYSTEM_TAGS:

@@ -1,0 +1,88 @@
+"""Cross-system serving comparison (latency percentiles + energy).
+
+The serving counterpart of the Figure-2 tables: every GPU system serves
+the same seeded Poisson request stream through the continuous-batching
+simulator, and one row per system reports TTFT/E2E percentiles,
+goodput, and the CARAML energy metrics (Wh per request, tokens/Wh).
+Identical seeds make the table fully deterministic, so it can regenerate
+inside the report without perturbing claim checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.inference import InferenceEngine
+from repro.hardware.accelerator import AcceleratorKind
+from repro.hardware.systems import SYSTEM_TAGS, get_system
+from repro.models.transformer import get_gpt_preset
+from repro.serve import PoissonArrivals, ServingSimulator, SLOPolicy
+
+#: Systems the serving table covers (every non-IPU Table I system).
+SERVING_SYSTEM_TAGS = tuple(
+    tag
+    for tag in SYSTEM_TAGS
+    if get_system(tag).accelerator.kind is not AcceleratorKind.IPU
+)
+
+
+@dataclass(frozen=True)
+class ServingScenario:
+    """The fixed workload every system serves for the comparison."""
+
+    model: str = "800M"
+    rate_per_s: float = 8.0
+    requests: int = 48
+    prompt_tokens: int = 512
+    generate_tokens: int = 96
+    length_spread: float = 0.25
+    seed: int = 0
+    batch_cap: int = 16
+    slo_ttft_s: float = 0.5
+    slo_e2e_s: float = 5.0
+
+    def arrivals(self) -> PoissonArrivals:
+        """The seeded arrival stream of the scenario."""
+        return PoissonArrivals(
+            rate_per_s=self.rate_per_s,
+            requests=self.requests,
+            prompt_tokens=self.prompt_tokens,
+            generate_tokens=self.generate_tokens,
+            length_spread=self.length_spread,
+            seed=self.seed,
+        )
+
+    def slo(self) -> SLOPolicy:
+        """The latency objectives of the scenario."""
+        return SLOPolicy(ttft_s=self.slo_ttft_s, e2e_s=self.slo_e2e_s)
+
+
+def serving_rows(
+    scenario: ServingScenario | None = None,
+    systems: tuple[str, ...] = SERVING_SYSTEM_TAGS,
+) -> list[dict[str, object]]:
+    """One table row per system for the shared serving scenario."""
+    scenario = scenario if scenario is not None else ServingScenario()
+    rows: list[dict[str, object]] = []
+    for tag in systems:
+        engine = InferenceEngine(get_system(tag), get_gpt_preset(scenario.model))
+        simulator = ServingSimulator(
+            engine, batch_cap=scenario.batch_cap, slo=scenario.slo()
+        )
+        served = simulator.run(scenario.arrivals())
+        s = served.summary
+        rows.append(
+            {
+                "system": tag,
+                "completed": s.completed,
+                "ttft_p50_ms": round(s.ttft.p50 * 1e3, 2),
+                "ttft_p99_ms": round(s.ttft.p99 * 1e3, 2),
+                "tpot_p50_ms": round(s.tpot.p50 * 1e3, 3),
+                "e2e_p99_s": round(s.e2e.p99, 4),
+                "slo_attainment": round(s.slo_attainment, 4),
+                "goodput_tok_s": round(s.goodput_tokens_per_s, 1),
+                "wh_per_request": round(s.energy_per_request_wh, 5),
+                "tokens_per_wh": round(s.tokens_per_wh, 1),
+            }
+        )
+    return rows

@@ -6,10 +6,11 @@ YAML file) and compiles it onto the existing JUBE machinery: each
 workload becomes a step with one parameter set whose multi-valued
 parameters drive JUBE's Cartesian expansion into workpackages.
 
-Built-in workload kinds (``llm``, ``resnet``) expand to the same
-operation templates the shipped benchmark scripts use, so a three-line
-spec reproduces a Figure-2-style sweep; arbitrary operation templates
-cover everything else the operation registry knows.
+Built-in workload kinds (``llm``, ``resnet``, ``serve``) expand to the
+same operation templates the shipped benchmark scripts use, so a
+three-line spec reproduces a Figure-2-style sweep (or an arrival-rate ×
+system serving sweep); arbitrary operation templates cover everything
+else the operation registry knows.
 """
 
 from __future__ import annotations
@@ -54,6 +55,30 @@ BUILTIN_KINDS: dict[str, tuple[tuple[str, ...], dict[str, str]]] = {
             "devices": "1",
             "amd_variant": "gcd",
             "use_synthetic": "false",
+        },
+    ),
+    "serve": (
+        (
+            "llm_serve --system $system --model $model_size "
+            "--rate $arrival_rate --requests $requests "
+            "--batch-cap $batch_cap --queue-cap $queue_capacity "
+            "--prompt-tokens $prompt_tokens "
+            "--generate-tokens $generate_tokens --spread $length_spread "
+            "--seed $arrival_seed --slo-ttft-ms $slo_ttft_ms "
+            "--slo-e2e-ms $slo_e2e_ms",
+        ),
+        {
+            "model_size": "800M",
+            "arrival_rate": "8",
+            "requests": "32",
+            "batch_cap": "16",
+            "queue_capacity": "256",
+            "prompt_tokens": "512",
+            "generate_tokens": "128",
+            "length_spread": "0",
+            "arrival_seed": "0",
+            "slo_ttft_ms": "0",
+            "slo_e2e_ms": "0",
         },
     ),
 }
@@ -117,7 +142,7 @@ class WorkloadSpec:
         depends=(),
         columns=(),
     ) -> "WorkloadSpec":
-        """A built-in workload (``llm`` or ``resnet``) with overrides.
+        """A built-in workload (``llm``, ``resnet``, ``serve``) with overrides.
 
         ``fixed`` entries override the kind's defaults; an axis on a
         defaulted parameter replaces the default entirely.

@@ -5,6 +5,7 @@ Subcommands::
     caraml systems                     # list Table I systems
     caraml run-llm --system A100 --gbs 256 [...]
     caraml run-resnet --system A100 --gbs 256 [...]
+    caraml serve --system GH200 --rate 8 [...]   # request-level serving
     caraml jube run <script> [--tag T ...]   # run a JUBE script
     caraml campaign run <spec.yaml>          # sweep with store + pool
     caraml campaign continue <spec.yaml>     # resume (retries failures)
@@ -99,6 +100,41 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--batch", type=int, default=8)
     infer.add_argument("--prompt-tokens", type=int, default=512)
     infer.add_argument("--generate-tokens", type=int, default=256)
+
+    serve = sub.add_parser(
+        "serve", help="request-level serving simulation (continuous batching)"
+    )
+    serve.add_argument("--system", required=True, choices=SYSTEM_TAGS)
+    serve.add_argument("--model", default="800M")
+    serve.add_argument(
+        "--rate", type=float, default=8.0, help="Poisson arrival rate (req/s)"
+    )
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument("--batch-cap", type=int, default=16)
+    serve.add_argument("--queue-cap", type=int, default=256)
+    serve.add_argument("--prompt-tokens", type=int, default=512)
+    serve.add_argument("--generate-tokens", type=int, default=128)
+    serve.add_argument(
+        "--spread",
+        type=float,
+        default=0.0,
+        help="fractional uniform jitter on per-request lengths",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    serve.add_argument(
+        "--slo-ttft-ms", type=float, default=0.0, help="TTFT SLO (0 disables)"
+    )
+    serve.add_argument(
+        "--slo-e2e-ms", type=float, default=0.0, help="end-to-end SLO (0 disables)"
+    )
+    serve.add_argument(
+        "--requests-json",
+        default=None,
+        metavar="FILE",
+        help="also dump the per-request latency records to this JSON file",
+    )
+    _add_trace_flag(serve)
+    _add_faults_flag(serve)
 
     report = sub.add_parser(
         "report", help="write the full evaluation report (all tables/figures)"
@@ -398,6 +434,42 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
             )
         )
         _print_result_row(result, out)
+        return 0
+
+    if args.command == "serve":
+        from repro.engine.inference import InferenceEngine
+        from repro.faults import activate_injection
+        from repro.models.transformer import get_gpt_preset
+        from repro.serve import PoissonArrivals, ServingSimulator, SLOPolicy
+
+        scope = _fault_scope(args, "serve")
+        engine = InferenceEngine(get_system(args.system), get_gpt_preset(args.model))
+        simulator = ServingSimulator(
+            engine,
+            batch_cap=args.batch_cap,
+            queue_capacity=args.queue_cap,
+            slo=SLOPolicy(
+                ttft_s=args.slo_ttft_ms / 1e3 if args.slo_ttft_ms > 0 else None,
+                e2e_s=args.slo_e2e_ms / 1e3 if args.slo_e2e_ms > 0 else None,
+            ),
+        )
+        arrivals = PoissonArrivals(
+            rate_per_s=args.rate,
+            requests=args.requests,
+            prompt_tokens=args.prompt_tokens,
+            generate_tokens=args.generate_tokens,
+            length_spread=args.spread,
+            seed=args.seed,
+        )
+        with _maybe_traced(args.trace, out), activate_injection(scope):
+            served = simulator.run(arrivals)
+        _print_result_row(served.train, out)
+        _print_fired_faults(scope, out)
+        if args.requests_json:
+            from pathlib import Path
+
+            Path(args.requests_json).write_text(served.records_json())
+            print(f"requests: {args.requests_json}", file=out)
         return 0
 
     if args.command == "report":

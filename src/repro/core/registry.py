@@ -123,6 +123,55 @@ def build_operation_registry() -> OperationRegistry:
         out["status"] = "OK"
         return out
 
+    @registry.register("llm_serve")
+    def llm_serve(args: dict[str, str], wp: Workpackage):
+        """Serve a seeded Poisson request stream; report latency + energy."""
+        from repro.engine.inference import InferenceEngine
+        from repro.models.transformer import get_gpt_preset
+        from repro.serve import PoissonArrivals, ServingSimulator, SLOPolicy
+
+        system = _require(args, "system")
+        slo_ttft_ms = float(args.get("slo-ttft-ms", "0"))
+        slo_e2e_ms = float(args.get("slo-e2e-ms", "0"))
+        engine = InferenceEngine(
+            get_system(system), get_gpt_preset(args.get("model", "800M"))
+        )
+        simulator = ServingSimulator(
+            engine,
+            batch_cap=int(args.get("batch-cap", "16")),
+            queue_capacity=int(args.get("queue-cap", "256")),
+            slo=SLOPolicy(
+                ttft_s=slo_ttft_ms / 1e3 if slo_ttft_ms > 0 else None,
+                e2e_s=slo_e2e_ms / 1e3 if slo_e2e_ms > 0 else None,
+            ),
+        )
+        arrivals = PoissonArrivals(
+            rate_per_s=float(_require(args, "rate")),
+            requests=int(args.get("requests", "32")),
+            prompt_tokens=int(args.get("prompt-tokens", "512")),
+            generate_tokens=int(args.get("generate-tokens", "128")),
+            length_spread=float(args.get("spread", "0")),
+            seed=int(args.get("seed", "0")),
+        )
+        try:
+            served = simulator.run(arrivals)
+        except OutOfMemoryError:
+            wp.log("CUDA out of memory")
+            return {"status": "OOM", "throughput_tokens_per_s": 0.0}
+        summary = served.summary
+        wp.log(
+            f"served {summary.completed}/{summary.offered} requests | "
+            f"ttft p99 (ms): {summary.ttft.p99 * 1e3:.1f} | "
+            f"goodput tokens per second: {summary.goodput_tokens_per_s:.1f}"
+        )
+        out = {k: round(v, 6) for k, v in summary.to_dict().items()}
+        out["energy_per_device_wh"] = round(served.train.energy_per_device_wh, 6)
+        out["mean_power_per_device_w"] = round(
+            served.train.mean_power_per_device_w, 4
+        )
+        out["status"] = "OK"
+        return out
+
     @registry.register("analyse")
     def analyse_op(args: dict[str, str], wp: Workpackage):
         """Apply named pattern sets to the captured step log.

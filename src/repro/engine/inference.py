@@ -32,6 +32,17 @@ from repro.models.transformer import GPTConfig
 DECODE_BANDWIDTH_EFFICIENCY = 0.65
 #: Inference runtime overhead per decode step (scheduler, sampling).
 DECODE_STEP_OVERHEAD_S = 0.2e-3
+#: Device memory held back for the inference runtime (CUDA context,
+#: workspace, activation scratch).  Both memory paths — the hard
+#: ``check_memory`` gate and the ``max_batch_size`` planner — subtract
+#: this same reserve so they cannot drift apart.
+RUNTIME_RESERVE_BYTES = 2_000_000_000
+#: Device utilisation during decode relative to the prefill (compute
+#: saturated) utilisation point.  Numerically equal to
+#: :data:`DECODE_BANDWIDTH_EFFICIENCY` but a distinct quantity: that
+#: one scales achievable *bandwidth*, this one scales the *power-model
+#: utilisation* of the bandwidth-bound phase.
+DECODE_UTILISATION_FRACTION = 0.65
 
 
 @dataclass(frozen=True)
@@ -78,12 +89,26 @@ class InferenceEngine:
             * self.model.kv_cache_bytes_per_token(self.policy)
         )
 
+    def kv_budget_bytes(self) -> float:
+        """Device memory left for KV cache after weights and runtime.
+
+        The single source both memory paths (:meth:`check_memory` and
+        :meth:`max_batch_size`) and the serving scheduler's admission
+        control derive from; may be negative when the weights alone
+        exceed the device.
+        """
+        return (
+            self.node.device_memory_bytes
+            - self.model.weight_bytes(self.policy)
+            - RUNTIME_RESERVE_BYTES
+        )
+
     def check_memory(self, workload: InferenceWorkload) -> None:
         """Weights + KV cache + runtime must fit device memory."""
         needed = (
             self.model.weight_bytes(self.policy)
             + self.kv_cache_bytes(workload)
-            + 2_000_000_000  # runtime/workspace
+            + RUNTIME_RESERVE_BYTES
         )
         capacity = self.node.device_memory_bytes
         if needed > capacity:
@@ -99,11 +124,7 @@ class InferenceEngine:
         """Largest batch whose KV cache fits device memory."""
         context = workload.prompt_tokens + workload.generate_tokens
         per_seq = context * self.model.kv_cache_bytes_per_token(self.policy)
-        free = (
-            self.node.device_memory_bytes
-            - self.model.weight_bytes(self.policy)
-            - 2_000_000_000
-        )
+        free = self.kv_budget_bytes()
         if free < per_seq:
             return 0
         return int(free // per_seq)
@@ -169,7 +190,7 @@ class InferenceEngine:
         # Prefill saturates compute; decode is bandwidth-bound and runs
         # at a lower utilisation point.
         util_prefill = self.cal.util_full_llm
-        util_decode = self.cal.util_full_llm * 0.65
+        util_decode = self.cal.util_full_llm * DECODE_UTILISATION_FRACTION
 
         def body(runner, clock):
             for _ in range(requests):
@@ -190,6 +211,10 @@ class InferenceEngine:
             },
         )
         generated = requests * workload.batch_size * workload.generate_tokens
+        # A fault plan can zero out the power trace (e.g. a negative
+        # sensor_spike clamping every sample to 0 W); report 0 tokens/Wh
+        # instead of dividing by zero, matching the aggregate() guard.
+        tokens_per_wh = generated / energy_wh if energy_wh > 0 else 0.0
         return TrainResult(
             system_tag=self.node.jube_tag,
             benchmark=f"llm-infer-{self.model.name}",
@@ -205,6 +230,6 @@ class InferenceEngine:
                 "prefill_time_s": t_prefill,
                 "decode_time_s": t_decode,
                 "time_to_first_token_s": t_prefill,
-                "tokens_per_wh": generated / energy_wh,
+                "tokens_per_wh": tokens_per_wh,
             },
         )

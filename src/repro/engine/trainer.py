@@ -167,6 +167,26 @@ class PhaseRunner:
             self.run_phase(duration_s, 0.0)
 
 
+def primary_energy_labels(
+    columns, devices: list[SimulatedDevice]
+) -> list[str]:
+    """Power-frame columns carrying the active devices' primary energy.
+
+    The primary jpwr method names its columns ``f"{prefix}{index}"``
+    (``gpu0``, ``gcd3``, ``ipu1``, ...); auxiliary backends (the GH200
+    sysfs module) use other labels and are excluded.  Shared by
+    :func:`measure_run` and the serving simulator's per-request energy
+    attribution so both select the same columns.
+    """
+    labels = []
+    for dev in devices:
+        for label in columns:
+            prefix = label.rstrip("0123456789")
+            if prefix in ("gpu", "gcd", "ipu") and label == prefix + str(dev.index):
+                labels.append(label)
+    return labels
+
+
 def measure_run(
     node: NodeSpec,
     devices_used: int,
@@ -209,12 +229,7 @@ def measure_run(
     # Energy per active device from the primary method's columns, which
     # are named f"{prefix}{device_index}" (gpu0, gcd3, ipu1, ...).
     energy_df, _ = scope.energy()
-    prefix_labels = []
-    for dev in active:
-        for label in energy_df.columns:
-            prefix = label.rstrip("0123456789")
-            if prefix in ("gpu", "gcd", "ipu") and label == prefix + str(dev.index):
-                prefix_labels.append(label)
+    prefix_labels = primary_energy_labels(energy_df.columns, active)
     if not prefix_labels:
         raise ConfigError("no energy columns matched the active devices")
     per_device_wh = sum(energy_df.row(0)[lbl] for lbl in prefix_labels) / len(

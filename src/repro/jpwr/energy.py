@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.errors import MeasurementError
 from repro.jpwr.frame import DataFrame
-from repro.units import joules_to_wh
+from repro.units import JOULES_PER_WH, joules_to_wh
 
 TIME_COLUMN = "time_s"
 
@@ -54,6 +54,72 @@ def integrate_energy_wh(df: DataFrame, *, time_column: str = TIME_COLUMN) -> dic
         p = np.asarray(df[column], dtype=float)
         energies[column] = joules_to_wh(float(np.trapezoid(p, t)))
     return energies
+
+
+def cumulative_energy_wh(
+    df: DataFrame,
+    columns: list[str] | tuple[str, ...] | None = None,
+    *,
+    time_column: str = TIME_COLUMN,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Running energy integral over (a subset of) the power columns.
+
+    Returns ``(times, cumulative_wh)`` where ``cumulative_wh[i]`` is the
+    trapezoidal energy integrated from the first sample up to
+    ``times[i]``, summed over ``columns`` (all power columns when
+    omitted).  Because the simulation's power profile is piecewise
+    constant with samples at every transition, interpolating this curve
+    (``np.interp``) yields the exact energy of any sub-interval — the
+    serving simulator uses it to attribute measured energy to individual
+    requests.
+
+    Raises :class:`~repro.errors.MeasurementError` under the same
+    conditions as :func:`integrate_energy_wh`, plus on an unknown or
+    empty column selection.
+    """
+    if time_column not in df:
+        raise MeasurementError(f"frame lacks time column {time_column!r}")
+    t = np.asarray(df[time_column], dtype=float)
+    if len(t) < 2:
+        raise MeasurementError(
+            f"need at least 2 samples to integrate energy, got {len(t)}"
+        )
+    if np.any(np.diff(t) < 0):
+        raise MeasurementError("timestamps are not monotonically non-decreasing")
+    if columns is None:
+        columns = [c for c in df.columns if c != time_column]
+    if not columns:
+        raise MeasurementError("no power columns selected")
+    missing = [c for c in columns if c not in df]
+    if missing:
+        raise MeasurementError(f"frame lacks power columns {missing}")
+    total = np.zeros(len(t), dtype=float)
+    for column in columns:
+        total += np.asarray(df[column], dtype=float)
+    increments = 0.5 * (total[1:] + total[:-1]) * np.diff(t)
+    cumulative_j = np.concatenate(([0.0], np.cumsum(increments)))
+    return t, cumulative_j / JOULES_PER_WH
+
+
+def energy_in_window_wh(
+    df: DataFrame,
+    t0: float,
+    t1: float,
+    columns: list[str] | tuple[str, ...] | None = None,
+    *,
+    time_column: str = TIME_COLUMN,
+) -> float:
+    """Energy (Wh) integrated over the ``[t0, t1]`` sub-interval.
+
+    The window is clipped to the sampled span; a window entirely
+    outside it (or empty) integrates to 0.0.
+    """
+    if t1 <= t0:
+        return 0.0
+    times, cumulative = cumulative_energy_wh(df, columns, time_column=time_column)
+    lo = float(np.interp(t0, times, cumulative))
+    hi = float(np.interp(t1, times, cumulative))
+    return hi - lo
 
 
 def energy_frame(df: DataFrame, *, time_column: str = TIME_COLUMN) -> DataFrame:

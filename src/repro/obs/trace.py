@@ -75,6 +75,16 @@ class NullTracer:
     def event(self, name: str, attrs: dict | None = None, track: str = MAIN_TRACK) -> None:
         """No-op instant event."""
 
+    def complete_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        attrs: dict | None = None,
+        track: str = MAIN_TRACK,
+    ) -> None:
+        """No-op retroactive span."""
+
     def counter(self, name: str, value: float, t: float | None = None) -> None:
         """No-op counter sample."""
 
@@ -172,6 +182,35 @@ class Tracer:
     def span(self, name: str, attrs: dict | None = None, track: str = MAIN_TRACK) -> _SpanHandle:
         """A context manager recording ``name`` over its with-block."""
         return _SpanHandle(self, name, attrs, track)
+
+    def complete_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        attrs: dict | None = None,
+        track: str = MAIN_TRACK,
+    ) -> None:
+        """Record a span with explicit bounds, after the fact.
+
+        For intervals that do not nest with the call stack — a serving
+        request's lifetime spans many scheduler iterations — the caller
+        remembers ``t0`` and emits the whole span at completion.  Such
+        spans are recorded at depth 0 of their track; put concurrent
+        intervals on a dedicated track (e.g. ``"serve"``) so they do
+        not collide with the stack-shaped spans of ``main``.
+        """
+        record = {
+            "type": "span",
+            "name": name,
+            "track": track,
+            "t0": float(t0),
+            "t1": float(t1),
+            "depth": 0,
+        }
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._emit(record)
 
     def event(self, name: str, attrs: dict | None = None, track: str = MAIN_TRACK) -> None:
         """Record an instant event at the current time."""

@@ -1,0 +1,56 @@
+"""Request-level serving: arrivals, continuous batching, latency SLOs.
+
+The layer that turns the inference roofline model into a traffic-serving
+system: seeded arrival generators (:mod:`repro.serve.arrivals`), a
+bounded admission queue (:mod:`repro.serve.queue`), an iteration-level
+continuous-batching scheduler (:mod:`repro.serve.scheduler`) and the
+measured simulator (:mod:`repro.serve.simulator`) that reports
+per-request TTFT/TPOT/E2E percentiles, SLO attainment, goodput, and
+energy per request through the same jpwr path as the training engines.
+"""
+
+from repro.serve.arrivals import (
+    FixedArrivals,
+    PoissonArrivals,
+    Request,
+    TraceArrivals,
+)
+from repro.serve.queue import AdmissionQueue
+from repro.serve.result import (
+    LatencySummary,
+    RequestRecord,
+    ServeSummary,
+    SLOPolicy,
+    percentile,
+    summarize,
+)
+from repro.serve.scheduler import (
+    DEFAULT_BATCH_CAP,
+    ContinuousBatchScheduler,
+    Sequence,
+)
+from repro.serve.simulator import (
+    DEFAULT_QUEUE_CAPACITY,
+    ServeResult,
+    ServingSimulator,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "ContinuousBatchScheduler",
+    "DEFAULT_BATCH_CAP",
+    "DEFAULT_QUEUE_CAPACITY",
+    "FixedArrivals",
+    "LatencySummary",
+    "PoissonArrivals",
+    "Request",
+    "RequestRecord",
+    "SLOPolicy",
+    "Sequence",
+    "ServeResult",
+    "ServeSummary",
+    "ServingSimulator",
+    "TraceArrivals",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,166 @@
+"""Seeded request-arrival generators for the serving simulator.
+
+A generator produces an immutable, time-ordered tuple of
+:class:`Request`\\ s — each with its own arrival time, prompt length and
+generation length.  Generation is **seeded and closed-form**: the same
+``(seed, parameters)`` always yields byte-identical request streams, so
+serving results are content-addressable exactly like the training
+campaign rows.
+
+Three processes cover the evaluation regimes:
+
+* :class:`PoissonArrivals` — open-loop Poisson traffic (exponential
+  inter-arrival gaps) with optional per-request length jitter, the
+  MLPerf-style server scenario,
+* :class:`TraceArrivals` — replay an explicit list of
+  ``(arrival_s, prompt_tokens, generate_tokens)`` entries (recorded
+  traces, adversarial bursts),
+* :class:`FixedArrivals` — every request present at ``t=0`` with
+  identical lengths: the degenerate case that reduces continuous
+  batching to the static lock-step ``InferenceEngine.serve`` batches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request: when it arrives and how much work it is."""
+
+    index: int
+    arrival_s: float
+    prompt_tokens: int
+    generate_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ConfigError("arrival time must be non-negative")
+        if self.prompt_tokens < 1 or self.generate_tokens < 1:
+            raise ConfigError("prompt and generation lengths must be >= 1")
+
+    @property
+    def context_tokens(self) -> int:
+        """Maximum KV-cache footprint of the request, in tokens."""
+        return self.prompt_tokens + self.generate_tokens
+
+
+def _jittered(rng: random.Random, mean: int, spread: float) -> int:
+    """A length drawn uniformly from ``mean * (1 ± spread)``, min 1."""
+    if spread <= 0:
+        return mean
+    lo, hi = mean * (1.0 - spread), mean * (1.0 + spread)
+    return max(1, int(round(rng.uniform(lo, hi))))
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Open-loop Poisson traffic at ``rate_per_s`` requests/second.
+
+    Attributes
+    ----------
+    rate_per_s:
+        Mean arrival rate; inter-arrival gaps are exponential.
+    requests:
+        Number of requests to generate.
+    prompt_tokens / generate_tokens:
+        Mean per-request lengths.
+    length_spread:
+        Fractional uniform jitter on both lengths (0 disables; 0.5
+        draws from ``[0.5 * mean, 1.5 * mean]``).
+    seed:
+        RNG seed; identical seeds yield identical streams.
+    """
+
+    rate_per_s: float
+    requests: int
+    prompt_tokens: int = 512
+    generate_tokens: int = 256
+    length_spread: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigError("arrival rate must be positive")
+        if self.requests < 1:
+            raise ConfigError("need at least one request")
+        if not 0.0 <= self.length_spread < 1.0:
+            raise ConfigError("length_spread must be in [0, 1)")
+
+    def generate(self) -> tuple[Request, ...]:
+        """The seeded request stream, ordered by arrival time."""
+        rng = random.Random(self.seed)
+        out = []
+        t = 0.0
+        for i in range(self.requests):
+            t += rng.expovariate(self.rate_per_s)
+            out.append(
+                Request(
+                    index=i,
+                    arrival_s=t,
+                    prompt_tokens=_jittered(rng, self.prompt_tokens, self.length_spread),
+                    generate_tokens=_jittered(
+                        rng, self.generate_tokens, self.length_spread
+                    ),
+                )
+            )
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Replay of explicit ``(arrival_s, prompt, generate)`` entries."""
+
+    entries: tuple[tuple[float, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ConfigError("trace needs at least one entry")
+        object.__setattr__(self, "entries", tuple(tuple(e) for e in self.entries))
+
+    def generate(self) -> tuple[Request, ...]:
+        """The trace as :class:`Request`\\ s, sorted by arrival time."""
+        ordered = sorted(enumerate(self.entries), key=lambda p: (p[1][0], p[0]))
+        return tuple(
+            Request(
+                index=i,
+                arrival_s=float(arrival),
+                prompt_tokens=int(prompt),
+                generate_tokens=int(generate),
+            )
+            for i, (arrival, prompt, generate) in ordered
+        )
+
+
+@dataclass(frozen=True)
+class FixedArrivals:
+    """All requests present at ``t=0`` with identical lengths.
+
+    With a batch cap equal to the request count this reduces the
+    continuous-batching scheduler to one static lock-step batch — the
+    regime the original ``InferenceEngine.serve`` models.
+    """
+
+    requests: int
+    prompt_tokens: int = 512
+    generate_tokens: int = 256
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigError("need at least one request")
+
+    def generate(self) -> tuple[Request, ...]:
+        """``requests`` identical requests, all arriving at zero."""
+        return tuple(
+            Request(
+                index=i,
+                arrival_s=0.0,
+                prompt_tokens=self.prompt_tokens,
+                generate_tokens=self.generate_tokens,
+            )
+            for i in range(self.requests)
+        )

@@ -1,0 +1,252 @@
+"""Per-request records, latency percentiles, and the serving summary.
+
+The serving simulator's figures of merit follow the MLPerf-inference
+server scenario and the DABench-style per-phase breakdown:
+
+* **TTFT** — time to first token: arrival to the end of the decode step
+  that emits the request's first output token (queueing + prefill
+  included),
+* **TPOT** — time per output token: mean decode interval after the
+  first token,
+* **E2E** — arrival to last token,
+
+each summarised as p50/p95/p99 (nearest-rank percentiles: exact,
+deterministic, no interpolation), plus SLO attainment, goodput, and the
+energy side CARAML adds: Wh per request and tokens/Wh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Percentiles every latency summary reports.
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values: list[float] | tuple[float, ...], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in (0, 100]).
+
+    Nearest-rank is exact on small samples and fully deterministic,
+    which keeps serving summaries byte-reproducible.
+    """
+    if not values:
+        raise ConfigError("percentile of an empty sample")
+    if not 0.0 < q <= 100.0:
+        raise ConfigError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    rank = int(-(-(q * len(ordered)) // 100))  # ceil(q/100 * n)
+    return ordered[max(rank, 1) - 1]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle timestamps and energy of one completed request.
+
+    All times are absolute simulated seconds on the run's virtual
+    clock; derived latencies are exposed as properties.
+    """
+
+    index: int
+    arrival_s: float
+    admitted_s: float
+    first_token_s: float
+    completed_s: float
+    prompt_tokens: int
+    generate_tokens: int
+    energy_wh: float = 0.0
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent waiting for admission into the batch."""
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token, from arrival."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Mean time per output token after the first (0 for 1 token)."""
+        if self.generate_tokens <= 1:
+            return 0.0
+        return (self.completed_s - self.first_token_s) / (self.generate_tokens - 1)
+
+    @property
+    def e2e_s(self) -> float:
+        """End-to-end latency, arrival to last token."""
+        return self.completed_s - self.arrival_s
+
+    def to_dict(self) -> dict:
+        """Flat, JSON-ready form (stable key order via sorted dumps)."""
+        return {
+            "index": self.index,
+            "arrival_s": self.arrival_s,
+            "admitted_s": self.admitted_s,
+            "first_token_s": self.first_token_s,
+            "completed_s": self.completed_s,
+            "prompt_tokens": self.prompt_tokens,
+            "generate_tokens": self.generate_tokens,
+            "energy_wh": self.energy_wh,
+            "ttft_s": self.ttft_s,
+            "tpot_s": self.tpot_s,
+            "e2e_s": self.e2e_s,
+        }
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p95/p99, mean and max of one latency metric."""
+
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max: float
+
+    @classmethod
+    def of(cls, values: list[float] | tuple[float, ...]) -> "LatencySummary":
+        """Summary of a non-empty sample."""
+        return cls(
+            p50=percentile(values, 50.0),
+            p95=percentile(values, 95.0),
+            p99=percentile(values, 99.0),
+            mean=sum(values) / len(values),
+            max=max(values),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-mapping form."""
+        return {
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "mean": self.mean,
+            "max": self.max,
+        }
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Latency service-level objectives a request must meet.
+
+    ``None`` disables a bound; the default policy (no bounds) counts
+    every completed request as attained.
+    """
+
+    ttft_s: float | None = None
+    e2e_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("ttft_s", "e2e_s"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise ConfigError(f"SLO {name} must be positive")
+
+    def met(self, record: RequestRecord) -> bool:
+        """Whether one completed request meets every active bound."""
+        if self.ttft_s is not None and record.ttft_s > self.ttft_s:
+            return False
+        if self.e2e_s is not None and record.e2e_s > self.e2e_s:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ServeSummary:
+    """Aggregate outcome of one serving run.
+
+    ``goodput_tokens_per_s`` counts only tokens of SLO-attaining
+    requests (the MLPerf Power framing: useful work under a latency
+    constraint), while ``throughput_tokens_per_s`` counts every
+    generated token.
+    """
+
+    offered: int
+    completed: int
+    rejected: int
+    elapsed_s: float
+    generated_tokens: int
+    ttft: LatencySummary
+    tpot: LatencySummary
+    e2e: LatencySummary
+    queue_delay: LatencySummary
+    slo_attained: int
+    goodput_tokens_per_s: float
+    energy_wh: float
+    energy_per_request_wh: float
+    tokens_per_wh: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Generated tokens per simulated second (all requests)."""
+        return self.generated_tokens / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests meeting the SLO (1.0 if none)."""
+        return self.slo_attained / self.completed if self.completed else 1.0
+
+    def to_dict(self) -> dict:
+        """Flat numeric mapping (result-store / TrainResult.extra form)."""
+        out = {
+            "offered_requests": float(self.offered),
+            "completed_requests": float(self.completed),
+            "rejected_requests": float(self.rejected),
+            "elapsed_s": self.elapsed_s,
+            "generated_tokens": float(self.generated_tokens),
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "slo_attained": float(self.slo_attained),
+            "slo_attainment": self.slo_attainment,
+            "goodput_tokens_per_s": self.goodput_tokens_per_s,
+            "energy_wh": self.energy_wh,
+            "energy_per_request_wh": self.energy_per_request_wh,
+            "tokens_per_wh": self.tokens_per_wh,
+        }
+        for name, summary in (
+            ("ttft", self.ttft),
+            ("tpot", self.tpot),
+            ("e2e", self.e2e),
+            ("queue_delay", self.queue_delay),
+        ):
+            for key, value in summary.to_dict().items():
+                out[f"{name}_{key}_s"] = value
+        out.update(self.extra)
+        return out
+
+
+def summarize(
+    records: list[RequestRecord] | tuple[RequestRecord, ...],
+    *,
+    offered: int,
+    rejected: int,
+    elapsed_s: float,
+    slo: SLOPolicy | None = None,
+) -> ServeSummary:
+    """Build the :class:`ServeSummary` of a completed serving run."""
+    if not records:
+        raise ConfigError("cannot summarise a run that completed no requests")
+    slo = slo if slo is not None else SLOPolicy()
+    generated = sum(r.generate_tokens for r in records)
+    attained = [r for r in records if slo.met(r)]
+    good_tokens = sum(r.generate_tokens for r in attained)
+    energy = sum(r.energy_wh for r in records)
+    return ServeSummary(
+        offered=offered,
+        completed=len(records),
+        rejected=rejected,
+        elapsed_s=elapsed_s,
+        generated_tokens=generated,
+        ttft=LatencySummary.of([r.ttft_s for r in records]),
+        tpot=LatencySummary.of([r.tpot_s for r in records]),
+        e2e=LatencySummary.of([r.e2e_s for r in records]),
+        queue_delay=LatencySummary.of([r.queue_delay_s for r in records]),
+        slo_attained=len(attained),
+        goodput_tokens_per_s=good_tokens / elapsed_s if elapsed_s > 0 else 0.0,
+        energy_wh=energy,
+        energy_per_request_wh=energy / len(records),
+        tokens_per_wh=generated / energy if energy > 0 else 0.0,
+    )

@@ -1,0 +1,347 @@
+"""Request-level serving simulation on the virtual clock.
+
+:class:`ServingSimulator` drives a :class:`ContinuousBatchScheduler`
+through a seeded arrival stream under the same jpwr measurement scope
+the training engines use:
+
+* arrivals land in the bounded :class:`AdmissionQueue` (overflow is
+  shed and reported),
+* between decode steps the scheduler admits waiting requests (each pays
+  its prefill at the compute-bound utilisation point) and evicts
+  finished sequences,
+* every decode step advances the whole batch by one token at the
+  roofline step time for the *current* batch size — continuous
+  batching's throughput advantage over lock-step batches falls out of
+  the model rather than being asserted,
+* the jpwr sample frame is sliced per phase
+  (:func:`repro.jpwr.energy.cumulative_energy_wh`) to attribute
+  measured energy to individual requests: a prefill's energy goes to
+  its request, a decode step's energy is split evenly across the
+  sequences it advanced.
+
+Runs are deterministic: the same arrival seed, engine and fault plan
+produce byte-identical per-request records and traces.  The fault
+injection seams of the training path (OOM at a step index, stragglers,
+sensor faults) apply unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.inference import (
+    DECODE_UTILISATION_FRACTION,
+    InferenceEngine,
+    InferenceWorkload,
+)
+from repro.engine.trainer import TrainResult, measure_run, primary_energy_labels
+from repro.errors import ConfigError, MeasurementError
+from repro.faults.injector import get_injector
+from repro.jpwr.energy import cumulative_energy_wh
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.serve.arrivals import Request
+from repro.serve.queue import AdmissionQueue
+from repro.serve.result import RequestRecord, ServeSummary, SLOPolicy, summarize
+from repro.serve.scheduler import DEFAULT_BATCH_CAP, ContinuousBatchScheduler
+
+#: Default bound on the admission queue.
+DEFAULT_QUEUE_CAPACITY = 256
+
+#: Trace track request spans and the queue-depth counter live on.
+SERVE_TRACK = "serve"
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Everything one serving run produced.
+
+    ``train`` is the familiar result-table row (the serving summary is
+    flattened into its ``extra``); ``records`` carry the per-request
+    latency/energy detail the summary was computed from.
+    """
+
+    train: TrainResult
+    summary: ServeSummary
+    records: tuple[RequestRecord, ...]
+    rejected: tuple[Request, ...]
+
+    def records_json(self) -> str:
+        """Deterministic JSON of the per-request records.
+
+        Byte-identical across runs with the same seed, engine and fault
+        plan — the serving counterpart of the campaign layer's
+        content-addressing guarantee.
+        """
+        return json.dumps(
+            [r.to_dict() for r in self.records],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+class _ServeLoop:
+    """One run's mutable state; the body executed under measure_run."""
+
+    def __init__(self, sim: "ServingSimulator", requests: tuple[Request, ...]) -> None:
+        self.sim = sim
+        self.pending = deque(requests)
+        self.queue = AdmissionQueue(sim.queue_capacity)
+        self.scheduler = ContinuousBatchScheduler(
+            sim.engine, batch_cap=sim.batch_cap
+        )
+        self.intervals: list[tuple[float, float, tuple[int, ...]]] = []
+        self.finished: list[tuple[object, float]] = []  # (sequence, completed_s)
+        self.decode_steps = 0
+
+    def _ingest(self, now: float) -> None:
+        while self.pending and self.pending[0].arrival_s <= now:
+            self.queue.offer(self.pending.popleft())
+
+    def _gauge_queue(self, tag: str) -> None:
+        get_metrics().gauge(
+            "serve_queue_depth", "requests waiting for admission"
+        ).set(len(self.queue), system=tag)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("serve/queue_depth", len(self.queue))
+
+    def run(self, runner, clock) -> None:
+        """The scheduler loop: idle, admit+prefill, decode, evict."""
+        sim = self.sim
+        engine = sim.engine
+        injector = get_injector()
+        tag = engine.node.jube_tag
+        util_prefill = engine.cal.util_full_llm
+        util_decode = engine.cal.util_full_llm * DECODE_UTILISATION_FRACTION
+        self._ingest(clock.now())
+        self._gauge_queue(tag)
+        while self.pending or len(self.queue) or self.scheduler.active:
+            now = clock.now()
+            if not self.scheduler.active and not len(self.queue):
+                # Batch idle and nothing queued: sleep to the next
+                # arrival, then force it in (guards against float
+                # residue leaving `now` a hair before the arrival).
+                nxt = self.pending[0]
+                if nxt.arrival_s > now:
+                    runner.idle(nxt.arrival_s - now)
+                self._ingest(clock.now())
+                if self.pending and self.pending[0] is nxt:
+                    self.queue.offer(self.pending.popleft())
+                self._gauge_queue(tag)
+                continue
+            # Iteration boundary: admit whatever fits, paying prefill.
+            while len(self.queue) and self.scheduler.fits(self.queue.peek()):
+                request = self.queue.pop()
+                seq = self.scheduler.admit(request, clock.now())
+                t_prefill = engine.prefill_time_s(
+                    InferenceWorkload(
+                        prompt_tokens=request.prompt_tokens,
+                        generate_tokens=request.generate_tokens,
+                        batch_size=1,
+                    )
+                )
+                factor = (
+                    injector.straggler_factor(clock.now(), self.decode_steps)
+                    if injector.enabled
+                    else 1.0
+                )
+                t0 = clock.now()
+                runner.run_phase(t_prefill * factor, util_prefill)
+                self.intervals.append((t0, clock.now(), (request.index,)))
+            self._gauge_queue(tag)
+            if not self.scheduler.active:
+                continue
+            # One decode step over the current batch.
+            now = clock.now()
+            if injector.enabled:
+                injector.check_step(now, self.decode_steps)
+            factor = (
+                injector.straggler_factor(now, self.decode_steps)
+                if injector.enabled
+                else 1.0
+            )
+            step_s = engine.decode_step_time_s(self.scheduler.batch_size) * factor
+            members = tuple(s.request.index for s in self.scheduler.active)
+            runner.run_phase(step_s, util_decode)
+            self.decode_steps += 1
+            self.intervals.append((now, clock.now(), members))
+            for seq in self.scheduler.step_completed(clock.now()):
+                self.finished.append((seq, clock.now()))
+            self._ingest(clock.now())
+            self._gauge_queue(tag)
+
+    def request_energy_wh(self, runner) -> dict[int, float]:
+        """Measured energy attributed per request from the jpwr frame.
+
+        A fault plan can leave the sample frame empty (full sensor
+        dropout); attribution then reports 0.0 Wh per request rather
+        than failing the run's latency results.
+        """
+        per_request: dict[int, float] = {}
+        try:
+            labels = primary_energy_labels(runner.scope.df.columns, runner.devices)
+            times, cumulative = cumulative_energy_wh(runner.scope.df, labels)
+        except MeasurementError:
+            return per_request
+        bounds = np.array(
+            [t for t0, t1, _ in self.intervals for t in (t0, t1)], dtype=float
+        )
+        values = np.interp(bounds, times, cumulative)
+        for i, (_, _, members) in enumerate(self.intervals):
+            if not members:
+                continue
+            wh = float(values[2 * i + 1] - values[2 * i])
+            share = wh / len(members)
+            for index in members:
+                per_request[index] = per_request.get(index, 0.0) + share
+        return per_request
+
+
+class ServingSimulator:
+    """Serves a request stream on one device of a GPU system.
+
+    Parameters
+    ----------
+    engine:
+        The roofline/memory model of the system under test.
+    batch_cap:
+        Maximum concurrently decoding sequences.
+    queue_capacity:
+        Admission-queue bound; arrivals beyond it are shed.
+    slo:
+        Latency objectives for attainment/goodput accounting.
+    sample_interval_ms:
+        jpwr sampling period (samples also land on every phase edge).
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        *,
+        batch_cap: int = DEFAULT_BATCH_CAP,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        slo: SLOPolicy | None = None,
+        sample_interval_ms: float = 100.0,
+    ) -> None:
+        self.engine = engine
+        self.batch_cap = int(batch_cap)
+        self.queue_capacity = int(queue_capacity)
+        self.slo = slo if slo is not None else SLOPolicy()
+        self.sample_interval_ms = float(sample_interval_ms)
+        # Validate the cap against the engine's own planner once.
+        if batch_cap < 1:
+            raise ConfigError("batch cap must be >= 1")
+
+    def run(self, arrivals) -> ServeResult:
+        """Serve ``arrivals.generate()`` end to end; returns the result.
+
+        Raises :class:`ConfigError` when any generated request could
+        never fit the KV budget (it would stall the scheduler forever),
+        and propagates engine errors (injected OOM, measurement
+        failures) exactly like the training engines do.
+        """
+        requests = tuple(arrivals.generate())
+        if not requests:
+            raise ConfigError("arrival process generated no requests")
+        loop = _ServeLoop(self, requests)
+        for request in requests:
+            loop.scheduler.admissible(request)
+
+        records: list[RequestRecord] = []
+
+        def body(runner, clock):
+            loop.run(runner, clock)
+            energy = loop.request_energy_wh(runner)
+            tracer = get_tracer()
+            for seq, completed_s in loop.finished:
+                record = RequestRecord(
+                    index=seq.request.index,
+                    arrival_s=seq.request.arrival_s,
+                    admitted_s=seq.admitted_s,
+                    first_token_s=seq.first_token_s,
+                    completed_s=completed_s,
+                    prompt_tokens=seq.request.prompt_tokens,
+                    generate_tokens=seq.request.generate_tokens,
+                    energy_wh=energy.get(seq.request.index, 0.0),
+                )
+                records.append(record)
+                if tracer.enabled:
+                    tracer.complete_span(
+                        "serve/request",
+                        record.arrival_s,
+                        record.completed_s,
+                        attrs={
+                            "index": record.index,
+                            "ttft_s": round(record.ttft_s, 6),
+                            "tokens": record.generate_tokens,
+                        },
+                        track=SERVE_TRACK,
+                    )
+            return len(records)
+
+        _, elapsed, energy_wh, mean_power = measure_run(
+            self.engine.node,
+            1,
+            body,
+            sample_interval_ms=self.sample_interval_ms,
+            span_name="serve/run",
+            span_attrs={
+                "model": self.engine.model.name,
+                "batch_cap": self.batch_cap,
+                "requests": len(requests),
+            },
+        )
+        records.sort(key=lambda r: r.index)
+        summary = summarize(
+            records,
+            offered=len(requests),
+            rejected=len(loop.queue.rejected),
+            elapsed_s=elapsed,
+            slo=self.slo,
+        )
+        self._observe(summary, records)
+        extra = summary.to_dict()
+        extra.pop("elapsed_s", None)  # already a TrainResult field
+        extra["decode_steps"] = float(loop.decode_steps)
+        extra["batch_cap"] = float(self.batch_cap)
+        train = TrainResult(
+            system_tag=self.engine.node.jube_tag,
+            benchmark=f"llm-serve-{self.engine.model.name}",
+            global_batch_size=self.batch_cap,
+            devices=1,
+            iterations=loop.decode_steps,
+            elapsed_s=elapsed,
+            throughput=summary.throughput_tokens_per_s,
+            throughput_unit="tokens_per_s",
+            energy_per_device_wh=energy_wh,
+            mean_power_per_device_w=mean_power,
+            extra=extra,
+        )
+        return ServeResult(
+            train=train,
+            summary=summary,
+            records=tuple(records),
+            rejected=loop.queue.rejected,
+        )
+
+    def _observe(self, summary: ServeSummary, records: list[RequestRecord]) -> None:
+        """Record the run's serving metrics on the process registry."""
+        metrics = get_metrics()
+        tag = self.engine.node.jube_tag
+        metrics.counter(
+            "serve_requests_completed_total", "requests served to completion"
+        ).inc(summary.completed, system=tag)
+        if summary.rejected:
+            metrics.counter(
+                "serve_requests_rejected_total", "requests shed at admission"
+            ).inc(summary.rejected, system=tag)
+        ttft = metrics.histogram("serve_ttft_s", "time to first token")
+        e2e = metrics.histogram("serve_e2e_s", "end-to-end request latency")
+        for record in records:
+            ttft.observe(record.ttft_s, system=tag)
+            e2e.observe(record.e2e_s, system=tag)

@@ -12,6 +12,8 @@ live here as well.
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
+
 # --- multipliers -----------------------------------------------------------
 
 KILO = 1e3
@@ -73,7 +75,12 @@ def per_wh(rate_per_s: float, power_w: float) -> float:
     This is the paper's energy-efficiency metric: e.g. a device doing
     ``rate_per_s`` tokens/s while drawing ``power_w`` watts processes
     ``rate_per_s * 3600 / power_w`` tokens per watt-hour.
+
+    Raises :class:`~repro.errors.ConfigError` (the package-wide error
+    hierarchy, not a bare ``ValueError``) on non-positive power; this is
+    the only raise in this module — the remaining helpers are pure
+    multiplications.
     """
     if power_w <= 0:
-        raise ValueError(f"power must be positive, got {power_w}")
+        raise ConfigError(f"power must be positive, got {power_w}")
     return rate_per_s * SECONDS_PER_HOUR / power_w

@@ -1,0 +1,56 @@
+"""The cross-system serving comparison table and its report section."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serving import (
+    SERVING_SYSTEM_TAGS,
+    ServingScenario,
+    serving_rows,
+)
+
+pytestmark = pytest.mark.serve
+
+SMALL = ServingScenario(requests=8, generate_tokens=24, rate_per_s=12.0)
+
+
+class TestScenario:
+    def test_gpu_systems_only(self):
+        assert "GC200" not in SERVING_SYSTEM_TAGS
+        assert {"A100", "GH200", "MI250"} <= set(SERVING_SYSTEM_TAGS)
+
+    def test_arrivals_and_slo_derive_from_fields(self):
+        s = ServingScenario(seed=5, slo_ttft_s=0.2)
+        assert s.arrivals().seed == 5
+        assert s.slo().ttft_s == 0.2
+
+
+class TestRows:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return serving_rows(SMALL, systems=("GH200", "A100"))
+
+    def test_one_row_per_system(self, rows):
+        assert [r["system"] for r in rows] == ["GH200", "A100"]
+        for row in rows:
+            assert row["completed"] == 8
+            assert row["ttft_p50_ms"] <= row["ttft_p99_ms"]
+            assert row["tokens_per_wh"] > 0
+            assert 0 <= row["slo_attainment"] <= 1
+
+    def test_bandwidth_advantage_shows_in_tpot(self, rows):
+        by_system = {r["system"]: r for r in rows}
+        assert by_system["GH200"]["tpot_p50_ms"] < by_system["A100"]["tpot_p50_ms"]
+
+    def test_rows_deterministic(self, rows):
+        assert rows == serving_rows(SMALL, systems=("GH200", "A100"))
+
+
+class TestReportSection:
+    def test_report_contains_serving_table(self):
+        from repro.analysis.report import build_report
+
+        report = build_report()
+        assert "## Serving: latency and energy per request" in report
+        assert "tokens_per_wh" in report

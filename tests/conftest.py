@@ -53,3 +53,7 @@ def pytest_configure(config):
         "markers",
         "chaos: fault-injection campaign test (runs real workloads under a fault plan)",
     )
+    config.addinivalue_line(
+        "markers",
+        "serve: request-level serving simulator test (measured continuous-batching runs)",
+    )

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.engine.inference import InferenceEngine, InferenceWorkload
+from repro.engine.inference import (
+    RUNTIME_RESERVE_BYTES,
+    InferenceEngine,
+    InferenceWorkload,
+)
 from repro.errors import ConfigError, OutOfMemoryError
 from repro.hardware.systems import get_system
 from repro.models.transformer import get_gpt_preset
@@ -75,6 +79,51 @@ class TestMemory:
         engine.check_memory(InferenceWorkload(batch_size=limit))
         with pytest.raises(OutOfMemoryError):
             engine.check_memory(InferenceWorkload(batch_size=limit * 2))
+
+
+class TestMemoryBoundaries:
+    """The two memory paths share one budget and agree at the boundary."""
+
+    def test_kv_budget_is_memory_minus_weights_and_reserve(self, engine):
+        expected = (
+            engine.node.device_memory_bytes
+            - engine.model.weight_bytes(engine.policy)
+            - RUNTIME_RESERVE_BYTES
+        )
+        assert engine.kv_budget_bytes() == pytest.approx(expected)
+
+    def test_max_batch_is_exact_fit(self, engine):
+        w = InferenceWorkload()
+        per_seq = (
+            w.prompt_tokens + w.generate_tokens
+        ) * engine.model.kv_cache_bytes_per_token(engine.policy)
+        assert engine.max_batch_size(w) == int(engine.kv_budget_bytes() // per_seq)
+
+    def test_boundary_batch_agreement(self, engine):
+        """check_memory passes at the planner's limit, fails one past it."""
+        w = InferenceWorkload()
+        limit = engine.max_batch_size(w)
+        engine.check_memory(InferenceWorkload(batch_size=limit))
+        with pytest.raises(OutOfMemoryError):
+            engine.check_memory(InferenceWorkload(batch_size=limit + 1))
+
+    def test_negative_free_memory_yields_zero_batch(self):
+        """Weights alone past device memory: budget negative, batch 0."""
+        engine = InferenceEngine(get_system("A100"), get_gpt_preset("175B"))
+        assert engine.kv_budget_bytes() < 0
+        assert engine.max_batch_size(InferenceWorkload()) == 0
+
+    def test_oom_error_carries_sizing_fields(self, engine):
+        with pytest.raises(OutOfMemoryError) as exc:
+            engine.check_memory(InferenceWorkload(batch_size=10**6))
+        err = exc.value
+        assert err.required_bytes > err.capacity_bytes
+        assert err.capacity_bytes == engine.node.device_memory_bytes
+        kv = engine.kv_cache_bytes(InferenceWorkload(batch_size=10**6))
+        expected = int(
+            engine.model.weight_bytes(engine.policy) + kv + RUNTIME_RESERVE_BYTES
+        )
+        assert err.required_bytes == expected
 
 
 class TestServe:

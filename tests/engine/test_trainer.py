@@ -144,3 +144,23 @@ class TestMeasureRun:
     def test_validates_device_count(self):
         with pytest.raises(ConfigError):
             measure_run(get_system("A100"), 5, lambda r, c: None)
+
+
+class TestPrimaryEnergyLabels:
+    def test_selects_active_device_columns_only(self):
+        from repro.engine.trainer import primary_energy_labels
+
+        clock = VirtualClock()
+        registry = DeviceRegistry.for_node(get_system("A100"), clock=clock)
+        devices = [registry.get(0), registry.get(2)]
+        columns = ["time_s", "gpu0", "gpu1", "gpu2", "gh-module0"]
+        assert primary_energy_labels(columns, devices) == ["gpu0", "gpu2"]
+
+    def test_amd_and_ipu_prefixes_match(self):
+        from repro.engine.trainer import primary_energy_labels
+
+        clock = VirtualClock()
+        registry = DeviceRegistry.for_node(get_system("MI250"), clock=clock)
+        devices = [registry.get(3)]
+        assert primary_energy_labels(["gcd3", "gcd4"], devices) == ["gcd3"]
+        assert primary_energy_labels(["other3"], devices) == []

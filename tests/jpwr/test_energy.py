@@ -70,3 +70,62 @@ class TestDerived:
         df = make_frame([5, 5], [100, 100])
         with pytest.raises(MeasurementError, match="span"):
             average_power_w(df)
+
+
+class TestCumulative:
+    def test_matches_total_integration(self):
+        from repro.jpwr.energy import cumulative_energy_wh
+
+        df = make_frame([0.0, 1.0, 1.0, 2.0], [100, 100, 300, 300])
+        times, cumulative = cumulative_energy_wh(df)
+        assert list(times) == [0.0, 1.0, 1.0, 2.0]
+        assert cumulative[0] == 0.0
+        assert cumulative[-1] == pytest.approx(integrate_energy_wh(df)["gpu0"])
+
+    def test_sums_selected_columns(self):
+        from repro.jpwr.energy import cumulative_energy_wh
+        from repro.jpwr.frame import DataFrame
+
+        df = DataFrame(["time_s", "gpu0", "gpu1"])
+        df.add_row({"time_s": 0, "gpu0": 100, "gpu1": 50})
+        df.add_row({"time_s": 3600, "gpu0": 100, "gpu1": 50})
+        _, both = cumulative_energy_wh(df)
+        _, only = cumulative_energy_wh(df, ["gpu0"])
+        assert both[-1] == pytest.approx(150.0)
+        assert only[-1] == pytest.approx(100.0)
+
+    def test_unknown_column_raises(self):
+        from repro.jpwr.energy import cumulative_energy_wh
+
+        with pytest.raises(MeasurementError, match="gpu9"):
+            cumulative_energy_wh(make_frame([0, 1], [100, 100]), ["gpu9"])
+
+    def test_requires_two_samples(self):
+        from repro.jpwr.energy import cumulative_energy_wh
+
+        with pytest.raises(MeasurementError, match="2 samples"):
+            cumulative_energy_wh(make_frame([0], [100]))
+
+
+class TestWindow:
+    def test_window_slices_exactly_on_constant_power(self):
+        from repro.jpwr.energy import energy_in_window_wh
+
+        df = make_frame([0, 3600], [100, 100])
+        assert energy_in_window_wh(df, 0.0, 1800.0) == pytest.approx(50.0)
+        assert energy_in_window_wh(df, 900.0, 2700.0) == pytest.approx(50.0)
+
+    def test_windows_partition_the_total(self):
+        from repro.jpwr.energy import energy_in_window_wh
+
+        df = make_frame([0.0, 1.0, 1.0, 3.0], [100, 100, 400, 400])
+        total = integrate_energy_wh(df)["gpu0"]
+        parts = energy_in_window_wh(df, 0.0, 1.0) + energy_in_window_wh(df, 1.0, 3.0)
+        assert parts == pytest.approx(total)
+
+    def test_empty_or_reversed_window_is_zero(self):
+        from repro.jpwr.energy import energy_in_window_wh
+
+        df = make_frame([0, 10], [100, 100])
+        assert energy_in_window_wh(df, 5.0, 1.0) == 0.0
+        assert energy_in_window_wh(df, 5.0, 5.0) == 0.0

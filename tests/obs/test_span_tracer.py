@@ -59,6 +59,28 @@ class TestTracer:
         assert a["depth"] == 0 and b["depth"] == 0
         assert {a["track"], b["track"]} == {"one", "two"}
 
+    def test_complete_span_records_explicit_bounds(self):
+        clock = VirtualClock()
+        sink = InMemorySink()
+        tracer = Tracer(clock=clock, sinks=[sink])
+        clock.advance(10.0)  # current time is irrelevant to the record
+        tracer.complete_span("request", 1.5, 4.0, attrs={"i": 7}, track="serve")
+        (span,) = _spans(sink)
+        assert span["name"] == "request"
+        assert (span["t0"], span["t1"]) == (1.5, 4.0)
+        assert span["track"] == "serve" and span["depth"] == 0
+        assert span["attrs"] == {"i": 7}
+
+    def test_complete_span_ignores_open_span_depth(self):
+        clock = VirtualClock()
+        sink = InMemorySink()
+        tracer = Tracer(clock=clock, sinks=[sink])
+        with tracer.span("outer"):
+            tracer.complete_span("retro", 0.0, 0.5)
+        retro, outer = _spans(sink)
+        assert retro["depth"] == 0  # retroactive spans never nest
+        assert outer["depth"] == 0
+
     def test_event_and_counter_records(self):
         clock = VirtualClock(start_s=5.0)
         sink = InMemorySink()
@@ -102,6 +124,7 @@ class TestNullTracer:
     def test_all_operations_are_noops(self):
         NULL_TRACER.event("e")
         NULL_TRACER.counter("c", 1.0)
+        NULL_TRACER.complete_span("s", 0.0, 1.0)
         NULL_TRACER.close()
 
 

@@ -1,0 +1,105 @@
+"""Arrival generators: validation, ordering, seeded determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import FixedArrivals, PoissonArrivals, Request, TraceArrivals
+
+
+class TestRequest:
+    def test_context_tokens(self):
+        r = Request(index=0, arrival_s=1.0, prompt_tokens=100, generate_tokens=28)
+        assert r.context_tokens == 128
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Request(index=0, arrival_s=-1.0, prompt_tokens=1, generate_tokens=1)
+        with pytest.raises(ConfigError):
+            Request(index=0, arrival_s=0.0, prompt_tokens=0, generate_tokens=1)
+        with pytest.raises(ConfigError):
+            Request(index=0, arrival_s=0.0, prompt_tokens=1, generate_tokens=0)
+
+
+class TestPoisson:
+    def test_same_seed_identical_stream(self):
+        a = PoissonArrivals(rate_per_s=5.0, requests=50, length_spread=0.3, seed=11)
+        assert a.generate() == a.generate()
+        assert (
+            PoissonArrivals(
+                rate_per_s=5.0, requests=50, length_spread=0.3, seed=11
+            ).generate()
+            == a.generate()
+        )
+
+    def test_different_seed_different_stream(self):
+        base = PoissonArrivals(rate_per_s=5.0, requests=20, seed=0).generate()
+        other = PoissonArrivals(rate_per_s=5.0, requests=20, seed=1).generate()
+        assert base != other
+
+    def test_arrivals_ordered_and_indexed(self):
+        stream = PoissonArrivals(rate_per_s=20.0, requests=40, seed=3).generate()
+        times = [r.arrival_s for r in stream]
+        assert times == sorted(times)
+        assert [r.index for r in stream] == list(range(40))
+
+    def test_mean_gap_tracks_rate(self):
+        stream = PoissonArrivals(rate_per_s=10.0, requests=2000, seed=0).generate()
+        mean_gap = stream[-1].arrival_s / len(stream)
+        assert mean_gap == pytest.approx(0.1, rel=0.1)
+
+    def test_spread_bounds_lengths(self):
+        stream = PoissonArrivals(
+            rate_per_s=5.0,
+            requests=300,
+            prompt_tokens=100,
+            generate_tokens=100,
+            length_spread=0.5,
+            seed=0,
+        ).generate()
+        for r in stream:
+            assert 50 <= r.prompt_tokens <= 150
+            assert 50 <= r.generate_tokens <= 150
+        assert len({r.prompt_tokens for r in stream}) > 1
+
+    def test_zero_spread_keeps_means(self):
+        stream = PoissonArrivals(rate_per_s=5.0, requests=10, seed=0).generate()
+        assert all(r.prompt_tokens == 512 for r in stream)
+        assert all(r.generate_tokens == 256 for r in stream)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(rate_per_s=0.0, requests=1)
+        with pytest.raises(ConfigError):
+            PoissonArrivals(rate_per_s=1.0, requests=0)
+        with pytest.raises(ConfigError):
+            PoissonArrivals(rate_per_s=1.0, requests=1, length_spread=1.0)
+
+
+class TestTrace:
+    def test_replay_sorted_by_arrival(self):
+        trace = TraceArrivals(entries=((2.0, 10, 5), (0.5, 20, 8), (1.0, 30, 2)))
+        stream = trace.generate()
+        assert [r.arrival_s for r in stream] == [0.5, 1.0, 2.0]
+        assert [r.prompt_tokens for r in stream] == [20, 30, 10]
+
+    def test_ties_break_by_entry_order(self):
+        trace = TraceArrivals(entries=((1.0, 10, 5), (1.0, 20, 5)))
+        assert [r.prompt_tokens for r in trace.generate()] == [10, 20]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceArrivals(entries=())
+
+
+class TestFixed:
+    def test_all_at_zero(self):
+        stream = FixedArrivals(requests=4, prompt_tokens=64, generate_tokens=8).generate()
+        assert len(stream) == 4
+        assert all(r.arrival_s == 0.0 for r in stream)
+        assert all(r.prompt_tokens == 64 for r in stream)
+
+    def test_needs_a_request(self):
+        with pytest.raises(ConfigError):
+            FixedArrivals(requests=0)

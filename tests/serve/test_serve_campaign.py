@@ -1,0 +1,112 @@
+"""The ``serve`` campaign kind: sweeps, exact caching, result columns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, WorkloadSpec
+from repro.campaign.store import JsonlStore
+from repro.campaign.executor import IsolatingExecutor
+from repro.errors import ConfigError
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def serve_spec() -> CampaignSpec:
+    """An arrival-rate × system serving sweep (acceptance scenario)."""
+    return CampaignSpec(
+        name="serve-sweep",
+        systems=("A100", "GH200"),
+        workloads=(
+            WorkloadSpec.of_kind(
+                "serve",
+                axes={"arrival_rate": (8, 16)},
+                fixed={
+                    "requests": "12",
+                    "generate_tokens": "24",
+                    "prompt_tokens": "128",
+                    "slo_ttft_ms": "500",
+                },
+            ),
+        ),
+    )
+
+
+class TestSpec:
+    def test_kind_expands_to_llm_serve_operation(self, serve_spec):
+        workload = serve_spec.workloads[0]
+        assert workload.operations[0].startswith("llm_serve --system $system")
+        assert workload.fixed["batch_cap"] == "16"  # default survives
+        assert workload.fixed["requests"] == "12"  # override applied
+        assert workload.axes["arrival_rate"] == ("8", "16")
+        assert serve_spec.size == 4
+
+    def test_axis_on_defaulted_parameter_drops_default(self):
+        workload = WorkloadSpec.of_kind("serve", axes={"batch_cap": (4, 32)})
+        assert "batch_cap" not in workload.fixed
+        assert workload.axes["batch_cap"] == ("4", "32")
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def cold_and_warm(self, serve_spec, tmp_path_factory):
+        runner = CampaignRunner(
+            JsonlStore(tmp_path_factory.mktemp("serve") / "store.jsonl"),
+            IsolatingExecutor(),
+        )
+        cold = runner.run(serve_spec)
+        warm = runner.run(serve_spec)
+        return runner, cold, warm
+
+    def test_cold_run_executes_all(self, cold_and_warm, serve_spec):
+        _, cold, _ = cold_and_warm
+        assert (cold.total, cold.executed, cold.failed) == (4, 4, 0)
+
+    def test_rows_carry_serving_outputs(self, cold_and_warm, serve_spec):
+        runner, _, _ = cold_and_warm
+        for row in runner.results(serve_spec):
+            assert row.outputs["status"] == "OK"
+            assert row.outputs["completed_requests"] == 12
+            assert row.outputs["ttft_p99_s"] > 0
+            assert row.outputs["tokens_per_wh"] > 0
+            assert row.outputs["energy_per_device_wh"] > 0
+            assert 0 <= row.outputs["slo_attainment"] <= 1
+
+    def test_higher_rate_never_lowers_queueing(self, cold_and_warm, serve_spec):
+        runner, _, _ = cold_and_warm
+        for system in serve_spec.systems:
+            by_rate = {
+                row.parameters["arrival_rate"]: row.outputs["queue_delay_mean_s"]
+                for row in runner.results(serve_spec)
+                if row.parameters["system"] == system
+            }
+            assert by_rate["16"] >= by_rate["8"]
+
+    def test_rerun_is_exact_cache_hits(self, cold_and_warm):
+        _, cold, warm = cold_and_warm
+        assert (warm.executed, warm.cached) == (0, 4)
+        assert [r.canonical() for r in warm.rows] == [
+            r.canonical() for r in cold.rows
+        ]
+
+
+class TestRegistryOperation:
+    def test_impossible_model_rejected_before_serving(self):
+        from repro.core.registry import build_operation_registry
+        from repro.jube.steps import Step, Workpackage
+
+        registry = build_operation_registry()
+        wp = Workpackage(
+            step=Step(name="serve", operations=("llm_serve",)),
+            parameters={},
+            index=0,
+        )
+        with pytest.raises(ConfigError):
+            # 175B weights exceed the device: the scheduler has no KV
+            # budget, rejected before any serving happens.
+            registry.dispatch(
+                "llm_serve --system A100 --model 175B --rate 4 --requests 2",
+                wp,
+            )

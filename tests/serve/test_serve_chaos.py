@@ -1,0 +1,87 @@
+"""Fault injection on the serving path, incl. the zero-energy regression.
+
+A negative ``sensor_spike`` large enough to clamp every power sample to
+0 W produces a run with valid samples but exactly zero integrated
+energy — the scenario that used to crash ``InferenceEngine.serve`` with
+a ``ZeroDivisionError`` computing tokens/Wh.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.inference import InferenceEngine, InferenceWorkload
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, activate_injection
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+from repro.serve import PoissonArrivals, ServingSimulator
+
+pytestmark = pytest.mark.chaos
+
+ARRIVALS = PoissonArrivals(
+    rate_per_s=10.0, requests=10, prompt_tokens=128, generate_tokens=16, seed=0
+)
+
+
+def scope_of(*faults, seed=0):
+    plan = FaultPlan(name="serve-chaos", seed=seed, faults=tuple(faults))
+    return FaultInjector(plan).scope_for("serve", 0, {"system": "GH200"})
+
+
+@pytest.fixture
+def engine():
+    return InferenceEngine(get_system("GH200"), get_gpt_preset("800M"))
+
+
+ZERO_POWER = FaultSpec(kind="sensor_spike", magnitude=-1e9)
+
+
+class TestZeroEnergyRegression:
+    def test_static_serve_survives_zero_energy(self, engine):
+        scope = scope_of(ZERO_POWER)
+        with activate_injection(scope):
+            result = engine.serve(InferenceWorkload(batch_size=4), requests=2)
+        assert result.energy_per_device_wh == 0.0
+        assert result.extra["tokens_per_wh"] == 0.0  # not ZeroDivisionError
+        assert result.throughput > 0  # timing unaffected
+
+    def test_simulator_survives_zero_energy(self, engine):
+        scope = scope_of(ZERO_POWER)
+        with activate_injection(scope):
+            served = ServingSimulator(engine, batch_cap=4).run(ARRIVALS)
+        assert served.summary.completed == 10
+        assert served.summary.energy_wh == 0.0
+        assert served.summary.tokens_per_wh == 0.0
+        assert all(r.energy_wh == 0.0 for r in served.records)
+        assert served.summary.ttft.p99 > 0  # latency results intact
+
+
+class TestServingSeams:
+    def test_straggler_stretches_latency_deterministically(self, engine):
+        clean = ServingSimulator(engine, batch_cap=4).run(ARRIVALS)
+        spec = FaultSpec(kind="straggler", magnitude=3.0)
+        with activate_injection(scope_of(spec)):
+            slow_a = ServingSimulator(engine, batch_cap=4).run(ARRIVALS)
+        with activate_injection(scope_of(spec)):
+            slow_b = ServingSimulator(engine, batch_cap=4).run(ARRIVALS)
+        assert slow_a.summary.e2e.p50 > clean.summary.e2e.p50
+        assert slow_a.records_json() == slow_b.records_json()
+
+    def test_injected_oom_propagates_like_training(self, engine):
+        from repro.errors import OutOfMemoryError
+
+        scope = scope_of(FaultSpec(kind="oom", at_step=3))
+        with activate_injection(scope):
+            with pytest.raises(OutOfMemoryError):
+                ServingSimulator(engine, batch_cap=4).run(ARRIVALS)
+
+    def test_dropout_window_degrades_but_completes(self, engine):
+        scope = scope_of(
+            # Window closes before the run ends: jpwr's end-of-run
+            # energy read must land on a healthy sensor.
+            FaultSpec(kind="sensor_dropout", at_time_s=0.05, duration_s=0.3)
+        )
+        with activate_injection(scope):
+            served = ServingSimulator(engine, batch_cap=4).run(ARRIVALS)
+        assert served.summary.completed == 10
+        assert scope.provenance()[0]["kind"] == "sensor_dropout"

@@ -1,0 +1,75 @@
+"""The ``caraml serve`` subcommand: output, records file, determinism."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.cli import run as cli_run
+
+pytestmark = pytest.mark.serve
+
+BASE_ARGS = [
+    "serve",
+    "--system",
+    "GH200",
+    "--rate",
+    "10",
+    "--requests",
+    "12",
+    "--batch-cap",
+    "8",
+    "--generate-tokens",
+    "24",
+    "--seed",
+    "3",
+]
+
+
+def run_cli(args) -> tuple[int, str]:
+    out = io.StringIO()
+    code = cli_run(args, stdout=out)
+    return code, out.getvalue()
+
+
+class TestServeCommand:
+    def test_prints_result_row(self):
+        code, text = run_cli(BASE_ARGS)
+        assert code == 0
+        assert "GH200" in text
+        assert "llm-serve-800M" in text
+
+    def test_writes_deterministic_records_json(self, tmp_path):
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        code_a, _ = run_cli(BASE_ARGS + ["--requests-json", str(path_a)])
+        code_b, _ = run_cli(BASE_ARGS + ["--requests-json", str(path_b)])
+        assert code_a == 0 and code_b == 0
+        assert path_a.read_bytes() == path_b.read_bytes()
+        records = json.loads(path_a.read_text())
+        assert len(records) == 12
+        assert all(r["ttft_s"] > 0 for r in records)
+
+    def test_seed_changes_records(self, tmp_path):
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        run_cli(BASE_ARGS + ["--requests-json", str(path_a)])
+        other = [a if a != "3" else "4" for a in BASE_ARGS]
+        run_cli(other + ["--requests-json", str(path_b)])
+        assert path_a.read_bytes() != path_b.read_bytes()
+
+    def test_slo_flags_accepted(self):
+        code, text = run_cli(BASE_ARGS + ["--slo-ttft-ms", "500", "--slo-e2e-ms", "5000"])
+        assert code == 0
+
+    def test_trace_export_validates(self, tmp_path):
+        trace = tmp_path / "serve.json"
+        code, _ = run_cli(BASE_ARGS + ["--trace", str(trace)])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"] if isinstance(doc, dict) else doc
+        names = {e.get("name") for e in events}
+        assert "serve/run" in names
+        assert "serve/request" in names

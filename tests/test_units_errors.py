@@ -28,8 +28,11 @@ class TestUnits:
         assert units.per_wh(10.0, 36.0) == pytest.approx(1000.0)
 
     def test_per_wh_rejects_nonpositive_power(self):
-        with pytest.raises(ValueError):
+        # Part of the repro.errors taxonomy, not a bare ValueError.
+        with pytest.raises(errors.ConfigError):
             units.per_wh(10.0, 0.0)
+        with pytest.raises(errors.ReproError):
+            units.per_wh(10.0, -5.0)
 
     def test_version_is_semver(self):
         parts = __version__.split(".")
