@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-campaign figures report validate campaign-demo trace-demo chaos-demo serve-demo clean
+.PHONY: install test bench bench-campaign bench-serve figures report validate campaign-demo trace-demo chaos-demo serve-demo cluster-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -17,6 +17,11 @@ bench:
 # BENCH_campaign.json. QUICK=1 runs the small CI sizes.
 bench-campaign:
 	$(PYTHON) benchmarks/bench_campaign_scale.py $(if $(QUICK),--quick)
+
+# Cluster serving scaling: 1 vs 4 vs 8 replicas at a fixed arrival
+# rate, writes BENCH_serve.json. QUICK=1 runs the small CI sizes.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve_cluster.py $(if $(QUICK),--quick)
 
 figures:
 	$(PYTHON) examples/render_figures.py figures
@@ -39,6 +44,9 @@ chaos-demo:
 serve-demo:
 	$(PYTHON) examples/serve_demo.py
 
+cluster-demo:
+	$(PYTHON) examples/cluster_demo.py cluster_demo_trace.json
+
 clean:
-	rm -rf figures caraml_report.md trace_demo.json benchmarks/output .pytest_cache
+	rm -rf figures caraml_report.md trace_demo.json cluster_demo_trace.json benchmarks/output .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,139 @@
+"""Cluster serving scaling: replica counts at a fixed arrival rate.
+
+The serving analogue of the paper's scalability plots: the same seeded
+request stream is served on 1, 4 and 8 unified replicas, so the
+figures of merit show where fleet scaling pays and where it stops —
+goodput and tail latency improve with replicas until arrival rate is
+the bottleneck, while the cluster-honest Wh/request *rises* with
+overprovisioning because idle replicas keep drawing idle power.
+
+Also times the simulator itself (wall seconds per simulated request)
+at each fleet size, holding the event loop to a simple efficiency
+target: simulating one request must stay under 50 ms of wall time even
+at the largest fleet, so cluster campaign sweeps stay interactive.
+
+Run directly::
+
+    python benchmarks/bench_serve_cluster.py            # 256 requests
+    python benchmarks/bench_serve_cluster.py --quick    # 64 (CI)
+
+Writes ``BENCH_serve.json`` (repo root by default) with per-fleet-size
+latency/goodput/energy figures and the wall-time-per-request numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.inference import InferenceEngine
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+from repro.serve import PoissonArrivals
+from repro.serve.cluster import ClusterSimulator
+
+REPLICA_COUNTS = (1, 4, 8)
+DEFAULT_REQUESTS = 256
+QUICK_REQUESTS = 64
+ARRIVAL_RATE_PER_S = 24.0
+WALL_MS_PER_REQUEST_TARGET = 50.0
+
+
+def run_bench(requests: int) -> dict:
+    """One row per fleet size on the shared arrival stream."""
+    engine = InferenceEngine(get_system("GH200"), get_gpt_preset("800M"))
+    arrivals = PoissonArrivals(
+        rate_per_s=ARRIVAL_RATE_PER_S,
+        requests=requests,
+        prompt_tokens=512,
+        generate_tokens=96,
+        length_spread=0.25,
+        seed=0,
+    )
+    rows = []
+    for replicas in REPLICA_COUNTS:
+        simulator = ClusterSimulator(
+            engine, replicas=replicas, router="least-loaded", batch_cap=16
+        )
+        t0 = time.perf_counter()
+        result = simulator.run(arrivals)
+        wall_s = time.perf_counter() - t0
+        s = result.summary
+        rows.append(
+            {
+                "replicas": replicas,
+                "completed": s.serve.completed,
+                "elapsed_sim_s": round(s.serve.elapsed_s, 3),
+                "throughput_tok_s": round(s.serve.throughput_tokens_per_s, 1),
+                "ttft_p99_ms": round(s.serve.ttft.p99 * 1e3, 2),
+                "e2e_p99_s": round(s.serve.e2e.p99, 4),
+                "load_imbalance": round(s.load_imbalance, 3),
+                "wh_per_request": round(s.energy_per_request_wh, 5),
+                "idle_energy_wh": round(s.idle_energy_wh, 5),
+                "wall_seconds": round(wall_s, 4),
+                "wall_ms_per_request": round(wall_s * 1e3 / requests, 3),
+            }
+        )
+        print(
+            f"  {replicas} replica(s): e2e p99 {rows[-1]['e2e_p99_s']}s, "
+            f"{rows[-1]['wh_per_request']} Wh/req, "
+            f"{rows[-1]['wall_ms_per_request']} wall-ms/req"
+        )
+    worst_wall = max(r["wall_ms_per_request"] for r in rows)
+    return {
+        "bench": "serve_cluster",
+        "description": (
+            "multi-replica serving at a fixed arrival rate: goodput, tail "
+            "latency and cluster-honest energy vs fleet size"
+        ),
+        "arrival_rate_per_s": ARRIVAL_RATE_PER_S,
+        "requests": requests,
+        "results": rows,
+        "headline": {
+            "wall_ms_per_request": {
+                "worst": worst_wall,
+                "target": WALL_MS_PER_REQUEST_TARGET,
+                "met": worst_wall <= WALL_MS_PER_REQUEST_TARGET,
+            }
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"{QUICK_REQUESTS} requests for CI smoke runs",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None,
+        help="explicit request count for the stream",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_serve.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    requests = args.requests or (QUICK_REQUESTS if args.quick else DEFAULT_REQUESTS)
+    report = run_bench(requests)
+    report["quick"] = bool(args.quick or args.requests)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    item = report["headline"]["wall_ms_per_request"]
+    status = "ok" if item["met"] else "ABOVE TARGET"
+    print(
+        f"  wall_ms_per_request: {item['worst']} "
+        f"(target <= {item['target']}) [{status}]"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Serving-cluster demo: routers, disaggregation, SLO autoscaling.
+
+Serves session traffic (shared prompt prefixes) against a fleet of
+GH200 replicas and walks through the three cluster shapes:
+
+1. a **static unified cluster** across the four router policies,
+   comparing goodput, load imbalance and prefix-cache hit rates,
+2. a **disaggregated** prefill/decode deployment paying the KV-handoff
+   latency and energy over the interconnect,
+3. an **autoscaled** cluster under bursty traffic, where Wh/request
+   beats static max-replica provisioning because idle replicas despawn.
+
+Also records a Perfetto trace of the autoscaled run when a trace path
+is given (e.g. ``python examples/cluster_demo.py cluster_trace.json``),
+and checks byte-determinism of the per-request records.  Exits non-zero
+if any of the demo's invariants fail, so CI can use it as a smoke test.
+"""
+
+# Make the in-repo package importable regardless of the working directory.
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine.inference import InferenceEngine
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+from repro.obs.sinks import sink_for_path
+from repro.obs.trace import Tracer, activate
+from repro.serve import BurstArrivals, SessionArrivals, SLOPolicy
+from repro.serve.cluster import (
+    AutoscalePolicy,
+    ClusterSimulator,
+    DisaggregationSpec,
+    ROUTER_POLICIES,
+)
+from repro.simcluster.clock import VirtualClock
+
+SESSIONS = SessionArrivals(
+    rate_per_s=8.0,
+    requests=48,
+    sessions=4,
+    prompt_tokens=512,
+    prefix_tokens=384,
+    generate_tokens=96,
+    seed=0,
+)
+
+BURSTS = BurstArrivals(bursts=((0.0, 12), (30.0, 24)), generate_tokens=96)
+
+SLO = SLOPolicy(ttft_s=0.5, e2e_s=5.0)
+
+
+def main() -> int:
+    engine = InferenceEngine(get_system("GH200"), get_gpt_preset("800M"))
+    failures = 0
+
+    print("=== router policies (3 replicas, session traffic) ===\n")
+    header = (
+        f"{'router':<20} {'goodput t/s':>12} {'imbalance':>10} "
+        f"{'prefix hits':>12} {'mWh/req':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    by_router = {}
+    for router in sorted(ROUTER_POLICIES):
+        result = ClusterSimulator(
+            engine, replicas=3, router=router, batch_cap=16, slo=SLO
+        ).run(SESSIONS)
+        s = result.summary
+        by_router[router] = s
+        print(
+            f"{router:<20} {s.serve.goodput_tokens_per_s:>12.1f} "
+            f"{s.load_imbalance:>10.3f} {s.prefix_hit_rate:>11.1%} "
+            f"{s.energy_per_request_wh * 1e3:>9.3f}"
+        )
+    if (
+        by_router["prefix-cache-aware"].serve.goodput_tokens_per_s
+        < by_router["round-robin"].serve.goodput_tokens_per_s
+    ):
+        print("FAIL: prefix-cache-aware goodput below round-robin")
+        failures += 1
+
+    print("\n=== disaggregated prefill/decode (2 prefill + 2 decode) ===\n")
+    disagg = ClusterSimulator(
+        engine,
+        router="round-robin",
+        batch_cap=16,
+        slo=SLO,
+        disaggregation=DisaggregationSpec(2, 2),
+    ).run(SESSIONS)
+    d = disagg.summary
+    print(f"completed:        {d.serve.completed}/{d.serve.offered}")
+    print(f"KV handoffs:      {d.transfers} "
+          f"({d.transfer_s_total * 1e3:.2f} ms, "
+          f"{d.transfer_energy_wh * 1e3:.4f} mWh total)")
+    print(f"energy/request:   {d.energy_per_request_wh * 1e3:.3f} mWh")
+    if d.transfers != d.serve.completed:
+        print("FAIL: expected one KV handoff per completed request")
+        failures += 1
+
+    print("\n=== autoscaling under bursty traffic (1..4 replicas) ===\n")
+    autoscaled = ClusterSimulator(
+        engine,
+        replicas=4,
+        router="least-loaded",
+        batch_cap=16,
+        slo=SLO,
+        autoscale=AutoscalePolicy(min_replicas=1),
+    )
+    static = ClusterSimulator(
+        engine, replicas=4, router="least-loaded", batch_cap=16, slo=SLO
+    )
+    trace_path = sys.argv[1] if len(sys.argv) > 1 else None
+    if trace_path:
+        tracer = Tracer(clock=VirtualClock(), sinks=[sink_for_path(trace_path)])
+        with activate(tracer):
+            auto_result = autoscaled.run(BURSTS)
+        tracer.close()
+        print(f"trace:            {trace_path}")
+    else:
+        auto_result = autoscaled.run(BURSTS)
+    static_result = static.run(BURSTS)
+    a, st = auto_result.summary, static_result.summary
+    print(f"spin-ups:         {a.spinups}  (replica-seconds "
+          f"{a.replica_seconds:.1f} vs static {st.replica_seconds:.1f})")
+    print(f"autoscaled:       {a.energy_per_request_wh * 1e3:.3f} mWh/request")
+    print(f"static 4-replica: {st.energy_per_request_wh * 1e3:.3f} mWh/request")
+    if a.energy_per_request_wh > st.energy_per_request_wh:
+        print("FAIL: autoscaling did not beat static provisioning on energy")
+        failures += 1
+
+    again = ClusterSimulator(
+        engine, replicas=3, router="prefix-cache-aware", batch_cap=16, slo=SLO
+    ).run(SESSIONS)
+    first = ClusterSimulator(
+        engine, replicas=3, router="prefix-cache-aware", batch_cap=16, slo=SLO
+    ).run(SESSIONS)
+    match = again.records_json() == first.records_json()
+    print(f"\nre-run with the same seed byte-identical: {match}")
+    if not match:
+        failures += 1
+
+    if failures:
+        print(f"\n{failures} invariant(s) FAILED")
+        return 1
+    print("\nall cluster-demo invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

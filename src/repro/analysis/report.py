@@ -19,7 +19,12 @@ from repro.analysis.figures import (
 )
 from repro.analysis.heatmap import heatmap_grid_for
 from repro.analysis.render import render_all
-from repro.analysis.serving import ServingScenario, serving_rows
+from repro.analysis.serving import (
+    ClusterScenario,
+    ServingScenario,
+    cluster_rows,
+    serving_rows,
+)
 from repro.analysis.tables import (
     table2_ipu_gpt,
     table3_ipu_resnet,
@@ -71,6 +76,17 @@ def build_report(*, include_figures: bool = False, figure_dir: str = "figures") 
         f"e2e<={scenario.slo_e2e_s:g}s).\n"
     )
     sections.append(_md_table(serving_rows(scenario)))
+
+    cluster = ClusterScenario()
+    sections.append("\n## Serving cluster: routers, replicas, fleet energy\n")
+    sections.append(
+        f"Session traffic on {cluster.system} ({cluster.requests} requests "
+        f"at {cluster.rate_per_s:g} req/s across {cluster.sessions} "
+        f"sessions, {cluster.prefix_tokens}/{cluster.prompt_tokens} shared "
+        f"prefix tokens). Wh/request is cluster-honest: idle and spin-up "
+        f"energy included.\n"
+    )
+    sections.append(_md_table(cluster_rows(cluster)))
 
     sections.append("\n## Figure 4: throughput heatmaps\n")
     for tag in SYSTEM_TAGS:

@@ -6,6 +6,11 @@ simulator, and one row per system reports TTFT/E2E percentiles,
 goodput, and the CARAML energy metrics (Wh per request, tokens/Wh).
 Identical seeds make the table fully deterministic, so it can regenerate
 inside the report without perturbing claim checks.
+
+:func:`cluster_rows` adds the fleet view: the same session-heavy stream
+served on multi-replica clusters across router policies and replica
+counts, reporting goodput, SLO attainment, load imbalance and the
+cluster-honest Wh/request (idle and spin-up energy included).
 """
 
 from __future__ import annotations
@@ -16,7 +21,8 @@ from repro.engine.inference import InferenceEngine
 from repro.hardware.accelerator import AcceleratorKind
 from repro.hardware.systems import SYSTEM_TAGS, get_system
 from repro.models.transformer import get_gpt_preset
-from repro.serve import PoissonArrivals, ServingSimulator, SLOPolicy
+from repro.serve import PoissonArrivals, SessionArrivals, ServingSimulator, SLOPolicy
+from repro.serve.cluster import ClusterSimulator
 
 #: Systems the serving table covers (every non-IPU Table I system).
 SERVING_SYSTEM_TAGS = tuple(
@@ -85,4 +91,97 @@ def serving_rows(
                 "tokens_per_wh": round(s.tokens_per_wh, 1),
             }
         )
+    # Stable alphabetical order: rows stay comparable across runs no
+    # matter how the caller ordered (or filtered) the system axis.
+    rows.sort(key=lambda row: row["system"])
+    return rows
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """The session-heavy workload of the cluster comparison table.
+
+    Session traffic (shared prompt prefixes, a few concurrent
+    conversations) is the regime where router policy actually matters:
+    a prefix-cache-aware router keeps sessions sticky and skips
+    re-prefilling the shared prefix, which shows up in the goodput and
+    Wh/request columns.
+    """
+
+    system: str = "GH200"
+    model: str = "800M"
+    rate_per_s: float = 8.0
+    requests: int = 48
+    sessions: int = 4
+    prompt_tokens: int = 512
+    prefix_tokens: int = 384
+    generate_tokens: int = 96
+    seed: int = 0
+    batch_cap: int = 16
+    slo_ttft_s: float = 0.5
+    slo_e2e_s: float = 5.0
+    replica_counts: tuple[int, ...] = (1, 2, 4)
+    routers: tuple[str, ...] = (
+        "round-robin",
+        "least-loaded",
+        "session-affinity",
+        "prefix-cache-aware",
+    )
+
+    def arrivals(self) -> SessionArrivals:
+        """The seeded session-traffic stream of the scenario."""
+        return SessionArrivals(
+            rate_per_s=self.rate_per_s,
+            requests=self.requests,
+            sessions=self.sessions,
+            prompt_tokens=self.prompt_tokens,
+            prefix_tokens=self.prefix_tokens,
+            generate_tokens=self.generate_tokens,
+            seed=self.seed,
+        )
+
+    def slo(self) -> SLOPolicy:
+        """The latency objectives of the scenario."""
+        return SLOPolicy(ttft_s=self.slo_ttft_s, e2e_s=self.slo_e2e_s)
+
+
+def cluster_rows(
+    scenario: ClusterScenario | None = None,
+) -> list[dict[str, object]]:
+    """One row per (replicas, router) for the shared cluster scenario.
+
+    Rows are ordered by replica count then router name, so the table is
+    stable across runs and easy to scan column-wise: scaling behaviour
+    down the replica axis, policy behaviour across routers.
+    """
+    scenario = scenario if scenario is not None else ClusterScenario()
+    engine = InferenceEngine(
+        get_system(scenario.system), get_gpt_preset(scenario.model)
+    )
+    rows: list[dict[str, object]] = []
+    for replicas in scenario.replica_counts:
+        for router in sorted(scenario.routers):
+            simulator = ClusterSimulator(
+                engine,
+                replicas=replicas,
+                router=router,
+                batch_cap=scenario.batch_cap,
+                slo=scenario.slo(),
+            )
+            result = simulator.run(scenario.arrivals())
+            s = result.summary
+            rows.append(
+                {
+                    "replicas": replicas,
+                    "router": router,
+                    "completed": s.serve.completed,
+                    "goodput_tok_s": round(s.serve.goodput_tokens_per_s, 1),
+                    "slo_attainment": round(s.serve.slo_attainment, 4),
+                    "ttft_p99_ms": round(s.serve.ttft.p99 * 1e3, 2),
+                    "load_imbalance": round(s.load_imbalance, 3),
+                    "prefix_hit_rate": round(s.prefix_hit_rate, 3),
+                    "wh_per_request": round(s.energy_per_request_wh, 5),
+                    "idle_wh": round(s.idle_energy_wh, 5),
+                }
+            )
     return rows

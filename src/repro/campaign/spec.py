@@ -6,7 +6,8 @@ YAML file) and compiles it onto the existing JUBE machinery: each
 workload becomes a step with one parameter set whose multi-valued
 parameters drive JUBE's Cartesian expansion into workpackages.
 
-Built-in workload kinds (``llm``, ``resnet``, ``serve``) expand to the
+Built-in workload kinds (``llm``, ``resnet``, ``serve``,
+``serve_cluster``) expand to the
 same operation templates the shipped benchmark scripts use, so a
 three-line spec reproduces a Figure-2-style sweep (or an arrival-rate ×
 system serving sweep); arbitrary operation templates cover everything
@@ -81,6 +82,43 @@ BUILTIN_KINDS: dict[str, tuple[tuple[str, ...], dict[str, str]]] = {
             "slo_e2e_ms": "0",
         },
     ),
+    "serve_cluster": (
+        (
+            "llm_serve_cluster --system $system --model $model_size "
+            "--rate $arrival_rate --requests $requests "
+            "--replicas $replicas --router $router "
+            "--batch-cap $batch_cap --queue-cap $queue_capacity "
+            "--prompt-tokens $prompt_tokens "
+            "--generate-tokens $generate_tokens --spread $length_spread "
+            "--sessions $sessions --prefix-tokens $prefix_tokens "
+            "--autoscale $autoscale --min-replicas $min_replicas "
+            "--prefill-replicas $prefill_replicas "
+            "--decode-replicas $decode_replicas "
+            "--seed $arrival_seed --slo-ttft-ms $slo_ttft_ms "
+            "--slo-e2e-ms $slo_e2e_ms",
+        ),
+        {
+            "model_size": "800M",
+            "arrival_rate": "8",
+            "requests": "32",
+            "replicas": "2",
+            "router": "round-robin",
+            "batch_cap": "16",
+            "queue_capacity": "256",
+            "prompt_tokens": "512",
+            "generate_tokens": "128",
+            "length_spread": "0",
+            "sessions": "0",
+            "prefix_tokens": "384",
+            "autoscale": "false",
+            "min_replicas": "1",
+            "prefill_replicas": "0",
+            "decode_replicas": "0",
+            "arrival_seed": "0",
+            "slo_ttft_ms": "0",
+            "slo_e2e_ms": "0",
+        },
+    ),
 }
 
 
@@ -142,7 +180,7 @@ class WorkloadSpec:
         depends=(),
         columns=(),
     ) -> "WorkloadSpec":
-        """A built-in workload (``llm``, ``resnet``, ``serve``) with overrides.
+        """A built-in workload from :data:`BUILTIN_KINDS` with overrides.
 
         ``fixed`` entries override the kind's defaults; an axis on a
         defaulted parameter replaces the default entirely.

@@ -121,6 +121,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional uniform jitter on per-request lengths",
     )
     serve.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    from repro.serve.cluster.router import DEFAULT_ROUTER_POLICY, ROUTER_POLICIES
+
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="engine replicas; >1 serves on the multi-replica cluster",
+    )
+    serve.add_argument(
+        "--router",
+        default=DEFAULT_ROUTER_POLICY,
+        choices=sorted(ROUTER_POLICIES),
+        help="cluster routing policy (with --replicas > 1)",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=0,
+        help="cluster runs: >0 generates session traffic with shared "
+        "prompt prefixes instead of independent Poisson arrivals",
+    )
+    serve.add_argument(
+        "--prefix-tokens",
+        type=int,
+        default=384,
+        help="shared prefix length of session traffic (with --sessions)",
+    )
+    serve.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="scale replicas on queue depth between --min-replicas and "
+        "--replicas (spin-up delay/energy and idle power modelled)",
+    )
+    serve.add_argument(
+        "--min-replicas",
+        type=int,
+        default=1,
+        help="autoscaler floor (with --autoscale)",
+    )
+    serve.add_argument(
+        "--prefill-replicas",
+        type=int,
+        default=0,
+        help="disaggregated cluster: prefill-pool size (with "
+        "--decode-replicas; overrides --replicas)",
+    )
+    serve.add_argument(
+        "--decode-replicas",
+        type=int,
+        default=0,
+        help="disaggregated cluster: decode-pool size",
+    )
     serve.add_argument(
         "--slo-ttft-ms", type=float, default=0.0, help="TTFT SLO (0 disables)"
     )
@@ -440,27 +492,77 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
         from repro.engine.inference import InferenceEngine
         from repro.faults import activate_injection
         from repro.models.transformer import get_gpt_preset
-        from repro.serve import PoissonArrivals, ServingSimulator, SLOPolicy
+        from repro.serve import (
+            PoissonArrivals,
+            ServingSimulator,
+            SessionArrivals,
+            SLOPolicy,
+        )
 
         scope = _fault_scope(args, "serve")
         engine = InferenceEngine(get_system(args.system), get_gpt_preset(args.model))
-        simulator = ServingSimulator(
-            engine,
-            batch_cap=args.batch_cap,
-            queue_capacity=args.queue_cap,
-            slo=SLOPolicy(
-                ttft_s=args.slo_ttft_ms / 1e3 if args.slo_ttft_ms > 0 else None,
-                e2e_s=args.slo_e2e_ms / 1e3 if args.slo_e2e_ms > 0 else None,
-            ),
+        slo = SLOPolicy(
+            ttft_s=args.slo_ttft_ms / 1e3 if args.slo_ttft_ms > 0 else None,
+            e2e_s=args.slo_e2e_ms / 1e3 if args.slo_e2e_ms > 0 else None,
         )
-        arrivals = PoissonArrivals(
-            rate_per_s=args.rate,
-            requests=args.requests,
-            prompt_tokens=args.prompt_tokens,
-            generate_tokens=args.generate_tokens,
-            length_spread=args.spread,
-            seed=args.seed,
+        clustered = (
+            args.replicas > 1
+            or args.autoscale
+            or args.prefill_replicas > 0
+            or args.decode_replicas > 0
         )
+        if args.sessions > 0:
+            arrivals = SessionArrivals(
+                rate_per_s=args.rate,
+                requests=args.requests,
+                sessions=args.sessions,
+                prompt_tokens=args.prompt_tokens,
+                prefix_tokens=args.prefix_tokens,
+                generate_tokens=args.generate_tokens,
+                seed=args.seed,
+            )
+        else:
+            arrivals = PoissonArrivals(
+                rate_per_s=args.rate,
+                requests=args.requests,
+                prompt_tokens=args.prompt_tokens,
+                generate_tokens=args.generate_tokens,
+                length_spread=args.spread,
+                seed=args.seed,
+            )
+        if clustered:
+            from repro.serve.cluster import (
+                AutoscalePolicy,
+                ClusterSimulator,
+                DisaggregationSpec,
+            )
+
+            disagg = None
+            if args.prefill_replicas > 0 or args.decode_replicas > 0:
+                disagg = DisaggregationSpec(
+                    args.prefill_replicas, args.decode_replicas
+                )
+            simulator = ClusterSimulator(
+                engine,
+                replicas=args.replicas,
+                router=args.router,
+                batch_cap=args.batch_cap,
+                queue_capacity=args.queue_cap,
+                slo=slo,
+                autoscale=(
+                    AutoscalePolicy(min_replicas=args.min_replicas)
+                    if args.autoscale
+                    else None
+                ),
+                disaggregation=disagg,
+            )
+        else:
+            simulator = ServingSimulator(
+                engine,
+                batch_cap=args.batch_cap,
+                queue_capacity=args.queue_cap,
+                slo=slo,
+            )
         with _maybe_traced(args.trace, out), activate_injection(scope):
             served = simulator.run(arrivals)
         _print_result_row(served.train, out)

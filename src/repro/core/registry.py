@@ -172,6 +172,93 @@ def build_operation_registry() -> OperationRegistry:
         out["status"] = "OK"
         return out
 
+    @registry.register("llm_serve_cluster")
+    def llm_serve_cluster(args: dict[str, str], wp: Workpackage):
+        """Serve a request stream on a multi-replica cluster.
+
+        ``--sessions N`` (N > 0) switches the arrival process to
+        session traffic with shared prompt prefixes (what the
+        prefix-cache-aware router exploits); ``--autoscale true``
+        starts at ``--min-replicas`` and scales on queue depth;
+        ``--prefill-replicas``/``--decode-replicas`` build a
+        disaggregated cluster instead of ``--replicas`` unified ones.
+        """
+        from repro.engine.inference import InferenceEngine
+        from repro.models.transformer import get_gpt_preset
+        from repro.serve import PoissonArrivals, SessionArrivals, SLOPolicy
+        from repro.serve.cluster import (
+            AutoscalePolicy,
+            ClusterSimulator,
+            DisaggregationSpec,
+        )
+
+        system = _require(args, "system")
+        slo_ttft_ms = float(args.get("slo-ttft-ms", "0"))
+        slo_e2e_ms = float(args.get("slo-e2e-ms", "0"))
+        engine = InferenceEngine(
+            get_system(system), get_gpt_preset(args.get("model", "800M"))
+        )
+        prefill = int(args.get("prefill-replicas", "0"))
+        decode = int(args.get("decode-replicas", "0"))
+        disagg = (
+            DisaggregationSpec(prefill, decode) if prefill or decode else None
+        )
+        autoscale = (
+            AutoscalePolicy(min_replicas=int(args.get("min-replicas", "1")))
+            if args.get("autoscale", "false") == "true"
+            else None
+        )
+        simulator = ClusterSimulator(
+            engine,
+            replicas=int(args.get("replicas", "2")),
+            router=args.get("router", "round-robin"),
+            batch_cap=int(args.get("batch-cap", "16")),
+            queue_capacity=int(args.get("queue-cap", "256")),
+            slo=SLOPolicy(
+                ttft_s=slo_ttft_ms / 1e3 if slo_ttft_ms > 0 else None,
+                e2e_s=slo_e2e_ms / 1e3 if slo_e2e_ms > 0 else None,
+            ),
+            autoscale=autoscale,
+            disaggregation=disagg,
+        )
+        sessions = int(args.get("sessions", "0"))
+        if sessions > 0:
+            arrivals = SessionArrivals(
+                rate_per_s=float(_require(args, "rate")),
+                requests=int(args.get("requests", "32")),
+                sessions=sessions,
+                prompt_tokens=int(args.get("prompt-tokens", "512")),
+                prefix_tokens=int(args.get("prefix-tokens", "384")),
+                generate_tokens=int(args.get("generate-tokens", "128")),
+                seed=int(args.get("seed", "0")),
+            )
+        else:
+            arrivals = PoissonArrivals(
+                rate_per_s=float(_require(args, "rate")),
+                requests=int(args.get("requests", "32")),
+                prompt_tokens=int(args.get("prompt-tokens", "512")),
+                generate_tokens=int(args.get("generate-tokens", "128")),
+                length_spread=float(args.get("spread", "0")),
+                seed=int(args.get("seed", "0")),
+            )
+        served = simulator.run(arrivals)
+        summary = served.summary
+        wp.log(
+            f"cluster served {summary.serve.completed}/{summary.serve.offered} "
+            f"requests on {summary.replicas_max} replicas ({summary.router}) | "
+            f"goodput tokens per second: "
+            f"{summary.serve.goodput_tokens_per_s:.1f} | "
+            f"load imbalance: {summary.load_imbalance:.3f}"
+        )
+        out = {k: round(v, 6) for k, v in summary.to_dict().items()}
+        out["router"] = summary.router
+        out["energy_per_device_wh"] = round(
+            served.train.energy_per_device_wh, 6
+        )
+        out["devices"] = summary.replicas_max
+        out["status"] = "OK"
+        return out
+
     @registry.register("analyse")
     def analyse_op(args: dict[str, str], wp: Workpackage):
         """Apply named pattern sets to the captured step log.

@@ -7,12 +7,16 @@ continuous-batching scheduler (:mod:`repro.serve.scheduler`) and the
 measured simulator (:mod:`repro.serve.simulator`) that reports
 per-request TTFT/TPOT/E2E percentiles, SLO attainment, goodput, and
 energy per request through the same jpwr path as the training engines.
+The :mod:`repro.serve.cluster` subpackage scales the same model to a
+multi-replica fleet with routing, disaggregation and autoscaling.
 """
 
 from repro.serve.arrivals import (
+    BurstArrivals,
     FixedArrivals,
     PoissonArrivals,
     Request,
+    SessionArrivals,
     TraceArrivals,
 )
 from repro.serve.queue import AdmissionQueue
@@ -37,6 +41,7 @@ from repro.serve.simulator import (
 
 __all__ = [
     "AdmissionQueue",
+    "BurstArrivals",
     "ContinuousBatchScheduler",
     "DEFAULT_BATCH_CAP",
     "DEFAULT_QUEUE_CAPACITY",
@@ -50,6 +55,7 @@ __all__ = [
     "ServeResult",
     "ServeSummary",
     "ServingSimulator",
+    "SessionArrivals",
     "TraceArrivals",
     "percentile",
     "summarize",

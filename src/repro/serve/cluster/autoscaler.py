@@ -1,0 +1,144 @@
+"""Queue-depth/SLO-driven autoscaling of the replica pool.
+
+The autoscaler is a periodic controller on the cluster's virtual
+clock.  Every ``evaluate_interval_s`` it compares the cluster's total
+queued work against a per-replica target:
+
+* **scale up** — when waiting requests exceed
+  ``target_queue_per_replica`` per powered-on replica, stopped spares
+  spin up; each pays ``spinup_delay_s`` of wall time and the spin-up
+  energy (power at ``spinup_utilisation`` over the delay) before it can
+  work,
+* **scale down** — a drained replica that has been idle for at least
+  ``scale_down_idle_s`` despawns (stops drawing idle power), never
+  below ``min_replicas``.
+
+The spin-up tax and the idle-watt floor are exactly what make
+autoscaled Wh/request an honest number: overprovision and you pay idle
+energy, underprovision and you pay spin-up energy plus queueing
+latency.  The state machine is deliberately hysteretic (an idle grace
+period, one evaluation cadence) so bursty traffic does not thrash.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.serve.cluster.replica import Replica, ReplicaState
+
+#: Default waiting-requests-per-replica threshold that triggers a
+#: scale-up (one batch-admission round of headroom).
+DEFAULT_TARGET_QUEUE_PER_REPLICA = 4.0
+
+#: Default idle grace period before a drained replica despawns.
+DEFAULT_SCALE_DOWN_IDLE_S = 10.0
+
+#: Default controller cadence.
+DEFAULT_EVALUATE_INTERVAL_S = 1.0
+
+#: Default replica spin-up delay (weights streaming, warm-up).
+DEFAULT_SPINUP_DELAY_S = 2.0
+
+#: Device utilisation during spin-up: memory traffic without much
+#: compute, roughly half way up the power curve.
+DEFAULT_SPINUP_UTILISATION = 0.5
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Tunable knobs of the queue-depth autoscaler."""
+
+    min_replicas: int = 1
+    target_queue_per_replica: float = DEFAULT_TARGET_QUEUE_PER_REPLICA
+    scale_down_idle_s: float = DEFAULT_SCALE_DOWN_IDLE_S
+    evaluate_interval_s: float = DEFAULT_EVALUATE_INTERVAL_S
+    spinup_delay_s: float = DEFAULT_SPINUP_DELAY_S
+    spinup_utilisation: float = DEFAULT_SPINUP_UTILISATION
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ConfigError("autoscaler needs min_replicas >= 1")
+        if self.target_queue_per_replica <= 0:
+            raise ConfigError("target queue per replica must be positive")
+        if self.scale_down_idle_s < 0 or self.spinup_delay_s < 0:
+            raise ConfigError("autoscaler durations must be >= 0")
+        if self.evaluate_interval_s <= 0:
+            raise ConfigError("evaluation interval must be positive")
+        if not 0.0 <= self.spinup_utilisation <= 1.0:
+            raise ConfigError("spin-up utilisation must be in [0, 1]")
+
+
+class Autoscaler:
+    """Periodic scale-up/scale-down controller over one replica pool."""
+
+    def __init__(
+        self,
+        policy: AutoscalePolicy,
+        replicas: Sequence[Replica],
+        *,
+        start_s: float = 0.0,
+    ) -> None:
+        if policy.min_replicas > len(replicas):
+            raise ConfigError(
+                f"min_replicas={policy.min_replicas} exceeds the pool "
+                f"of {len(replicas)}"
+            )
+        self.policy = policy
+        self.replicas = list(replicas)
+        self.next_eval_s = start_s + policy.evaluate_interval_s
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def due(self, now_s: float) -> bool:
+        """Whether an evaluation is due at ``now_s``."""
+        return now_s >= self.next_eval_s
+
+    def _on_count(self) -> int:
+        return sum(
+            1 for r in self.replicas if r.state is not ReplicaState.STOPPED
+        )
+
+    def evaluate(self, now_s: float) -> tuple[int, int]:
+        """One controller tick; returns ``(started, stopped)`` counts.
+
+        Waiting work is the sum of the replicas' admission-queue
+        depths (requests routed but not yet admitted to a batch).
+        """
+        while self.next_eval_s <= now_s:
+            self.next_eval_s += self.policy.evaluate_interval_s
+        waiting = sum(len(r.queue) for r in self.replicas)
+        on = self._on_count()
+        started = stopped = 0
+        if waiting > self.policy.target_queue_per_replica * on:
+            # Enough replicas that the waiting work meets the target.
+            desired = math.ceil(waiting / self.policy.target_queue_per_replica)
+            desired = min(max(desired, self.policy.min_replicas), len(self.replicas))
+            for replica in self.replicas:
+                if on + started >= desired:
+                    break
+                if replica.state is ReplicaState.STOPPED:
+                    replica.spin_up(
+                        now_s,
+                        self.policy.spinup_delay_s,
+                        self.policy.spinup_utilisation,
+                    )
+                    started += 1
+            self.scale_ups += started
+            return started, 0
+        # Scale down drained replicas past their idle grace period.
+        for replica in self.replicas:
+            if on - stopped <= self.policy.min_replicas:
+                break
+            if (
+                replica.state is ReplicaState.RUNNING
+                and replica.drained
+                and now_s - replica.last_active_s
+                >= self.policy.scale_down_idle_s
+            ):
+                replica.spin_down(now_s)
+                stopped += 1
+        self.scale_downs += stopped
+        return 0, stopped

@@ -21,8 +21,14 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 
-#: Percentiles every latency summary reports.
-SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+#: Median rank of every latency summary (the typical request).
+MEDIAN_PERCENTILE = 50.0
+#: Tail rank the serving SLO literature reports (19 of 20 requests).
+P95_PERCENTILE = 95.0
+#: Extreme-tail rank bounding the worst 1% of requests.
+P99_PERCENTILE = 99.0
+#: Percentiles every latency summary reports, in ascending order.
+SUMMARY_PERCENTILES = (MEDIAN_PERCENTILE, P95_PERCENTILE, P99_PERCENTILE)
 
 
 def percentile(values: list[float] | tuple[float, ...], q: float) -> float:
@@ -110,12 +116,23 @@ class LatencySummary:
     def of(cls, values: list[float] | tuple[float, ...]) -> "LatencySummary":
         """Summary of a non-empty sample."""
         return cls(
-            p50=percentile(values, 50.0),
-            p95=percentile(values, 95.0),
-            p99=percentile(values, 99.0),
+            p50=percentile(values, MEDIAN_PERCENTILE),
+            p95=percentile(values, P95_PERCENTILE),
+            p99=percentile(values, P99_PERCENTILE),
             mean=sum(values) / len(values),
             max=max(values),
         )
+
+    @classmethod
+    def zero(cls) -> "LatencySummary":
+        """The all-zero summary of an empty sample.
+
+        Used when a run completed no requests at all (every arrival
+        shed, or an externally constructed empty
+        :class:`~repro.serve.simulator.ServeResult`): reporting zeros
+        keeps downstream tables renderable instead of raising.
+        """
+        return cls(p50=0.0, p95=0.0, p99=0.0, mean=0.0, max=0.0)
 
     def to_dict(self) -> dict:
         """Plain-mapping form."""
@@ -226,9 +243,30 @@ def summarize(
     elapsed_s: float,
     slo: SLOPolicy | None = None,
 ) -> ServeSummary:
-    """Build the :class:`ServeSummary` of a completed serving run."""
+    """Build the :class:`ServeSummary` of a completed serving run.
+
+    An empty record list yields an all-zero summary (every latency
+    percentile, goodput and energy figure 0.0) rather than raising, so
+    report tables can render a run that shed its whole offered load.
+    """
     if not records:
-        raise ConfigError("cannot summarise a run that completed no requests")
+        zero = LatencySummary.zero()
+        return ServeSummary(
+            offered=offered,
+            completed=0,
+            rejected=rejected,
+            elapsed_s=elapsed_s,
+            generated_tokens=0,
+            ttft=zero,
+            tpot=zero,
+            e2e=zero,
+            queue_delay=zero,
+            slo_attained=0,
+            goodput_tokens_per_s=0.0,
+            energy_wh=0.0,
+            energy_per_request_wh=0.0,
+            tokens_per_wh=0.0,
+        )
     slo = slo if slo is not None else SLOPolicy()
     generated = sum(r.generate_tokens for r in records)
     attained = [r for r in records if slo.met(r)]

@@ -27,6 +27,9 @@ from repro.serve.arrivals import Request
 #: Default cap on concurrently decoding sequences.
 DEFAULT_BATCH_CAP = 32
 
+#: Bytes per gigabyte, used when formatting KV-budget diagnostics.
+BYTES_PER_GB = 1e9
+
 
 @dataclass
 class Sequence:
@@ -100,8 +103,9 @@ class ContinuousBatchScheduler:
         need = self.kv_bytes_for(request)
         if need > self.kv_budget_bytes:
             raise ConfigError(
-                f"request {request.index} needs {need / 1e9:.2f} GB of KV cache "
-                f"but the budget is {self.kv_budget_bytes / 1e9:.2f} GB"
+                f"request {request.index} needs {need / BYTES_PER_GB:.2f} GB "
+                f"of KV cache but the budget is "
+                f"{self.kv_budget_bytes / BYTES_PER_GB:.2f} GB"
             )
 
     def admit(self, request: Request, now_s: float) -> Sequence:

@@ -52,8 +52,23 @@ from repro.serve.scheduler import DEFAULT_BATCH_CAP, ContinuousBatchScheduler
 #: Default bound on the admission queue.
 DEFAULT_QUEUE_CAPACITY = 256
 
+#: Default jpwr sampling period for serving runs, in milliseconds
+#: (samples also land on every phase edge, so integration stays exact).
+DEFAULT_SAMPLE_INTERVAL_MS = 100.0
+
 #: Trace track request spans and the queue-depth counter live on.
 SERVE_TRACK = "serve"
+
+#: Metrics-registry gauge recording the admission queue depth; tagged
+#: with ``system=<jube tag>`` so multi-system sweeps stay separable.
+QUEUE_DEPTH_GAUGE = "serve_queue_depth"
+
+#: Help string of :data:`QUEUE_DEPTH_GAUGE`.
+QUEUE_DEPTH_GAUGE_HELP = "requests waiting for admission"
+
+#: Trace counter track mirroring :data:`QUEUE_DEPTH_GAUGE` over
+#: simulated time in ``--trace`` runs.
+QUEUE_DEPTH_COUNTER = "serve/queue_depth"
 
 
 @dataclass(frozen=True)
@@ -103,12 +118,12 @@ class _ServeLoop:
             self.queue.offer(self.pending.popleft())
 
     def _gauge_queue(self, tag: str) -> None:
-        get_metrics().gauge(
-            "serve_queue_depth", "requests waiting for admission"
-        ).set(len(self.queue), system=tag)
+        get_metrics().gauge(QUEUE_DEPTH_GAUGE, QUEUE_DEPTH_GAUGE_HELP).set(
+            len(self.queue), system=tag
+        )
         tracer = get_tracer()
         if tracer.enabled:
-            tracer.counter("serve/queue_depth", len(self.queue))
+            tracer.counter(QUEUE_DEPTH_COUNTER, len(self.queue))
 
     def run(self, runner, clock) -> None:
         """The scheduler loop: idle, admit+prefill, decode, evict."""
@@ -226,7 +241,7 @@ class ServingSimulator:
         batch_cap: int = DEFAULT_BATCH_CAP,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         slo: SLOPolicy | None = None,
-        sample_interval_ms: float = 100.0,
+        sample_interval_ms: float = DEFAULT_SAMPLE_INTERVAL_MS,
     ) -> None:
         self.engine = engine
         self.batch_cap = int(batch_cap)

@@ -6,13 +6,22 @@ import pytest
 
 from repro.analysis.serving import (
     SERVING_SYSTEM_TAGS,
+    ClusterScenario,
     ServingScenario,
+    cluster_rows,
     serving_rows,
 )
 
 pytestmark = pytest.mark.serve
 
 SMALL = ServingScenario(requests=8, generate_tokens=24, rate_per_s=12.0)
+
+SMALL_CLUSTER = ClusterScenario(
+    requests=10,
+    generate_tokens=24,
+    replica_counts=(1, 2),
+    routers=("round-robin", "prefix-cache-aware"),
+)
 
 
 class TestScenario:
@@ -31,8 +40,8 @@ class TestRows:
     def rows(self):
         return serving_rows(SMALL, systems=("GH200", "A100"))
 
-    def test_one_row_per_system(self, rows):
-        assert [r["system"] for r in rows] == ["GH200", "A100"]
+    def test_one_row_per_system_sorted_by_name(self, rows):
+        assert [r["system"] for r in rows] == ["A100", "GH200"]
         for row in rows:
             assert row["completed"] == 8
             assert row["ttft_p50_ms"] <= row["ttft_p99_ms"]
@@ -46,6 +55,47 @@ class TestRows:
     def test_rows_deterministic(self, rows):
         assert rows == serving_rows(SMALL, systems=("GH200", "A100"))
 
+    def test_empty_record_summary_renders_as_zeros(self):
+        # A run that shed its whole offered load summarises to zeros
+        # instead of raising, so the table renders an all-zero row.
+        from repro.serve.result import summarize
+
+        s = summarize([], offered=8, rejected=8, elapsed_s=1.0)
+        assert s.completed == 0 and s.rejected == 8
+        assert s.ttft.p99 == 0.0
+        assert s.goodput_tokens_per_s == 0.0
+        assert s.energy_per_request_wh == 0.0
+        # Vacuous SLO attainment over zero completions is 1.0 by
+        # convention; the point is that to_dict() renders, not raises.
+        assert s.to_dict()["slo_attainment"] == 1.0
+
+
+class TestClusterRows:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return cluster_rows(SMALL_CLUSTER)
+
+    def test_one_row_per_replicas_times_router(self, rows):
+        assert len(rows) == 4
+        # Ordered by replica count, then router name.
+        assert [(r["replicas"], r["router"]) for r in rows] == [
+            (1, "prefix-cache-aware"),
+            (1, "round-robin"),
+            (2, "prefix-cache-aware"),
+            (2, "round-robin"),
+        ]
+
+    def test_rows_carry_cluster_columns(self, rows):
+        for row in rows:
+            assert row["completed"] == 10
+            assert row["wh_per_request"] > 0
+            assert row["load_imbalance"] >= 0
+            assert 0 <= row["prefix_hit_rate"] <= 1
+            assert 0 <= row["slo_attainment"] <= 1
+
+    def test_rows_deterministic(self, rows):
+        assert rows == cluster_rows(SMALL_CLUSTER)
+
 
 class TestReportSection:
     def test_report_contains_serving_table(self):
@@ -54,3 +104,11 @@ class TestReportSection:
         report = build_report()
         assert "## Serving: latency and energy per request" in report
         assert "tokens_per_wh" in report
+
+    def test_report_contains_cluster_table(self):
+        from repro.analysis.report import build_report
+
+        report = build_report()
+        assert "## Serving cluster: routers, replicas, fleet energy" in report
+        assert "prefix-cache-aware" in report
+        assert "load_imbalance" in report

@@ -5,7 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigError
-from repro.serve import FixedArrivals, PoissonArrivals, Request, TraceArrivals
+from repro.serve import (
+    BurstArrivals,
+    FixedArrivals,
+    PoissonArrivals,
+    Request,
+    SessionArrivals,
+    TraceArrivals,
+)
 
 
 class TestRequest:
@@ -20,6 +27,18 @@ class TestRequest:
             Request(index=0, arrival_s=0.0, prompt_tokens=0, generate_tokens=1)
         with pytest.raises(ConfigError):
             Request(index=0, arrival_s=0.0, prompt_tokens=1, generate_tokens=0)
+
+    def test_session_fields_validated(self):
+        with pytest.raises(ConfigError):
+            Request(
+                index=0, arrival_s=0.0, prompt_tokens=4, generate_tokens=1,
+                session=-1,
+            )
+        with pytest.raises(ConfigError):
+            Request(
+                index=0, arrival_s=0.0, prompt_tokens=4, generate_tokens=1,
+                prefix_tokens=8,
+            )
 
 
 class TestPoisson:
@@ -91,6 +110,58 @@ class TestTrace:
     def test_empty_trace_rejected(self):
         with pytest.raises(ConfigError):
             TraceArrivals(entries=())
+
+
+class TestSession:
+    def test_same_seed_identical_stream(self):
+        a = SessionArrivals(rate_per_s=5.0, requests=30, sessions=3, seed=7)
+        b = SessionArrivals(rate_per_s=5.0, requests=30, sessions=3, seed=7)
+        assert a.generate() == b.generate()
+
+    def test_requests_carry_sessions_and_prefixes(self):
+        stream = SessionArrivals(
+            rate_per_s=10.0,
+            requests=40,
+            sessions=4,
+            prompt_tokens=256,
+            prefix_tokens=192,
+            seed=0,
+        ).generate()
+        assert all(r.session is not None and 0 <= r.session < 4 for r in stream)
+        assert all(r.prefix_tokens == 192 for r in stream)
+        assert len({r.session for r in stream}) > 1
+
+    def test_prompt_not_jittered_so_prefix_stays_exact(self):
+        stream = SessionArrivals(
+            rate_per_s=5.0, requests=30, length_spread=0.5, seed=0
+        ).generate()
+        assert all(r.prompt_tokens == 512 for r in stream)
+        assert len({r.generate_tokens for r in stream}) > 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SessionArrivals(rate_per_s=5.0, requests=4, sessions=0)
+        with pytest.raises(ConfigError):
+            SessionArrivals(
+                rate_per_s=5.0, requests=4, prompt_tokens=64, prefix_tokens=128
+            )
+        with pytest.raises(ConfigError):
+            SessionArrivals(rate_per_s=0.0, requests=4)
+
+
+class TestBurst:
+    def test_bursts_expand_time_ordered(self):
+        stream = BurstArrivals(bursts=((10.0, 2), (0.0, 3))).generate()
+        assert [r.arrival_s for r in stream] == [0.0, 0.0, 0.0, 10.0, 10.0]
+        assert [r.index for r in stream] == list(range(5))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BurstArrivals(bursts=())
+        with pytest.raises(ConfigError):
+            BurstArrivals(bursts=((-1.0, 2),))
+        with pytest.raises(ConfigError):
+            BurstArrivals(bursts=((0.0, 0),))
 
 
 class TestFixed:

@@ -1,0 +1,195 @@
+"""The ``serve_cluster`` campaign kind and the clustered ``caraml serve``."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.campaign.executor import IsolatingExecutor
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec, WorkloadSpec
+from repro.campaign.store import JsonlStore
+from repro.core.cli import run as cli_run
+
+pytestmark = [pytest.mark.serve, pytest.mark.cluster]
+
+
+@pytest.fixture(scope="module")
+def cluster_spec() -> CampaignSpec:
+    """A replicas × router sweep on session traffic (acceptance shape)."""
+    return CampaignSpec(
+        name="cluster-sweep",
+        systems=("GH200",),
+        workloads=(
+            WorkloadSpec.of_kind(
+                "serve_cluster",
+                axes={
+                    "replicas": (1, 2),
+                    "router": ("round-robin", "prefix-cache-aware"),
+                },
+                fixed={
+                    "requests": "10",
+                    "generate_tokens": "16",
+                    "sessions": "3",
+                    "slo_ttft_ms": "500",
+                },
+            ),
+        ),
+    )
+
+
+class TestSpec:
+    def test_kind_expands_to_cluster_operation(self, cluster_spec):
+        workload = cluster_spec.workloads[0]
+        assert workload.operations[0].startswith(
+            "llm_serve_cluster --system $system"
+        )
+        assert workload.axes["replicas"] == ("1", "2")
+        assert workload.axes["router"] == ("round-robin", "prefix-cache-aware")
+        assert workload.fixed["batch_cap"] == "16"  # default survives
+        assert workload.fixed["sessions"] == "3"  # override applied
+        assert cluster_spec.size == 4
+
+    def test_axis_on_defaulted_parameter_drops_default(self):
+        workload = WorkloadSpec.of_kind(
+            "serve_cluster", axes={"arrival_rate": (4, 16)}
+        )
+        assert "arrival_rate" not in workload.fixed
+        assert workload.fixed["router"] == "round-robin"
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def cold_and_warm(self, cluster_spec, tmp_path_factory):
+        runner = CampaignRunner(
+            JsonlStore(tmp_path_factory.mktemp("cluster") / "store.jsonl"),
+            IsolatingExecutor(),
+        )
+        cold = runner.run(cluster_spec)
+        warm = runner.run(cluster_spec)
+        return runner, cold, warm
+
+    def test_cold_run_executes_all(self, cold_and_warm):
+        _, cold, _ = cold_and_warm
+        assert (cold.total, cold.executed, cold.failed) == (4, 4, 0)
+
+    def test_rows_carry_cluster_outputs(self, cold_and_warm, cluster_spec):
+        runner, _, _ = cold_and_warm
+        for row in runner.results(cluster_spec):
+            assert row.outputs["status"] == "OK"
+            assert row.outputs["completed_requests"] == 10
+            assert row.outputs["router"] == row.parameters["router"]
+            assert row.outputs["cluster_replicas_max"] == float(
+                row.parameters["replicas"]
+            )
+            assert row.outputs["energy_per_request_wh"] > 0
+            assert row.outputs["cluster_load_imbalance"] >= 0
+
+    def test_rerun_is_exact_cache_hits(self, cold_and_warm):
+        _, cold, warm = cold_and_warm
+        assert (warm.executed, warm.cached) == (0, 4)
+        assert [r.canonical() for r in warm.rows] == [
+            r.canonical() for r in cold.rows
+        ]
+
+
+def run_cli(args) -> tuple[int, str]:
+    out = io.StringIO()
+    code = cli_run(args, stdout=out)
+    return code, out.getvalue()
+
+
+CLUSTER_ARGS = [
+    "serve",
+    "--system",
+    "GH200",
+    "--rate",
+    "10",
+    "--requests",
+    "12",
+    "--batch-cap",
+    "8",
+    "--generate-tokens",
+    "24",
+    "--replicas",
+    "2",
+    "--router",
+    "least-loaded",
+]
+
+
+class TestClusterCLI:
+    def test_replicas_flag_switches_to_cluster_row(self):
+        code, text = run_cli(CLUSTER_ARGS)
+        assert code == 0
+        assert "llm-serve-cluster-800M" in text
+
+    def test_single_replica_stays_single_engine(self):
+        code, text = run_cli(["serve", "--system", "GH200", "--requests", "6"])
+        assert code == 0
+        assert "llm-serve-800M" in text
+        assert "cluster" not in text
+
+    def test_records_json_carries_routing_and_is_deterministic(self, tmp_path):
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert run_cli(CLUSTER_ARGS + ["--requests-json", str(path_a)])[0] == 0
+        assert run_cli(CLUSTER_ARGS + ["--requests-json", str(path_b)])[0] == 0
+        assert path_a.read_bytes() == path_b.read_bytes()
+        records = json.loads(path_a.read_text())
+        assert len(records) == 12
+        assert all("decode_replica" in r for r in records)
+
+    def test_session_traffic_flags(self):
+        code, text = run_cli(
+            CLUSTER_ARGS
+            + ["--sessions", "3", "--prefix-tokens", "256", "--router",
+               "prefix-cache-aware"]
+        )
+        assert code == 0
+        assert "llm-serve-cluster-800M" in text
+
+    def test_autoscale_flags(self):
+        code, _ = run_cli(
+            [
+                "serve",
+                "--system",
+                "GH200",
+                "--requests",
+                "10",
+                "--replicas",
+                "3",
+                "--autoscale",
+                "--min-replicas",
+                "1",
+            ]
+        )
+        assert code == 0
+
+    def test_disaggregation_flags(self):
+        code, text = run_cli(
+            [
+                "serve",
+                "--system",
+                "GH200",
+                "--requests",
+                "10",
+                "--prefill-replicas",
+                "1",
+                "--decode-replicas",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "llm-serve-cluster-800M" in text
+
+    def test_trace_contains_cluster_spans(self, tmp_path):
+        trace = tmp_path / "cluster.json"
+        code, _ = run_cli(CLUSTER_ARGS + ["--trace", str(trace)])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"] if isinstance(doc, dict) else doc
+        names = {e.get("name") for e in events}
+        assert "cluster/run" in names
+        assert "cluster/request" in names

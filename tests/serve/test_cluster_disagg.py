@@ -1,0 +1,69 @@
+"""The KV-handoff cost model: transfer time, energy, spec validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.interconnect import LinkSpec, LinkTechnology
+from repro.serve.cluster.disagg import (
+    KV_TRANSFER_PJ_PER_BIT,
+    DisaggregationSpec,
+    transfer_energy_wh,
+    transfer_time_s,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.cluster]
+
+LINK = LinkSpec(
+    technology=LinkTechnology.IB_NDR200,
+    bandwidth=200e9,  # 100 GB/s each way
+    latency_s=2e-6,
+)
+
+
+class TestSpec:
+    def test_total_is_pool_sum(self):
+        assert DisaggregationSpec(2, 3).total_replicas == 5
+
+    def test_each_pool_needs_a_replica(self):
+        with pytest.raises(ConfigError):
+            DisaggregationSpec(0, 2)
+        with pytest.raises(ConfigError):
+            DisaggregationSpec(2, 0)
+
+
+class TestTransferTime:
+    def test_latency_plus_bytes_over_unidirectional_bandwidth(self):
+        kv_bytes = 1e9
+        expected = LINK.latency_s + kv_bytes / LINK.unidirectional_bandwidth
+        assert transfer_time_s(kv_bytes, LINK) == pytest.approx(expected)
+
+    def test_zero_bytes_still_pays_base_latency(self):
+        assert transfer_time_s(0.0, LINK) == LINK.latency_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match=">= 0"):
+            transfer_time_s(-1.0, LINK)
+        dead = LinkSpec(
+            technology=LinkTechnology.NONE, bandwidth=0.0, latency_s=0.0
+        )
+        with pytest.raises(ConfigError, match="bandwidth"):
+            transfer_time_s(1.0, dead)
+
+
+class TestTransferEnergy:
+    def test_per_bit_figure(self):
+        kv_bytes = 1e9
+        joules = kv_bytes * 8.0 * KV_TRANSFER_PJ_PER_BIT * 1e-12
+        assert transfer_energy_wh(kv_bytes) == pytest.approx(joules / 3600.0)
+
+    def test_scales_linearly(self):
+        assert transfer_energy_wh(2e6) == pytest.approx(
+            2 * transfer_energy_wh(1e6)
+        )
+        assert transfer_energy_wh(0.0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError, match=">= 0"):
+            transfer_energy_wh(-1.0)

@@ -1,0 +1,163 @@
+"""Router policies: registry, picks, affinity, prefix preference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.cluster.router import (
+    DEFAULT_ROUTER_POLICY,
+    PREFIX_HIT_LOAD_SLACK,
+    ROUTER_POLICIES,
+    Router,
+    make_router,
+    register_router,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.cluster]
+
+
+class FakeReplica:
+    """Only what routers read: index, accepting, load, prefix lookups."""
+
+    def __init__(self, index, accepting=True, load=0, prefixes=()):
+        self.index = index
+        self.accepting = accepting
+        self.load = load
+        self._prefixes = set(prefixes)
+
+    def has_prefix(self, session):
+        return session in self._prefixes
+
+
+class FakeRequest:
+    def __init__(self, session=None, prefix_tokens=128):
+        self.session = session
+        self.prefix_tokens = prefix_tokens
+
+
+class TestRegistry:
+    def test_four_policies_shipped(self):
+        assert {
+            "round-robin",
+            "least-loaded",
+            "session-affinity",
+            "prefix-cache-aware",
+        } <= set(ROUTER_POLICIES)
+        assert DEFAULT_ROUTER_POLICY in ROUTER_POLICIES
+
+    def test_make_router_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown router policy"):
+            make_router("teleport")
+
+    def test_register_router_adds_custom_policy(self):
+        @register_router("always-first")
+        class AlwaysFirst(Router):
+            """Test-only policy."""
+
+            def _pick(self, request, candidates):
+                return candidates[0]
+
+        try:
+            router = make_router("always-first")
+            assert router.name == "always-first"
+            picked = router.route(
+                FakeRequest(), [FakeReplica(0), FakeReplica(1)]
+            )
+            assert picked.index == 0
+        finally:
+            del ROUTER_POLICIES["always-first"]
+
+
+class TestBaseGuarantees:
+    def test_no_accepting_replica_raises(self):
+        router = make_router("round-robin")
+        with pytest.raises(ConfigError, match="no replica is accepting"):
+            router.route(FakeRequest(), [FakeReplica(0, accepting=False)])
+
+    def test_non_accepting_replicas_filtered(self):
+        router = make_router("least-loaded")
+        replicas = [
+            FakeReplica(0, accepting=False, load=0),
+            FakeReplica(1, load=5),
+        ]
+        assert router.route(FakeRequest(), replicas).index == 1
+
+    def test_base_pick_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Router()._pick(FakeRequest(), [FakeReplica(0)])
+
+
+class TestRoundRobin:
+    def test_cycles_in_index_order(self):
+        router = make_router("round-robin")
+        replicas = [FakeReplica(i) for i in range(3)]
+        picks = [router.route(FakeRequest(), replicas).index for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+
+class TestLeastLoaded:
+    def test_minimum_load_wins(self):
+        router = make_router("least-loaded")
+        replicas = [FakeReplica(0, load=4), FakeReplica(1, load=1)]
+        assert router.route(FakeRequest(), replicas).index == 1
+
+    def test_ties_break_to_lowest_index(self):
+        router = make_router("least-loaded")
+        replicas = [FakeReplica(0, load=2), FakeReplica(1, load=2)]
+        assert router.route(FakeRequest(), replicas).index == 0
+
+
+class TestSessionAffinity:
+    def test_same_session_same_replica(self):
+        router = make_router("session-affinity")
+        replicas = [FakeReplica(i) for i in range(4)]
+        first = router.route(FakeRequest(session=7), replicas).index
+        for _ in range(5):
+            assert router.route(FakeRequest(session=7), replicas).index == first
+
+    def test_sessions_spread_across_replicas(self):
+        router = make_router("session-affinity")
+        replicas = [FakeReplica(i) for i in range(4)]
+        picks = {
+            router.route(FakeRequest(session=s), replicas).index
+            for s in range(16)
+        }
+        assert len(picks) > 1
+
+    def test_sessionless_falls_back_to_least_loaded(self):
+        router = make_router("session-affinity")
+        replicas = [FakeReplica(0, load=9), FakeReplica(1, load=0)]
+        assert router.route(FakeRequest(session=None), replicas).index == 1
+
+
+class TestPrefixCacheAware:
+    def test_prefers_replica_holding_the_prefix(self):
+        router = make_router("prefix-cache-aware")
+        replicas = [
+            FakeReplica(0, load=0),
+            FakeReplica(1, load=2, prefixes=[5]),
+        ]
+        assert router.route(FakeRequest(session=5), replicas).index == 1
+
+    def test_hot_hit_replica_gives_way(self):
+        router = make_router("prefix-cache-aware")
+        replicas = [
+            FakeReplica(0, load=0),
+            FakeReplica(1, load=PREFIX_HIT_LOAD_SLACK + 1, prefixes=[5]),
+        ]
+        assert router.route(FakeRequest(session=5), replicas).index == 0
+
+    def test_no_hit_degrades_to_least_loaded(self):
+        router = make_router("prefix-cache-aware")
+        replicas = [FakeReplica(0, load=3), FakeReplica(1, load=1)]
+        assert router.route(FakeRequest(session=9), replicas).index == 1
+
+    def test_no_prefix_tokens_ignores_cache(self):
+        router = make_router("prefix-cache-aware")
+        replicas = [
+            FakeReplica(0, load=0),
+            FakeReplica(1, load=2, prefixes=[5]),
+        ]
+        request = FakeRequest(session=5, prefix_tokens=0)
+        assert router.route(request, replicas).index == 0

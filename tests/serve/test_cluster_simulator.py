@@ -1,0 +1,307 @@
+"""The cluster simulator end to end: routing, disaggregation, scaling."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.engine.inference import InferenceEngine
+from repro.errors import ConfigError
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.sinks import InMemorySink
+from repro.obs.trace import Tracer, activate
+from repro.serve import BurstArrivals, PoissonArrivals, SessionArrivals, SLOPolicy
+from repro.serve.cluster import (
+    AutoscalePolicy,
+    ClusterSimulator,
+    DisaggregationSpec,
+)
+from repro.simcluster.clock import VirtualClock
+
+pytestmark = [pytest.mark.serve, pytest.mark.cluster]
+
+ARRIVALS = PoissonArrivals(
+    rate_per_s=10.0,
+    requests=24,
+    prompt_tokens=256,
+    generate_tokens=32,
+    length_spread=0.25,
+    seed=0,
+)
+
+SESSIONS = SessionArrivals(
+    rate_per_s=8.0,
+    requests=40,
+    sessions=4,
+    prompt_tokens=512,
+    prefix_tokens=384,
+    generate_tokens=48,
+    seed=0,
+)
+
+BURSTS = BurstArrivals(bursts=((0.0, 10), (30.0, 16)), generate_tokens=64)
+
+
+@pytest.fixture
+def engine():
+    return InferenceEngine(get_system("GH200"), get_gpt_preset("800M"))
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    previous = set_metrics(MetricsRegistry())
+    yield
+    set_metrics(previous)
+
+
+class TestUnifiedRun:
+    def test_all_requests_complete(self, engine):
+        result = ClusterSimulator(engine, replicas=2, batch_cap=8).run(ARRIVALS)
+        s = result.summary.serve
+        assert s.offered == 24 and s.completed == 24 and s.rejected == 0
+        assert [r.record.index for r in result.records] == list(range(24))
+
+    def test_unified_prefill_and_decode_coincide(self, engine):
+        result = ClusterSimulator(engine, replicas=3, batch_cap=8).run(ARRIVALS)
+        for record in result.records:
+            assert record.prefill_replica == record.decode_replica
+            assert record.transfer_s == 0.0
+        assert result.summary.transfers == 0
+
+    def test_train_result_row_shape(self, engine):
+        result = ClusterSimulator(engine, replicas=2, batch_cap=8).run(ARRIVALS)
+        train = result.train
+        assert train.benchmark == "llm-serve-cluster-800M"
+        assert train.system_tag == "GH200"
+        assert train.devices == 2
+        assert train.iterations > 0  # decode steps across the fleet
+        assert train.energy_per_device_wh > 0
+        assert train.extra["cluster_replicas_max"] == 2.0
+        assert train.extra["batch_cap"] == 8.0
+
+    def test_single_replica_matches_fleet_semantics(self, engine):
+        # replicas=1 is a valid degenerate cluster, not an error.
+        result = ClusterSimulator(engine, replicas=1, batch_cap=8).run(ARRIVALS)
+        assert result.summary.serve.completed == 24
+        assert result.summary.replicas_max == 1
+
+    def test_summary_dict_carries_cluster_columns(self, engine):
+        result = ClusterSimulator(engine, replicas=2, batch_cap=8).run(ARRIVALS)
+        out = result.summary.to_dict()
+        assert {
+            "cluster_replicas_max",
+            "cluster_replica_seconds",
+            "cluster_busy_energy_wh",
+            "cluster_idle_energy_wh",
+            "cluster_spinup_energy_wh",
+            "cluster_transfer_energy_wh",
+            "cluster_load_imbalance",
+            "cluster_prefix_hit_rate",
+            "cluster_spinups",
+            "cluster_disaggregated",
+        } <= set(out)
+        # Cluster-honest energy replaces the per-engine figure.
+        assert out["energy_wh"] == pytest.approx(result.summary.energy_wh)
+
+    def test_tiny_queue_sheds_load(self, engine):
+        result = ClusterSimulator(
+            engine, replicas=1, batch_cap=2, queue_capacity=2
+        ).run(BurstArrivals(bursts=((0.0, 16),), generate_tokens=64))
+        s = result.summary.serve
+        assert s.rejected > 0
+        assert s.completed + s.rejected == s.offered
+        assert len(result.rejected) == s.rejected
+
+
+class TestRouterOutcomes:
+    def test_prefix_cache_aware_goodput_at_least_round_robin(self, engine):
+        slo = SLOPolicy(ttft_s=0.5, e2e_s=5.0)
+        by_router = {
+            router: ClusterSimulator(
+                engine, replicas=3, router=router, batch_cap=16, slo=slo
+            ).run(SESSIONS).summary
+            for router in ("round-robin", "prefix-cache-aware")
+        }
+        aware = by_router["prefix-cache-aware"]
+        blind = by_router["round-robin"]
+        assert (
+            aware.serve.goodput_tokens_per_s >= blind.serve.goodput_tokens_per_s
+        )
+        assert aware.prefix_hit_rate >= blind.prefix_hit_rate
+        assert aware.prefix_hit_rate > 0
+
+    def test_least_loaded_balances_the_fleet(self, engine):
+        result = ClusterSimulator(
+            engine, replicas=3, router="least-loaded", batch_cap=8
+        ).run(ARRIVALS)
+        assert 0 < result.summary.load_imbalance < 3.0
+
+
+class TestDisaggregation:
+    def test_one_transfer_per_completed_request(self, engine):
+        result = ClusterSimulator(
+            engine,
+            batch_cap=8,
+            disaggregation=DisaggregationSpec(2, 2),
+        ).run(ARRIVALS)
+        s = result.summary
+        assert s.disaggregated
+        assert s.transfers == s.serve.completed == 24
+        assert s.transfer_s_total > 0
+        assert s.transfer_energy_wh > 0
+
+    def test_pools_are_respected(self, engine):
+        spec = DisaggregationSpec(2, 2)
+        result = ClusterSimulator(
+            engine, batch_cap=8, disaggregation=spec
+        ).run(ARRIVALS)
+        prefill_pool = set(range(spec.prefill_replicas))
+        decode_pool = set(range(spec.prefill_replicas, spec.total_replicas))
+        for record in result.records:
+            assert record.prefill_replica in prefill_pool
+            assert record.decode_replica in decode_pool
+            assert record.transfer_s > 0
+
+
+class TestAutoscaling:
+    def test_beats_static_provisioning_on_bursty_energy(self, engine):
+        autoscaled = ClusterSimulator(
+            engine,
+            replicas=4,
+            router="least-loaded",
+            batch_cap=16,
+            autoscale=AutoscalePolicy(min_replicas=1),
+        ).run(BURSTS)
+        static = ClusterSimulator(
+            engine, replicas=4, router="least-loaded", batch_cap=16
+        ).run(BURSTS)
+        a, s = autoscaled.summary, static.summary
+        assert a.serve.completed == s.serve.completed == a.serve.offered
+        assert a.energy_per_request_wh <= s.energy_per_request_wh
+        assert a.replica_seconds < s.replica_seconds
+
+    def test_spinups_counted(self, engine):
+        # The evaluation tick must land while the burst is still queued,
+        # so the interval is short relative to the simulated drain time.
+        result = ClusterSimulator(
+            engine,
+            replicas=4,
+            batch_cap=4,
+            autoscale=AutoscalePolicy(
+                min_replicas=1,
+                spinup_delay_s=0.05,
+                evaluate_interval_s=0.01,
+                target_queue_per_replica=2.0,
+            ),
+        ).run(BurstArrivals(bursts=((0.0, 20),), generate_tokens=64))
+        assert result.summary.spinups > 0
+        spun = [r for r in result.summary.replicas if r.spinups > 0]
+        assert spun and all(r.spinup_energy_wh > 0 for r in spun)
+
+
+class TestConfigErrors:
+    def test_zero_replicas_rejected(self, engine):
+        with pytest.raises(ConfigError, match="at least one replica"):
+            ClusterSimulator(engine, replicas=0)
+
+    def test_autoscale_plus_disaggregation_rejected(self, engine):
+        with pytest.raises(ConfigError, match="not supported"):
+            ClusterSimulator(
+                engine,
+                autoscale=AutoscalePolicy(),
+                disaggregation=DisaggregationSpec(1, 1),
+            )
+
+    def test_min_replicas_above_fleet_rejected(self, engine):
+        with pytest.raises(ConfigError, match="min_replicas exceeds"):
+            ClusterSimulator(
+                engine, replicas=2, autoscale=AutoscalePolicy(min_replicas=3)
+            )
+
+    def test_unknown_router_rejected_eagerly(self, engine):
+        with pytest.raises(ConfigError, match="unknown router policy"):
+            ClusterSimulator(engine, router="teleport")
+
+    def test_empty_arrival_stream_rejected(self, engine):
+        @dataclass(frozen=True)
+        class NoArrivals:
+            def generate(self):
+                return ()
+
+        with pytest.raises(ConfigError, match="no requests"):
+            ClusterSimulator(engine, replicas=2).run(NoArrivals())
+
+    def test_impossible_request_rejected_before_serving(self, engine):
+        huge = InferenceEngine(get_system("GH200"), get_gpt_preset("800M"))
+        with pytest.raises(ConfigError):
+            ClusterSimulator(huge, replicas=2, batch_cap=8).run(
+                PoissonArrivals(
+                    rate_per_s=1.0,
+                    requests=1,
+                    prompt_tokens=10_000_000,
+                    generate_tokens=8,
+                )
+            )
+
+
+class TestDeterminismAndObservability:
+    def test_records_byte_identical(self, engine):
+        a = ClusterSimulator(engine, replicas=3, batch_cap=8).run(ARRIVALS)
+        b = ClusterSimulator(engine, replicas=3, batch_cap=8).run(ARRIVALS)
+        assert a.records_json() == b.records_json()
+        assert a.summary.to_dict() == b.summary.to_dict()
+
+    def test_trace_spans_and_counters(self, engine):
+        sink = InMemorySink()
+        tracer = Tracer(clock=VirtualClock(), sinks=[sink])
+        with activate(tracer):
+            result = ClusterSimulator(engine, replicas=2, batch_cap=8).run(
+                ARRIVALS
+            )
+        names = {r.get("name") for r in sink.records}
+        assert "cluster/run" in names
+        assert "cluster/queue_depth" in names
+        assert "cluster/replicas_on" in names
+        spans = [
+            r
+            for r in sink.records
+            if r.get("type") == "span" and r.get("name") == "cluster/request"
+        ]
+        assert len(spans) == result.summary.serve.completed
+        assert all(s["track"] == "cluster" for s in spans)
+
+    def test_metrics_recorded(self, engine):
+        ClusterSimulator(
+            engine,
+            replicas=2,
+            batch_cap=4,
+            autoscale=AutoscalePolicy(
+                min_replicas=1,
+                spinup_delay_s=0.05,
+                evaluate_interval_s=0.01,
+                target_queue_per_replica=2.0,
+            ),
+        ).run(BurstArrivals(bursts=((0.0, 20),), generate_tokens=64))
+        snapshot = get_metrics().snapshot()
+        assert {
+            "cluster_requests_completed_total",
+            "cluster_replicas_on",
+            "cluster_replica_spinups_total",
+        } <= set(snapshot)
+        completed = snapshot["cluster_requests_completed_total"]["series"]
+        assert completed[0]["labels"] == {
+            "system": "GH200",
+            "router": "round-robin",
+        }
+
+    def test_traced_clock_is_shared(self, engine):
+        # Under an active tracer with a virtual clock, the simulation
+        # advances that clock rather than a private one.
+        tracer = Tracer(clock=VirtualClock(), sinks=[InMemorySink()])
+        with activate(tracer):
+            ClusterSimulator(engine, replicas=2, batch_cap=8).run(ARRIVALS)
+            assert tracer.virtual_clock.now() > 0
