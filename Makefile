@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-campaign bench-serve figures report validate campaign-demo trace-demo chaos-demo serve-demo cluster-demo clean
+.PHONY: install test bench bench-campaign bench-serve figures report validate campaign-demo trace-demo chaos-demo serve-demo cluster-demo watch-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -47,6 +47,12 @@ serve-demo:
 cluster-demo:
 	$(PYTHON) examples/cluster_demo.py cluster_demo_trace.json
 
+# Live telemetry: burst load with burn-rate alerts, OpenMetrics lint,
+# byte-determinism check, then a `caraml watch` dashboard replay.
+watch-demo:
+	$(PYTHON) examples/telemetry_demo.py telemetry_demo
+	PYTHONPATH=src $(PYTHON) -m repro.core.cli watch telemetry_demo/burst.timeseries.jsonl --frames 2
+
 clean:
-	rm -rf figures caraml_report.md trace_demo.json cluster_demo_trace.json benchmarks/output .pytest_cache
+	rm -rf figures caraml_report.md trace_demo.json cluster_demo_trace.json telemetry_demo benchmarks/output .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -12,6 +12,11 @@ at each fleet size, holding the event loop to a simple efficiency
 target: simulating one request must stay under 50 ms of wall time even
 at the largest fleet, so cluster campaign sweeps stay interactive.
 
+A second guard times the largest fleet with live telemetry attached
+(sampler + burn-rate monitor at the default 100 ms interval) against
+the plain run: the telemetry layer must cost less than 10% extra wall
+time, keeping ``--telemetry`` campaigns as interactive as plain ones.
+
 Run directly::
 
     python benchmarks/bench_serve_cluster.py            # 256 requests
@@ -42,6 +47,45 @@ DEFAULT_REQUESTS = 256
 QUICK_REQUESTS = 64
 ARRIVAL_RATE_PER_S = 24.0
 WALL_MS_PER_REQUEST_TARGET = 50.0
+TELEMETRY_OVERHEAD_TARGET = 0.10
+#: Timed repetitions for the telemetry-overhead comparison; the best of
+#: each side is compared so scheduler noise doesn't fail the guard.
+TELEMETRY_OVERHEAD_REPEATS = 3
+
+
+def _bench_telemetry_overhead(engine, arrivals, replicas: int) -> dict:
+    """Best-of-N wall time with and without the telemetry layer."""
+    from repro.obs.telemetry import SLOMonitor, TelemetrySampler
+    from repro.serve import SLOPolicy
+
+    def timed(telemetry: bool) -> float:
+        best = float("inf")
+        for _ in range(TELEMETRY_OVERHEAD_REPEATS):
+            simulator = ClusterSimulator(
+                engine,
+                replicas=replicas,
+                router="least-loaded",
+                batch_cap=16,
+                slo=SLOPolicy(ttft_s=0.5, e2e_s=5.0),
+                telemetry=TelemetrySampler() if telemetry else None,
+                slo_monitor=SLOMonitor() if telemetry else None,
+            )
+            t0 = time.perf_counter()
+            simulator.run(arrivals)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    plain_s = timed(False)
+    telemetry_s = timed(True)
+    overhead = telemetry_s / plain_s - 1.0 if plain_s > 0 else 0.0
+    return {
+        "replicas": replicas,
+        "plain_wall_s": round(plain_s, 4),
+        "telemetry_wall_s": round(telemetry_s, 4),
+        "overhead": round(overhead, 4),
+        "target": TELEMETRY_OVERHEAD_TARGET,
+        "met": overhead <= TELEMETRY_OVERHEAD_TARGET,
+    }
 
 
 def run_bench(requests: int) -> dict:
@@ -85,6 +129,12 @@ def run_bench(requests: int) -> dict:
             f"{rows[-1]['wall_ms_per_request']} wall-ms/req"
         )
     worst_wall = max(r["wall_ms_per_request"] for r in rows)
+    overhead = _bench_telemetry_overhead(engine, arrivals, REPLICA_COUNTS[-1])
+    print(
+        f"  telemetry overhead ({overhead['replicas']} replicas): "
+        f"{overhead['overhead'] * 100:+.1f}% "
+        f"({overhead['plain_wall_s']}s -> {overhead['telemetry_wall_s']}s)"
+    )
     return {
         "bench": "serve_cluster",
         "description": (
@@ -99,7 +149,8 @@ def run_bench(requests: int) -> dict:
                 "worst": worst_wall,
                 "target": WALL_MS_PER_REQUEST_TARGET,
                 "met": worst_wall <= WALL_MS_PER_REQUEST_TARGET,
-            }
+            },
+            "telemetry_overhead": overhead,
         },
     }
 
@@ -132,7 +183,13 @@ def main(argv: list[str] | None = None) -> int:
         f"  wall_ms_per_request: {item['worst']} "
         f"(target <= {item['target']}) [{status}]"
     )
-    return 0
+    overhead = report["headline"]["telemetry_overhead"]
+    overhead_status = "ok" if overhead["met"] else "ABOVE TARGET"
+    print(
+        f"  telemetry_overhead: {overhead['overhead'] * 100:+.1f}% "
+        f"(target <= {overhead['target'] * 100:.0f}%) [{overhead_status}]"
+    )
+    return 0 if item["met"] and overhead["met"] else 1
 
 
 if __name__ == "__main__":

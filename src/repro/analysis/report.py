@@ -30,6 +30,12 @@ from repro.analysis.tables import (
     table3_ipu_resnet,
     table_rows_printable,
 )
+from repro.analysis.telemetry import (
+    BurstScenario,
+    alert_rows,
+    run_burst_scenario,
+    series_rows,
+)
 from repro.hardware.systems import SYSTEM_TAGS, get_system
 
 
@@ -87,6 +93,23 @@ def build_report(*, include_figures: bool = False, figure_dir: str = "figures") 
         f"energy included.\n"
     )
     sections.append(_md_table(cluster_rows(cluster)))
+
+    burst = BurstScenario()
+    result, sampler, monitor = run_burst_scenario(burst)
+    sections.append("\n## Live telemetry: burn-rate alerts under burst load\n")
+    sections.append(
+        f"Burst stream on an autoscaled {burst.system} cluster "
+        f"({' + '.join(f'{n}@{t:g}s' for t, n in burst.bursts)} requests, "
+        f"{burst.min_replicas}→{burst.replicas} replicas, SLO "
+        f"ttft<={burst.slo_ttft_s:g}s / e2e<={burst.slo_e2e_s:g}s at a "
+        f"{burst.objective:.0%} objective). Attainment "
+        f"{monitor.attainment:.3f}; multi-window burn-rate rules fired "
+        f"{len(monitor.alerts)} alert(s).\n"
+    )
+    fired = alert_rows(monitor)
+    sections.append(_md_table(fired) if fired else "(no alerts fired)")
+    sections.append("\n### Sampled fleet timeseries\n")
+    sections.append(_md_table(series_rows(sampler)))
 
     sections.append("\n## Figure 4: throughput heatmaps\n")
     for tag in SYSTEM_TAGS:

@@ -34,6 +34,7 @@ from typing import Callable
 from repro.errors import ConfigError, TransientError
 from repro.faults.injector import WorkpackageInjection, activate_injection
 from repro.faults.plan import FaultPlan
+from repro.obs.telemetry.config import TelemetryPlan, activate_telemetry
 from repro.jube.runner import (
     OperationRegistry,
     WorkItem,
@@ -105,6 +106,7 @@ def run_item_isolated(
     retry: RetryPolicy = RetryPolicy(),
     sleep: SleepFn = time.sleep,
     fault_plan: FaultPlan | None = None,
+    telemetry: TelemetryPlan | None = None,
 ) -> WorkResult:
     """Execute one item, capturing failures and retrying transients.
 
@@ -118,7 +120,17 @@ def run_item_isolated(
     the :class:`WorkResult`, and a result that completed despite fired
     faults comes back ``degraded``.  The scope spans *all* attempts, so
     ``max_fires`` bounds how often a transient fault can abort retries.
+
+    With a ``telemetry`` plan the item runs with live telemetry active:
+    serving operations consult :func:`repro.obs.telemetry.get_telemetry`
+    and write per-workpackage timeseries/OpenMetrics sidecars into the
+    plan's directory.  The plan is process-global state (exactly like
+    fault injection) rather than an operation parameter, so enabling
+    telemetry never changes a workpackage's content-addressed identity.
     """
+    if telemetry is not None:
+        with activate_telemetry(telemetry):
+            return run_item_isolated(registry, item, retry, sleep, fault_plan)
     if fault_plan is not None:
         scope = WorkpackageInjection(
             fault_plan, item.step.name, item.index, item.parameters
@@ -184,17 +196,20 @@ class IsolatingExecutor:
         retry: RetryPolicy = RetryPolicy(),
         sleep: SleepFn = time.sleep,
         fault_plan: FaultPlan | None = None,
+        telemetry: TelemetryPlan | None = None,
     ) -> None:
         self.registry = resolve_registry_factory(registry_factory)()
         self.retry = retry
         self.sleep = sleep
         self.fault_plan = fault_plan
+        self.telemetry = telemetry
 
     def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
         """Execute items in order; failures are captured per item."""
         return [
             run_item_isolated(
-                self.registry, item, self.retry, self.sleep, self.fault_plan
+                self.registry, item, self.retry, self.sleep, self.fault_plan,
+                self.telemetry,
             )
             for item in items
         ]
@@ -210,6 +225,7 @@ _worker_registry: OperationRegistry | None = None
 _worker_retry: RetryPolicy = RetryPolicy()
 _worker_sleep: SleepFn = time.sleep
 _worker_fault_plan: FaultPlan | None = None
+_worker_telemetry: TelemetryPlan | None = None
 
 
 def _pool_init(
@@ -217,19 +233,23 @@ def _pool_init(
     retry: RetryPolicy,
     sleep: SleepFn,
     fault_plan: FaultPlan | None,
+    telemetry: TelemetryPlan | None = None,
 ) -> None:
     """Pool initializer: runs once in each worker process."""
     global _worker_registry, _worker_retry, _worker_sleep, _worker_fault_plan
+    global _worker_telemetry
     _worker_registry = resolve_registry_factory(factory)()
     _worker_retry = retry
     _worker_sleep = sleep
     _worker_fault_plan = fault_plan
+    _worker_telemetry = telemetry
 
 
 def _pool_worker(item: WorkItem) -> WorkResult:
     """Executed in the worker process: run one item; only it is pickled."""
     return run_item_isolated(
-        _worker_registry, item, _worker_retry, _worker_sleep, _worker_fault_plan
+        _worker_registry, item, _worker_retry, _worker_sleep,
+        _worker_fault_plan, _worker_telemetry,
     )
 
 
@@ -260,6 +280,7 @@ class PoolExecutor:
         retry: RetryPolicy = RetryPolicy(),
         sleep: SleepFn = time.sleep,
         fault_plan: FaultPlan | None = None,
+        telemetry: TelemetryPlan | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be >= 1")
@@ -270,6 +291,7 @@ class PoolExecutor:
         self.retry = retry
         self.sleep = sleep  # must be picklable (it ships to the workers)
         self.fault_plan = fault_plan  # plain data, ships to the workers too
+        self.telemetry = telemetry  # frozen dataclass, ships to the workers
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._pool_config: tuple | None = None
         self._workers = 0
@@ -277,7 +299,10 @@ class PoolExecutor:
         resolve_registry_factory(self.registry_factory)
 
     def _config(self) -> tuple:
-        return (self.registry_factory, self.retry, self.sleep, self.fault_plan)
+        return (
+            self.registry_factory, self.retry, self.sleep, self.fault_plan,
+            self.telemetry,
+        )
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         """The persistent pool, (re)built if config changed since start."""

@@ -11,6 +11,7 @@ Subcommands::
     caraml campaign continue <spec.yaml>     # resume (retries failures)
     caraml campaign status <spec.yaml>
     caraml campaign results <spec.yaml> [--csv out.csv]
+    caraml watch run.timeseries.jsonl        # replay telemetry dashboard
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from repro.core.suite import SHIPPED_SCRIPTS, CaramlSuite
 from repro.errors import ReproError
 from repro.hardware.systems import SYSTEM_TAGS, get_system
 from repro.obs.cli import add_trace_subparser, run_trace_command
+from repro.obs.telemetry.cli import add_watch_subparser, run_watch_command
 from repro.obs.log import (
     add_verbosity_flags,
     configure_logging,
@@ -185,6 +187,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also dump the per-request latency records to this JSON file",
     )
+    serve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="sample live telemetry and write OpenMetrics + timeseries "
+        "JSONL exports into this directory (replay with 'caraml watch')",
+    )
+    serve.add_argument(
+        "--watch",
+        action="store_true",
+        help="render the live sparkline dashboard while serving",
+    )
+    from repro.serve.result import PERCENTILE_MODE_EXACT, PERCENTILE_MODES
+
+    serve.add_argument(
+        "--percentiles",
+        default=PERCENTILE_MODE_EXACT,
+        choices=sorted(PERCENTILE_MODES),
+        help="latency percentile computation: exact nearest-rank over "
+        "retained samples, or p2 streaming sketches (O(1) memory)",
+    )
     _add_trace_flag(serve)
     _add_faults_flag(serve)
 
@@ -253,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
                 help="process-pool size (default: one per workpackage, max 8)",
             )
             cp.add_argument(
+                "--telemetry",
+                default=None,
+                metavar="DIR",
+                help="serving workpackages sample live telemetry and write "
+                "per-workpackage OpenMetrics + timeseries JSONL sidecars "
+                "into this directory",
+            )
+            cp.add_argument(
                 "--sequential",
                 action="store_true",
                 help="run in-process instead of through the process pool",
@@ -283,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(jr)
 
     add_trace_subparser(sub)
+    add_watch_subparser(sub)
     return parser
 
 
@@ -337,6 +369,13 @@ def _run_campaign_with_store(args, out, spec, store) -> int:
             "chaos mode: fault plan %r (%d faults)", faults.name, len(faults.faults)
         )
 
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from repro.obs.telemetry import TelemetryPlan
+
+        telemetry = TelemetryPlan(directory=args.telemetry)
+        logger.info("telemetry capture into %s", telemetry.directory)
+
     if args.campaign_command in ("run", "continue"):
         from repro.obs.trace import NULL_TRACER, activate
 
@@ -350,12 +389,16 @@ def _run_campaign_with_store(args, out, spec, store) -> int:
                 logger.info("tracing forces the sequential executor")
             tracer = _open_tracer(args.trace)
             executor = IsolatingExecutor(
-                sleep=tracer.virtual_clock.advance, fault_plan=faults
+                sleep=tracer.virtual_clock.advance,
+                fault_plan=faults,
+                telemetry=telemetry,
             )
         elif args.sequential:
-            executor = IsolatingExecutor(fault_plan=faults)
+            executor = IsolatingExecutor(fault_plan=faults, telemetry=telemetry)
         else:
-            executor = PoolExecutor(max_workers=args.workers, fault_plan=faults)
+            executor = PoolExecutor(
+                max_workers=args.workers, fault_plan=faults, telemetry=telemetry
+            )
         runner = CampaignRunner(store, executor, faults=faults)
         try:
             with activate(tracer):
@@ -375,6 +418,8 @@ def _run_campaign_with_store(args, out, spec, store) -> int:
         print(f"store: {store.path}", file=out)
         if args.trace:
             print(f"trace: {args.trace}", file=out)
+        if telemetry is not None:
+            print(f"telemetry: {telemetry.directory}", file=out)
         return 0 if report.failed == 0 else 1
 
     if args.campaign_command == "status":
@@ -404,6 +449,41 @@ def _run_campaign_with_store(args, out, spec, store) -> int:
 def _print_result_row(result, out) -> None:
     for key, value in result.row().items():
         print(f"  {key}: {value}", file=out)
+
+
+def _print_serve_telemetry(args, served, sampler, monitor, out) -> None:
+    """Report a serve run's telemetry: alerts, exports (``--telemetry``)."""
+    for alert in monitor.alerts:
+        cleared = (
+            f"cleared {alert.cleared_at_s:.2f}s" if not alert.active else "active"
+        )
+        print(
+            f"  alert {alert.rule}: fired {alert.fired_at_s:.2f}s "
+            f"(burn {alert.burn_rate_short:.1f}x short / "
+            f"{alert.burn_rate_long:.1f}x long, {cleared})",
+            file=out,
+        )
+    print(
+        f"  telemetry: {sampler.samples_taken} samples, "
+        f"{len(sampler.all_series())} series, "
+        f"slo attainment {monitor.attainment:.4f}",
+        file=out,
+    )
+    if not args.telemetry:
+        return
+    from pathlib import Path
+
+    from repro.obs.metrics import get_metrics
+    from repro.obs.telemetry import render_openmetrics, write_timeseries_jsonl
+
+    directory = Path(args.telemetry)
+    directory.mkdir(parents=True, exist_ok=True)
+    ts_path = write_timeseries_jsonl(sampler, directory / "serve.timeseries.jsonl")
+    om_path = directory / "serve.om"
+    om_path.write_text(render_openmetrics(get_metrics()))
+    print(f"  timeseries: {ts_path}", file=out)
+    print(f"  openmetrics: {om_path}", file=out)
+    print(f"  (replay with: caraml watch {ts_path})", file=out)
 
 
 def _fault_scope(args, step: str):
@@ -511,6 +591,21 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
             or args.prefill_replicas > 0
             or args.decode_replicas > 0
         )
+        sampler = monitor = dashboard = None
+        if args.telemetry or args.watch:
+            from repro.obs.metrics import MetricsRegistry, set_metrics
+            from repro.obs.telemetry import SLOMonitor, TelemetrySampler
+            from repro.obs.telemetry.cli import LiveDashboard
+
+            # Fresh registry per capture: the OpenMetrics export must
+            # describe this run only, even when several CLI invocations
+            # share one process (tests, notebooks).
+            set_metrics(MetricsRegistry())
+            sampler = TelemetrySampler()
+            monitor = SLOMonitor()
+            if args.watch:
+                dashboard = LiveDashboard(out)
+                sampler.on_sample(dashboard.on_sample)
         if args.sessions > 0:
             arrivals = SessionArrivals(
                 rate_per_s=args.rate,
@@ -555,6 +650,9 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                     else None
                 ),
                 disaggregation=disagg,
+                telemetry=sampler,
+                slo_monitor=monitor,
+                percentile_mode=args.percentiles,
             )
         else:
             simulator = ServingSimulator(
@@ -562,11 +660,18 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                 batch_cap=args.batch_cap,
                 queue_capacity=args.queue_cap,
                 slo=slo,
+                telemetry=sampler,
+                slo_monitor=monitor,
+                percentile_mode=args.percentiles,
             )
         with _maybe_traced(args.trace, out), activate_injection(scope):
             served = simulator.run(arrivals)
+        if dashboard is not None:
+            dashboard.finish(sampler, served.train.elapsed_s)
         _print_result_row(served.train, out)
         _print_fired_faults(scope, out)
+        if sampler is not None:
+            _print_serve_telemetry(args, served, sampler, monitor, out)
         if args.requests_json:
             from pathlib import Path
 
@@ -634,6 +739,9 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
 
     if args.command == "trace":
         return run_trace_command(args, out)
+
+    if args.command == "watch":
+        return run_watch_command(args, out)
 
     if args.command == "jube" and args.jube_command == "run":
         with _maybe_traced(args.trace, out):

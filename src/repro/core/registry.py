@@ -38,6 +38,54 @@ def _require(args: dict[str, str], key: str) -> str:
         raise JubeError(f"operation missing required --{key}") from None
 
 
+def _telemetry_capture():
+    """Sampler + monitor when a campaign telemetry plan is active.
+
+    Returns ``(plan, sampler, monitor)`` — all ``None`` when telemetry
+    is off, so serving operations pass ``telemetry=None`` through and
+    pay nothing.  The plan arrives process-globally (pool initializer →
+    :func:`repro.obs.telemetry.get_telemetry`), never as an operation
+    parameter: workpackage result keys are content-addressed over the
+    operation template and must not change when capture is enabled.
+
+    A fresh metrics registry is installed per capture so the
+    OpenMetrics sidecar describes exactly this workpackage — without
+    it, earlier in-process runs would leak accumulated counters into
+    the export and break byte-determinism.
+    """
+    from repro.obs.metrics import MetricsRegistry, set_metrics
+    from repro.obs.telemetry import SLOMonitor, TelemetrySampler, get_telemetry
+
+    plan = get_telemetry()
+    if plan is None:
+        return None, None, None
+    set_metrics(MetricsRegistry())
+    return plan, TelemetrySampler(interval_s=plan.interval_s), SLOMonitor()
+
+
+def _export_telemetry(plan, sampler, monitor, wp: Workpackage, out: dict) -> None:
+    """Write per-workpackage telemetry sidecars; record paths in outputs.
+
+    Only the artifact *paths* and scalar counts land in ``out`` — the
+    timeseries themselves stay in the sidecar files so store rows remain
+    small and comparable with telemetry off.
+    """
+    from repro.obs.metrics import get_metrics
+    from repro.obs.telemetry import render_openmetrics
+    from repro.obs.telemetry.export import write_timeseries_jsonl
+
+    ts_path = write_timeseries_jsonl(
+        sampler, plan.path_for(wp.id, ".timeseries.jsonl")
+    )
+    om_path = plan.path_for(wp.id, ".om")
+    om_path.parent.mkdir(parents=True, exist_ok=True)
+    om_path.write_text(render_openmetrics(get_metrics()))
+    out["telemetry_samples"] = sampler.samples_taken
+    out["slo_alerts_fired"] = len(monitor.alerts)
+    out["telemetry_timeseries"] = str(ts_path)
+    out["telemetry_openmetrics"] = str(om_path)
+
+
 def build_operation_registry() -> OperationRegistry:
     """All operations the shipped CARAML scripts use."""
     registry = OperationRegistry()
@@ -136,6 +184,7 @@ def build_operation_registry() -> OperationRegistry:
         engine = InferenceEngine(
             get_system(system), get_gpt_preset(args.get("model", "800M"))
         )
+        plan, sampler, monitor = _telemetry_capture()
         simulator = ServingSimulator(
             engine,
             batch_cap=int(args.get("batch-cap", "16")),
@@ -144,6 +193,8 @@ def build_operation_registry() -> OperationRegistry:
                 ttft_s=slo_ttft_ms / 1e3 if slo_ttft_ms > 0 else None,
                 e2e_s=slo_e2e_ms / 1e3 if slo_e2e_ms > 0 else None,
             ),
+            telemetry=sampler,
+            slo_monitor=monitor,
         )
         arrivals = PoissonArrivals(
             rate_per_s=float(_require(args, "rate")),
@@ -164,11 +215,16 @@ def build_operation_registry() -> OperationRegistry:
             f"ttft p99 (ms): {summary.ttft.p99 * 1e3:.1f} | "
             f"goodput tokens per second: {summary.goodput_tokens_per_s:.1f}"
         )
-        out = {k: round(v, 6) for k, v in summary.to_dict().items()}
+        out = {
+            k: round(v, 6) if isinstance(v, (int, float)) else v
+            for k, v in summary.to_dict().items()
+        }
         out["energy_per_device_wh"] = round(served.train.energy_per_device_wh, 6)
         out["mean_power_per_device_w"] = round(
             served.train.mean_power_per_device_w, 4
         )
+        if plan is not None:
+            _export_telemetry(plan, sampler, monitor, wp, out)
         out["status"] = "OK"
         return out
 
@@ -208,6 +264,7 @@ def build_operation_registry() -> OperationRegistry:
             if args.get("autoscale", "false") == "true"
             else None
         )
+        plan, sampler, monitor = _telemetry_capture()
         simulator = ClusterSimulator(
             engine,
             replicas=int(args.get("replicas", "2")),
@@ -220,6 +277,8 @@ def build_operation_registry() -> OperationRegistry:
             ),
             autoscale=autoscale,
             disaggregation=disagg,
+            telemetry=sampler,
+            slo_monitor=monitor,
         )
         sessions = int(args.get("sessions", "0"))
         if sessions > 0:
@@ -250,12 +309,17 @@ def build_operation_registry() -> OperationRegistry:
             f"{summary.serve.goodput_tokens_per_s:.1f} | "
             f"load imbalance: {summary.load_imbalance:.3f}"
         )
-        out = {k: round(v, 6) for k, v in summary.to_dict().items()}
+        out = {
+            k: round(v, 6) if isinstance(v, (int, float)) else v
+            for k, v in summary.to_dict().items()
+        }
         out["router"] = summary.router
         out["energy_per_device_wh"] = round(
             served.train.energy_per_device_wh, 6
         )
         out["devices"] = summary.replicas_max
+        if plan is not None:
+            _export_telemetry(plan, sampler, monitor, wp, out)
         out["status"] = "OK"
         return out
 

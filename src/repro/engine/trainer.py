@@ -84,7 +84,10 @@ class TrainResult:
             "energy_per_device_wh": round(self.energy_per_device_wh, 4),
             "mean_power_per_device_w": round(self.mean_power_per_device_w, 2),
             "efficiency_per_wh": round(self.efficiency_per_wh, 2),
-            **{k: round(v, 4) for k, v in self.extra.items()},
+            **{
+                k: round(v, 4) if isinstance(v, (int, float)) else v
+                for k, v in self.extra.items()
+            },
         }
 
 

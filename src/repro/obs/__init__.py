@@ -12,7 +12,11 @@ itself measurable.  Four pieces:
   snapshot export,
 * :mod:`repro.obs.log` — ``repro.*`` logger namespace + CLI verbosity,
 * :mod:`repro.obs.summary` — per-span time/energy breakdown of a
-  recorded trace (``caraml trace summary``).
+  recorded trace (``caraml trace summary``),
+* :mod:`repro.obs.telemetry` — the *live* layer: fixed-interval
+  sampling into ring timeseries, P² percentile sketches, SLO burn-rate
+  alerting, OpenMetrics/JSONL exporters and the ``caraml watch``
+  dashboard.
 
 Tracing is off by default and free when off: the active tracer is a
 no-op :class:`~repro.obs.trace.NullTracer` until a CLI ``--trace`` flag

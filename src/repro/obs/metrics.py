@@ -63,7 +63,14 @@ class Counter:
 
 
 class Gauge:
-    """Point-in-time value per label set (can go up and down)."""
+    """Point-in-time value per label set (can go up and down).
+
+    A gauge stores only the *latest* value per label set.  Consumers
+    that need the history (the telemetry sampler's per-replica
+    timeseries) subscribe through
+    :meth:`MetricsRegistry.add_gauge_listener`; with no listener
+    registered, writes cost a single falsy check beyond the store.
+    """
 
     kind = "gauge"
 
@@ -71,15 +78,27 @@ class Gauge:
         self.name = name
         self.help = help
         self._series: dict[LabelKey, float] = {}
+        self._listeners: list = []
 
     def set(self, value: float, **labels: str) -> None:
         """Set one series to ``value``."""
         self._series[_label_key(labels)] = float(value)
+        if self._listeners:
+            self._notify(labels, float(value))
 
     def add(self, amount: float, **labels: str) -> None:
         """Adjust one series by ``amount``."""
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + float(amount)
+        value = self._series.get(key, 0.0) + float(amount)
+        self._series[key] = value
+        if self._listeners:
+            self._notify(labels, value)
+
+    def _notify(self, labels: dict, value: float) -> None:
+        """Deliver one update to every subscribed listener."""
+        labelled = {str(k): str(v) for k, v in labels.items()}
+        for fn in list(self._listeners):
+            fn(self.name, labelled, value)
 
     def value(self, **labels: str) -> float:
         """Current value of one series (0.0 if never set)."""
@@ -155,6 +174,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
         self._lock = threading.Lock()
+        self._gauge_listeners: list = []
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs):
         with self._lock:
@@ -166,8 +186,28 @@ class MetricsRegistry:
                     )
                 return existing
             instrument = cls(name, help, **kwargs)
+            if cls is Gauge:
+                # Share the registry's listener list so subscriptions
+                # reach gauges created before *and* after add_gauge_listener.
+                instrument._listeners = self._gauge_listeners
             self._instruments[name] = instrument
             return instrument
+
+    def add_gauge_listener(self, fn) -> None:
+        """Subscribe ``fn(name, labels, value)`` to every gauge write.
+
+        This is the timeline hook fixing last-write-wins history loss:
+        the telemetry sampler uses it to keep per-label timeseries
+        while gauges themselves stay point-in-time.
+        """
+        with self._lock:
+            self._gauge_listeners.append(fn)
+
+    def remove_gauge_listener(self, fn) -> None:
+        """Unsubscribe a listener added by :meth:`add_gauge_listener`."""
+        with self._lock:
+            if fn in self._gauge_listeners:
+                self._gauge_listeners.remove(fn)
 
     def counter(self, name: str, help: str = "") -> Counter:
         """Get or create a counter."""
@@ -207,9 +247,10 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":"))
 
     def reset(self) -> None:
-        """Drop every instrument (test isolation)."""
+        """Drop every instrument and gauge listener (test isolation)."""
         with self._lock:
             self._instruments.clear()
+            self._gauge_listeners.clear()
 
 
 _default = MetricsRegistry()

@@ -1,0 +1,82 @@
+"""Process-global telemetry plan for campaign workers.
+
+Campaign operations run in worker processes whose result identity is
+content-addressed over the operation template — telemetry must NOT be a
+template parameter or it would change result keys and invalidate
+caches.  Instead (mirroring the fault-injection plumbing) the
+``--telemetry`` flag becomes a picklable :class:`TelemetryPlan` shipped
+through the executor's pool initializer into a process-global that the
+serving operations consult: when a plan is active they attach a sampler
+and write sidecar artifacts next to the store, recording only the
+artifact *paths* in workpackage outputs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.obs.telemetry.sampler import DEFAULT_SAMPLE_INTERVAL_S
+
+
+@dataclass(frozen=True)
+class TelemetryPlan:
+    """Picklable description of campaign telemetry capture.
+
+    Attributes
+    ----------
+    directory:
+        Directory telemetry artifacts are written into (one
+        ``<workpackage id>.timeseries.jsonl`` and ``.om`` pair per
+        serving workpackage).
+    interval_s:
+        Sampling interval in simulated seconds.
+    """
+
+    directory: str
+    interval_s: float = DEFAULT_SAMPLE_INTERVAL_S
+
+    def __post_init__(self) -> None:
+        """Validate the plan."""
+        if not self.directory:
+            raise ConfigError("telemetry plan needs a directory")
+        if self.interval_s <= 0:
+            raise ConfigError("telemetry interval must be positive")
+
+    def path_for(self, workpackage_id: str, suffix: str) -> Path:
+        """Artifact path for one workpackage (``/`` and ``#`` sanitised)."""
+        safe = workpackage_id.replace("/", "_").replace("#", "_")
+        return Path(self.directory) / f"{safe}{suffix}"
+
+    def to_dict(self) -> dict:
+        """Serializable plan (campaign manifest record)."""
+        return {"directory": self.directory, "interval_s": self.interval_s}
+
+
+_active: TelemetryPlan | None = None
+
+
+def get_telemetry() -> TelemetryPlan | None:
+    """The active telemetry plan, or None when telemetry is off."""
+    return _active
+
+
+def set_telemetry(plan: TelemetryPlan | None) -> TelemetryPlan | None:
+    """Install a plan process-wide; returns the previous one."""
+    global _active
+    previous = _active
+    _active = plan
+    return previous
+
+
+@contextmanager
+def activate_telemetry(plan: TelemetryPlan | None) -> Iterator[TelemetryPlan | None]:
+    """Scope-install a plan, restoring the previous one on exit."""
+    previous = set_telemetry(plan)
+    try:
+        yield get_telemetry()
+    finally:
+        set_telemetry(previous)

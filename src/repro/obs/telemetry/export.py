@@ -1,0 +1,109 @@
+"""Deterministic timeseries JSONL export and load.
+
+The sampled telemetry of a run is persisted as JSON Lines: a ``meta``
+header line (sampling interval, sample count) followed by one line per
+series carrying its name, labels and parallel ``times_s``/``values``
+arrays.  Keys are sorted and floats rounded to a fixed precision, so a
+seeded run writes a byte-identical file every time — the property CI
+asserts.  :func:`load_timeseries_jsonl` reads the format back for the
+``caraml watch`` replay mode and the analysis report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+#: Decimal places kept for timestamps and values in exports.
+EXPORT_PRECISION = 6
+
+#: ``kind`` tag of the header line.
+META_KIND = "telemetry_meta"
+
+#: ``kind`` tag of per-series lines.
+SERIES_KIND = "series"
+
+
+def _dumps(doc: dict) -> str:
+    """Deterministic single-line JSON."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _round(values: list[float]) -> list[float]:
+    """Round a value list to the export precision."""
+    return [round(float(v), EXPORT_PRECISION) for v in values]
+
+
+def timeseries_json_lines(sampler) -> list[str]:
+    """Render a sampler's series as deterministic JSONL lines."""
+    lines = [
+        _dumps(
+            {
+                "kind": META_KIND,
+                "interval_s": sampler.interval_s,
+                "samples_taken": sampler.samples_taken,
+                "series_count": len(sampler.all_series()),
+            }
+        )
+    ]
+    for ring in sampler.all_series():
+        doc = ring.to_dict()
+        lines.append(
+            _dumps(
+                {
+                    "kind": SERIES_KIND,
+                    "name": doc["name"],
+                    "labels": doc["labels"],
+                    "dropped": doc["dropped"],
+                    "times_s": _round(doc["times_s"]),
+                    "values": _round(doc["values"]),
+                }
+            )
+        )
+    return lines
+
+
+def write_timeseries_jsonl(sampler, path: str | Path) -> Path:
+    """Write a sampler's series to ``path`` as JSONL; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("\n".join(timeseries_json_lines(sampler)) + "\n")
+    return target
+
+
+def load_timeseries_jsonl(path: str | Path) -> dict:
+    """Load an exported telemetry file.
+
+    Returns ``{"meta": {...}, "series": [{...}, ...]}`` with each
+    series dict carrying ``name``, ``labels``, ``times_s`` and
+    ``values`` — the shape the replay dashboard and the analysis
+    report consume.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise ConfigError(f"telemetry file not found: {source}")
+    meta: dict = {}
+    series: list[dict] = []
+    for lineno, line in enumerate(source.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{source}:{lineno}: invalid JSON: {exc}") from exc
+        kind = doc.get("kind")
+        if kind == META_KIND:
+            meta = doc
+        elif kind == SERIES_KIND:
+            if len(doc.get("times_s", [])) != len(doc.get("values", [])):
+                raise ConfigError(
+                    f"{source}:{lineno}: times/values length mismatch"
+                )
+            series.append(doc)
+        else:
+            raise ConfigError(f"{source}:{lineno}: unknown line kind {kind!r}")
+    if not meta:
+        raise ConfigError(f"{source}: missing {META_KIND!r} header line")
+    return {"meta": meta, "series": series}

@@ -1,0 +1,221 @@
+"""OpenMetrics / Prometheus text exposition of the metrics registry.
+
+:func:`render_openmetrics` serialises a
+:class:`~repro.obs.metrics.MetricsRegistry` into the OpenMetrics text
+format — ``# TYPE`` / ``# HELP`` metadata, one sample line per label
+set, histogram ``_bucket``/``_sum``/``_count`` expansion, and the
+mandatory ``# EOF`` terminator — so any Prometheus-compatible scraper
+can ingest a run's metrics.  Families and series are emitted in sorted
+order and floats formatted with a fixed precision, making the output
+byte-identical across repeated seeded runs.
+
+:func:`validate_openmetrics` is a dependency-free linter over the same
+grammar (CI runs it against campaign exports); it returns a list of
+problems, empty when the document is well-formed.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Sample-name suffix OpenMetrics mandates for counter samples.
+COUNTER_SUFFIX = "_total"
+
+#: The mandatory final line of an OpenMetrics document.
+EOF_LINE = "# EOF"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition-format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a help string for a ``# HELP`` line."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """Deterministic sample-value formatting."""
+    return f"{float(value):.10g}"
+
+
+def _labelset(labels: dict[str, str]) -> str:
+    """Render one sorted, escaped ``{k="v",...}`` block ('' if empty)."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(val))}"' for key, val in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _family_name(name: str, kind: str) -> str:
+    """OpenMetrics family name (counters drop the ``_total`` suffix)."""
+    if kind == "counter" and name.endswith(COUNTER_SUFFIX):
+        return name[: -len(COUNTER_SUFFIX)]
+    return name
+
+
+def render_openmetrics(registry) -> str:
+    """Render a metrics registry as an OpenMetrics text document."""
+    lines: list[str] = []
+    snapshot = registry.snapshot()
+    for name in sorted(snapshot):
+        doc = snapshot[name]
+        kind = doc["type"]
+        family = _family_name(name, kind)
+        lines.append(f"# TYPE {family} {kind}")
+        if doc["help"]:
+            lines.append(f"# HELP {family} {_escape_help(doc['help'])}")
+        entries = sorted(
+            doc["series"], key=lambda entry: sorted(entry["labels"].items())
+        )
+        for entry in entries:
+            labels = entry["labels"]
+            if kind == "histogram":
+                state = entry["value"]
+                buckets = registry.histogram(name).buckets
+                cumulative = 0
+                for bound, count in zip(buckets, state["counts"]):
+                    cumulative += count
+                    bucket_labels = dict(labels, le=_fmt(bound))
+                    lines.append(
+                        f"{family}_bucket{_labelset(bucket_labels)} {cumulative}"
+                    )
+                cumulative += state["counts"][-1]
+                inf_labels = dict(labels, le="+Inf")
+                lines.append(f"{family}_bucket{_labelset(inf_labels)} {cumulative}")
+                lines.append(f"{family}_sum{_labelset(labels)} {_fmt(state['sum'])}")
+                lines.append(f"{family}_count{_labelset(labels)} {state['count']}")
+            elif kind == "counter":
+                lines.append(
+                    f"{family}{COUNTER_SUFFIX}{_labelset(labels)} "
+                    f"{_fmt(entry['value'])}"
+                )
+            else:
+                lines.append(f"{family}{_labelset(labels)} {_fmt(entry['value'])}")
+    lines.append(EOF_LINE)
+    return "\n".join(lines) + "\n"
+
+
+def _check_sample(
+    line: str, lineno: int, families: dict[str, str], problems: list[str]
+) -> None:
+    """Validate one sample line against the declared families."""
+    match = _SAMPLE_RE.match(line)
+    if not match:
+        problems.append(f"line {lineno}: unparseable sample line: {line!r}")
+        return
+    name = match.group("name")
+    labels = match.group("labels")
+    if labels:
+        for part in _split_labels(labels):
+            if not _LABEL_RE.match(part):
+                problems.append(f"line {lineno}: bad label pair {part!r}")
+    try:
+        float(match.group("value"))
+    except ValueError:
+        problems.append(f"line {lineno}: non-numeric value {match.group('value')!r}")
+    family, kind = _resolve_family(name, families)
+    if family is None:
+        problems.append(f"line {lineno}: sample {name!r} has no # TYPE declaration")
+    elif kind == "counter" and not name.endswith(COUNTER_SUFFIX):
+        problems.append(
+            f"line {lineno}: counter sample {name!r} must end with "
+            f"{COUNTER_SUFFIX!r}"
+        )
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split a label block body on commas outside quoted values."""
+    parts: list[str] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _resolve_family(
+    sample_name: str, families: dict[str, str]
+) -> tuple[str | None, str | None]:
+    """Find the declared family a sample name belongs to."""
+    if sample_name in families:
+        return sample_name, families[sample_name]
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base, families[base]
+    return None, None
+
+
+def validate_openmetrics(text: str) -> list[str]:
+    """Lint an OpenMetrics document; return problems (empty = valid)."""
+    problems: list[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return ["document is empty"]
+    if lines[-1] != EOF_LINE:
+        problems.append(f"document must end with {EOF_LINE!r}")
+    families: dict[str, str] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if line == EOF_LINE:
+            if lineno != len(lines):
+                problems.append(f"line {lineno}: content after {EOF_LINE!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            _, _, family, kind = parts
+            if not _NAME_RE.match(family):
+                problems.append(f"line {lineno}: bad family name {family!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "info"):
+                problems.append(f"line {lineno}: unknown family type {kind!r}")
+            if family in families:
+                problems.append(f"line {lineno}: duplicate TYPE for {family!r}")
+            families[family] = kind
+        elif line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                problems.append(f"line {lineno}: malformed HELP line")
+            elif parts[2] not in families:
+                problems.append(
+                    f"line {lineno}: HELP for undeclared family {parts[2]!r}"
+                )
+        elif line.startswith("#"):
+            problems.append(f"line {lineno}: unknown comment directive: {line!r}")
+        elif not line.strip():
+            problems.append(f"line {lineno}: blank line is not allowed")
+        else:
+            _check_sample(line, lineno, families, problems)
+    return problems

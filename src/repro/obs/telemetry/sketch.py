@@ -1,0 +1,286 @@
+"""Streaming quantile estimation: the P² algorithm and rolling windows.
+
+Million-request serving runs cannot afford to hold every latency sample
+for an end-of-run sort.  The **P² algorithm** (Jain & Chlamtac, CACM
+1985) estimates one quantile from a stream in O(1) memory: five markers
+track the running minimum, maximum, the target quantile and its two
+midpoints, and each marker's height is adjusted by a piecewise-parabolic
+prediction as observations arrive.
+
+Accuracy contract (asserted by the property suite): on
+randomly-ordered streams of at least :data:`P2_MIN_SAMPLES_FOR_BOUND`
+observations, the P² estimate of percentile ``q`` lies within the
+*exact* nearest-rank values at ranks ``q ± P2_RANK_TOLERANCE`` — i.e.
+the estimate is at most two percentile ranks off, which for
+serving-latency distributions translates to a few percent of the tail
+value.  Fully pre-sorted (monotone) input is the algorithm's worst
+case: the parabolic marker prediction lags a drifting distribution,
+so sorted streams are only guaranteed the looser
+:data:`P2_SORTED_RANK_TOLERANCE`.  Small streams fall back to exact
+nearest rank over the buffered first observations, so sketch and
+exact mode agree exactly below five samples.
+
+Everything here is deterministic: the same observation sequence yields
+byte-identical serialized sketch state (:meth:`P2Quantile.to_dict`
+round-trips through sorted-key JSON).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigError
+
+#: Documented accuracy bound of the P² estimate, in percentile ranks:
+#: the estimate lies between the exact values at ``q - tol`` and
+#: ``q + tol`` once the stream is long enough.
+P2_RANK_TOLERANCE = 2.0
+
+#: Worst-case bound for fully pre-sorted (monotone) input streams,
+#: where the marker prediction lags the drifting sample distribution.
+P2_SORTED_RANK_TOLERANCE = 6.0
+
+#: Stream length from which the :data:`P2_RANK_TOLERANCE` bound holds.
+P2_MIN_SAMPLES_FOR_BOUND = 10_000
+
+#: Marker count of the P² estimator (min, lower mid, target, upper
+#: mid, max).
+_MARKERS = 5
+
+
+def _nearest_rank(ordered: list[float], q: float) -> float:
+    """Exact nearest-rank percentile of an ascending-sorted sample."""
+    rank = int(-(-(q * len(ordered)) // 100))  # ceil(q/100 * n)
+    return ordered[max(rank, 1) - 1]
+
+
+class P2Quantile:
+    """O(1)-memory streaming estimator of one percentile.
+
+    Parameters
+    ----------
+    q:
+        Target percentile in (0, 100).
+
+    The first five observations are buffered and answered exactly;
+    from the sixth on, the five P² markers are maintained and
+    :attr:`value` returns the middle marker's height.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 100.0:
+            raise ConfigError(f"P2 percentile must be in (0, 100), got {q}")
+        self.q = float(q)
+        self.count = 0
+        p = self.q / 100.0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._rates = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into the sketch."""
+        x = float(x)
+        self.count += 1
+        if self.count <= _MARKERS:
+            self._heights.append(x)
+            self._heights.sort()
+            return
+        h = self._heights
+        # Locate the marker cell the observation falls into; the
+        # extreme markers absorb new minima/maxima directly.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, _MARKERS):
+            self._positions[i] += 1.0
+        for i in range(_MARKERS):
+            self._desired[i] += self._rates[i]
+        self._adjust_markers()
+
+    def _adjust_markers(self) -> None:
+        """Move the three inner markers toward their desired positions."""
+        n = self._positions
+        h = self._heights
+        for i in (1, 2, 3):
+            d = self._desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        """Piecewise-parabolic (P²) height prediction for marker ``i``."""
+        n = self._positions
+        h = self._heights
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        """Linear fallback when the parabola leaves the marker order."""
+        n = self._positions
+        h = self._heights
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """The current estimate (exact below five observations)."""
+        if self.count == 0:
+            raise ConfigError("P2 sketch has no observations")
+        if self.count <= _MARKERS:
+            return _nearest_rank(self._heights, self.q)
+        return self._heights[2]
+
+    def to_dict(self) -> dict:
+        """Serializable sketch state (byte-deterministic via JSON)."""
+        return {
+            "q": self.q,
+            "count": self.count,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+        }
+
+    def state_json(self) -> str:
+        """Deterministic JSON of :meth:`to_dict` (property-suite probe)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "P2Quantile":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        sketch = cls(float(doc["q"]))
+        sketch.count = int(doc["count"])
+        sketch._heights = [float(v) for v in doc["heights"]]
+        sketch._positions = [float(v) for v in doc["positions"]]
+        sketch._desired = [float(v) for v in doc["desired"]]
+        return sketch
+
+
+class StreamingQuantiles:
+    """A bundle of P² sketches plus running mean/max over one stream.
+
+    The O(1) replacement for a stored-sample latency summary: one
+    :class:`P2Quantile` per requested percentile plus the running sum,
+    count and maximum, so a
+    :class:`~repro.serve.result.LatencySummary`-shaped result can be
+    produced without retaining the observations.
+    """
+
+    __slots__ = ("sketches", "count", "_sum", "_max")
+
+    def __init__(self, percentiles: tuple[float, ...]) -> None:
+        if not percentiles:
+            raise ConfigError("need at least one percentile to track")
+        self.sketches = {float(q): P2Quantile(q) for q in percentiles}
+        self.count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into every sketch."""
+        x = float(x)
+        self.count += 1
+        self._sum += x
+        if x > self._max or self.count == 1:
+            self._max = x
+        for sketch in self.sketches.values():
+            sketch.observe(x)
+
+    def quantile(self, q: float) -> float:
+        """Current estimate of one tracked percentile."""
+        try:
+            return self.sketches[float(q)].value
+        except KeyError:
+            raise ConfigError(f"percentile {q} is not tracked") from None
+
+    @property
+    def mean(self) -> float:
+        """Running mean of the stream (0.0 when empty)."""
+        return self._sum / self.count if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Running maximum of the stream (0.0 when empty)."""
+        return self._max
+
+    def to_dict(self) -> dict:
+        """Serializable state of every sketch plus the running moments."""
+        return {
+            "count": self.count,
+            "sum": self._sum,
+            "max": self._max,
+            "sketches": {
+                f"{q:g}": sketch.to_dict() for q, sketch in self.sketches.items()
+            },
+        }
+
+
+class RollingWindow:
+    """Time-windowed observations for rolling percentiles.
+
+    Keeps ``(t, value)`` pairs no older than ``window_s`` (bounded
+    additionally by ``max_samples`` so adversarial bursts cannot grow
+    the window without limit — the oldest samples are dropped first).
+    Used by the sampler for rolling-window latency percentiles, where
+    the window is short and bounded by construction.
+    """
+
+    __slots__ = ("window_s", "max_samples", "_times", "_values")
+
+    def __init__(self, window_s: float, max_samples: int = 4096) -> None:
+        if window_s <= 0:
+            raise ConfigError("rolling window must be positive")
+        if max_samples < 1:
+            raise ConfigError("rolling window needs at least one sample slot")
+        self.window_s = float(window_s)
+        self.max_samples = int(max_samples)
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def observe(self, t_s: float, value: float) -> None:
+        """Record one timestamped observation and prune the window."""
+        self._times.append(float(t_s))
+        self._values.append(float(value))
+        self.prune(t_s)
+
+    def prune(self, now_s: float) -> None:
+        """Drop samples older than the window (and over the cap)."""
+        cutoff = float(now_s) - self.window_s
+        drop = 0
+        n = len(self._times)
+        while drop < n and self._times[drop] < cutoff:
+            drop += 1
+        if n - drop > self.max_samples:
+            drop = n - self.max_samples
+        if drop:
+            del self._times[:drop]
+            del self._values[:drop]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def percentile(self, q: float, now_s: float | None = None) -> float:
+        """Nearest-rank percentile of the current window (0.0 if empty)."""
+        if now_s is not None:
+            self.prune(now_s)
+        if not self._values:
+            return 0.0
+        return _nearest_rank(sorted(self._values), q)

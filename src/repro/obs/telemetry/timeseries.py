@@ -1,0 +1,100 @@
+"""Ring-buffered timeseries for sampled telemetry.
+
+A :class:`RingTimeseries` holds the most recent ``capacity`` samples of
+one named series (optionally labelled, e.g. ``replica=3``).  The ring
+bounds memory for arbitrarily long runs while keeping the full history
+for short ones; exporters and the dashboard read whatever the ring
+retains.  Sample timestamps are simulated seconds from the shared
+:class:`~repro.obs.clock.VirtualClock`, so identical seeded runs fill
+identical rings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Default ring capacity — at the default 100 ms sampling interval this
+#: retains about 17 simulated minutes per series.
+DEFAULT_RING_CAPACITY = 10_000
+
+
+@dataclass
+class RingTimeseries:
+    """Fixed-capacity ring of ``(t_s, value)`` samples for one series.
+
+    Attributes
+    ----------
+    name:
+        Series name (one of the ``TS_*`` constants for built-in probes).
+    labels:
+        Label pairs identifying the sub-series, e.g. ``{"replica": "0"}``.
+    capacity:
+        Maximum retained samples; older samples are overwritten.
+    """
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    capacity: int = DEFAULT_RING_CAPACITY
+    _times: list[float] = field(default_factory=list, repr=False)
+    _values: list[float] = field(default_factory=list, repr=False)
+    _start: int = field(default=0, repr=False)
+    _dropped: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        """Validate the ring configuration."""
+        if self.capacity < 1:
+            raise ConfigError("ring capacity must be at least 1")
+
+    def append(self, t_s: float, value: float) -> None:
+        """Record one sample, evicting the oldest when full."""
+        if len(self._times) < self.capacity:
+            self._times.append(float(t_s))
+            self._values.append(float(value))
+        else:
+            self._times[self._start] = float(t_s)
+            self._values[self._start] = float(value)
+            self._start = (self._start + 1) % self.capacity
+            self._dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def dropped(self) -> int:
+        """Samples evicted because the ring was full."""
+        return self._dropped
+
+    def times(self) -> list[float]:
+        """Retained sample timestamps, oldest first."""
+        return self._times[self._start :] + self._times[: self._start]
+
+    def values(self) -> list[float]:
+        """Retained sample values, oldest first."""
+        return self._values[self._start :] + self._values[: self._start]
+
+    def samples(self) -> list[tuple[float, float]]:
+        """Retained ``(t_s, value)`` pairs, oldest first."""
+        return list(zip(self.times(), self.values()))
+
+    def last(self) -> float:
+        """Most recent value (0.0 when the ring is empty)."""
+        if not self._values:
+            return 0.0
+        return self._values[(self._start - 1) % len(self._values)]
+
+    def key(self) -> tuple:
+        """Hashable identity of the series: name plus sorted labels."""
+        return (self.name, tuple(sorted(self.labels.items())))
+
+    def to_dict(self) -> dict:
+        """Serializable snapshot of the retained window."""
+        return {
+            "name": self.name,
+            "labels": dict(sorted(self.labels.items())),
+            "capacity": self.capacity,
+            "dropped": self._dropped,
+            "times_s": self.times(),
+            "values": self.values(),
+        }

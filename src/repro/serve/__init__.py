@@ -21,10 +21,14 @@ from repro.serve.arrivals import (
 )
 from repro.serve.queue import AdmissionQueue
 from repro.serve.result import (
+    PERCENTILE_MODE_EXACT,
+    PERCENTILE_MODE_SKETCH,
+    PERCENTILE_MODES,
     LatencySummary,
     RequestRecord,
     ServeSummary,
     SLOPolicy,
+    StreamingSummarizer,
     percentile,
     summarize,
 )
@@ -47,6 +51,9 @@ __all__ = [
     "DEFAULT_QUEUE_CAPACITY",
     "FixedArrivals",
     "LatencySummary",
+    "PERCENTILE_MODES",
+    "PERCENTILE_MODE_EXACT",
+    "PERCENTILE_MODE_SKETCH",
     "PoissonArrivals",
     "Request",
     "RequestRecord",
@@ -56,6 +63,7 @@ __all__ = [
     "ServeSummary",
     "ServingSimulator",
     "SessionArrivals",
+    "StreamingSummarizer",
     "TraceArrivals",
     "percentile",
     "summarize",

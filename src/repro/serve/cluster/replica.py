@@ -171,6 +171,7 @@ class Replica:
         self._prefix_cache_slots = prefix_cache_slots
         self._prefix_cache: OrderedDict[int, None] = OrderedDict()
         self._accounted_until_s = start_s
+        self._spinup_util = 0.0
         # Accumulated accounting.
         self.completed = 0
         self.prefills = 0
@@ -280,6 +281,23 @@ class Replica:
         """Energy of one constant-utilisation phase, in Wh."""
         return self.power_model.energy(utilisation, duration_s) / JOULES_PER_WH
 
+    def current_watts(self, now_s: float) -> float:
+        """Instantaneous electrical power draw at ``now_s``, in watts.
+
+        The telemetry sampler's power probe: 0 W while ``STOPPED``,
+        the spin-up utilisation's power while ``STARTING``, the phase
+        utilisation's power during a busy phase, idle power otherwise.
+        """
+        if self.state is ReplicaState.STOPPED:
+            return 0.0
+        if self.state is ReplicaState.STARTING:
+            return self.power_model.power(self._spinup_util)
+        if self.phase is not None:
+            t0, t1, util, _, _ = self.phase
+            if t0 <= now_s <= t1:
+                return self.power_model.power(util)
+        return self.power_model.power(0.0)
+
     # -- lifecycle -----------------------------------------------------------
 
     def spin_up(self, now_s: float, delay_s: float, utilisation: float) -> None:
@@ -294,6 +312,7 @@ class Replica:
             raise ConfigError(f"replica {self.index} is not stopped")
         self.account_to(now_s)
         self.state = ReplicaState.STARTING
+        self._spinup_util = utilisation
         self.ready_at_s = now_s + delay_s
         self.spinups += 1
         self.spinup_s += delay_s

@@ -159,12 +159,17 @@ class ClusterSummary:
 
 @dataclass(frozen=True)
 class ClusterResult:
-    """Everything one cluster serving run produced."""
+    """Everything one cluster serving run produced.
+
+    ``alerts`` carries the burn-rate monitor's summary when one was
+    attached to the run (``None`` otherwise — telemetry off).
+    """
 
     train: TrainResult
     summary: ClusterSummary
     records: tuple[ClusterRecord, ...]
     rejected: tuple[Request, ...]
+    alerts: dict | None = None
 
     def records_json(self) -> str:
         """Deterministic JSON of the per-request cluster records.

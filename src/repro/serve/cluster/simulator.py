@@ -37,6 +37,8 @@ from repro.engine.inference import (
 from repro.engine.trainer import TrainResult
 from repro.errors import ConfigError
 from repro.obs.metrics import get_metrics
+from repro.obs.telemetry.sampler import TelemetrySampler
+from repro.obs.telemetry.slo import SLOMonitor
 from repro.obs.trace import get_tracer
 from repro.serve.arrivals import Request
 from repro.serve.cluster.autoscaler import AutoscalePolicy, Autoscaler
@@ -49,22 +51,31 @@ from repro.serve.cluster.disagg import (
 from repro.serve.cluster.replica import Replica, ReplicaRole, ReplicaState
 from repro.serve.cluster.result import ClusterRecord, ClusterResult, ClusterSummary
 from repro.serve.cluster.router import DEFAULT_ROUTER_POLICY, Router, make_router
-from repro.serve.result import RequestRecord, SLOPolicy, summarize
+from repro.serve.constants import (  # noqa: F401  (historical import location)
+    CLUSTER_QUEUE_DEPTH_COUNTER,
+    CLUSTER_REPLICAS_COUNTER,
+    CLUSTER_REPLICAS_GAUGE,
+    CLUSTER_REPLICAS_GAUGE_HELP,
+    CLUSTER_TRACK,
+    TS_BATCH_OCCUPANCY,
+    TS_KV_UTILISATION,
+    TS_POWER_WATTS,
+    TS_QUEUE_DEPTH,
+    TS_REPLICAS_ON,
+    TS_TTFT_ROLLING_P95,
+)
+from repro.serve.result import (
+    PERCENTILE_MODE_EXACT,
+    PERCENTILE_MODE_SKETCH,
+    PERCENTILE_MODES,
+    RequestRecord,
+    SLOPolicy,
+    StreamingSummarizer,
+    summarize,
+)
 from repro.serve.scheduler import DEFAULT_BATCH_CAP
-from repro.serve.simulator import DEFAULT_QUEUE_CAPACITY
+from repro.serve.simulator import DEFAULT_QUEUE_CAPACITY, _emit_alert_transitions
 from repro.simcluster.clock import VirtualClock
-
-#: Trace track cluster request spans and counters live on.
-CLUSTER_TRACK = "cluster"
-
-#: Trace counter of requests waiting across all replica queues.
-CLUSTER_QUEUE_DEPTH_COUNTER = "cluster/queue_depth"
-
-#: Trace counter of powered-on replicas over simulated time.
-CLUSTER_REPLICAS_COUNTER = "cluster/replicas_on"
-
-#: Metrics gauge mirroring :data:`CLUSTER_REPLICAS_COUNTER`.
-CLUSTER_REPLICAS_GAUGE = "cluster_replicas_on"
 
 #: Phase kinds the event loop schedules.
 _PREFILL, _DECODE = "prefill", "decode"
@@ -120,6 +131,54 @@ class _ClusterLoop:
         self.transfer_energy_total_wh = 0.0
         self.transfer_s_total = 0.0
         self.transfer_count = 0
+        self.sampler = sim.telemetry
+        self.monitor = sim.slo_monitor
+        self._ttft_window = None
+        if self.sampler is not None:
+            self.sampler.align(self.start_s)
+            for replica in self.replicas:
+                labels = {"replica": str(replica.index)}
+                self.sampler.add_probe(
+                    TS_QUEUE_DEPTH,
+                    lambda t, r=replica: float(len(r.queue)),
+                    labels=labels,
+                )
+                self.sampler.add_probe(
+                    TS_BATCH_OCCUPANCY,
+                    lambda t, r=replica: float(r.scheduler.batch_size),
+                    labels=labels,
+                )
+                self.sampler.add_probe(
+                    TS_KV_UTILISATION,
+                    lambda t, r=replica: (
+                        r.scheduler.kv_reserved_bytes / r.scheduler.kv_budget_bytes
+                        if r.scheduler.kv_budget_bytes
+                        else 0.0
+                    ),
+                    labels=labels,
+                )
+                self.sampler.add_probe(
+                    TS_POWER_WATTS, replica.current_watts, labels=labels
+                )
+            self.sampler.add_probe(TS_REPLICAS_ON, self._replicas_on)
+            self._ttft_window = self.sampler.add_rolling(TS_TTFT_ROLLING_P95)
+
+    def _replicas_on(self, t_s: float) -> float:
+        """Fleet-level probe: powered-on replica count."""
+        return float(
+            sum(1 for r in self.replicas if r.state is not ReplicaState.STOPPED)
+        )
+
+    def _observe_completion(self, seq, now: float) -> None:
+        """Feed one completion to the SLO monitor and rolling window."""
+        if self.monitor is not None:
+            request = seq.request
+            ok = self.sim.slo.met_values(
+                seq.first_token_s - request.arrival_s, now - request.arrival_s
+            )
+            _emit_alert_transitions(self.monitor.observe(now, ok))
+        if self._ttft_window is not None:
+            self._ttft_window.observe(now, seq.first_token_s - seq.request.arrival_s)
 
     # -- routing pools -------------------------------------------------------
 
@@ -145,7 +204,7 @@ class _ClusterLoop:
             1 for r in self.replicas if r.state is not ReplicaState.STOPPED
         )
         get_metrics().gauge(
-            CLUSTER_REPLICAS_GAUGE, "powered-on cluster replicas"
+            CLUSTER_REPLICAS_GAUGE, CLUSTER_REPLICAS_GAUGE_HELP
         ).set(on, system=self.sim.engine.node.jube_tag)
         tracer = get_tracer()
         if tracer.enabled:
@@ -184,12 +243,18 @@ class _ClusterLoop:
         # Route anything already due at t0, then iterate events.
         self._ingest(self.clock.now())
         self._dispatch(self.clock.now())
+        if self.sampler is not None:
+            self.sampler.tick(self.clock.now())
         while self._work_remaining():
             now = self.clock.now()
             target = self._next_event_time(now)
             if target > now:
                 self.clock.advance_to(target)
                 now = target
+            # Sample boundaries crossed by the advance see the
+            # piecewise-constant state of the interval just ended.
+            if self.sampler is not None:
+                self.sampler.tick(now)
             self._replica_transitions(now)
             self._phase_completions(now)
             self._ingest(now)
@@ -236,6 +301,7 @@ class _ClusterLoop:
                 for seq in replica.scheduler.step_completed(t1):
                     replica.completed += 1
                     self.finished.append((seq, t1, replica.index))
+                    self._observe_completion(seq, t1)
             elif kind == _PREFILL and replica.role is ReplicaRole.PREFILL:
                 self._start_transfer(members[0], replica, t1)
 
@@ -416,6 +482,19 @@ class ClusterSimulator:
     disaggregation:
         Optional :class:`DisaggregationSpec` splitting the fleet into
         prefill and decode pools with a KV handoff per request.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.sampler.TelemetrySampler`;
+        when given, every replica registers queue-depth,
+        batch-occupancy, KV-utilisation and instantaneous-watts probes
+        (labelled ``replica=<index>``) plus a fleet-level replicas-on
+        series, sampled at every crossed boundary of the event loop.
+    slo_monitor:
+        Optional :class:`~repro.obs.telemetry.slo.SLOMonitor` fed one
+        attainment observation per completion; alert transitions go to
+        the trace, the summary to ``ClusterResult.alerts``.
+    percentile_mode:
+        ``"exact"`` (default) or ``"p2"`` — see
+        :class:`~repro.serve.simulator.ServingSimulator`.
     """
 
     def __init__(
@@ -429,9 +508,17 @@ class ClusterSimulator:
         slo: SLOPolicy | None = None,
         autoscale: AutoscalePolicy | None = None,
         disaggregation: DisaggregationSpec | None = None,
+        telemetry: TelemetrySampler | None = None,
+        slo_monitor: SLOMonitor | None = None,
+        percentile_mode: str = PERCENTILE_MODE_EXACT,
     ) -> None:
         if replicas < 1:
             raise ConfigError("cluster needs at least one replica")
+        if percentile_mode not in PERCENTILE_MODES:
+            raise ConfigError(
+                f"unknown percentile mode {percentile_mode!r}; "
+                f"known: {PERCENTILE_MODES}"
+            )
         if autoscale is not None and disaggregation is not None:
             raise ConfigError(
                 "autoscaling a disaggregated cluster is not supported yet: "
@@ -445,6 +532,9 @@ class ClusterSimulator:
         self.slo = slo if slo is not None else SLOPolicy()
         self.autoscale = autoscale
         self.disaggregation = disaggregation
+        self.telemetry = telemetry
+        self.slo_monitor = slo_monitor
+        self.percentile_mode = percentile_mode
         if disaggregation is not None:
             self.n_replicas = disaggregation.total_replicas
             self.link = (
@@ -508,6 +598,8 @@ class ClusterSimulator:
             else VirtualClock()
         )
         self.requests_by_index = {r.index: r for r in requests}
+        if self.telemetry is not None and not self.telemetry.attached:
+            self.telemetry.attach_registry(get_metrics())
         loop = _ClusterLoop(self, requests, clock)
         probe = loop.replicas[0].scheduler
         for request in requests:
@@ -522,16 +614,29 @@ class ClusterSimulator:
             },
         ):
             loop.run()
+        if self.telemetry is not None:
+            self.telemetry.finish(clock.now())
         elapsed = clock.now() - loop.start_s
         records = loop.records()
-        summary = ClusterSummary(
-            serve=summarize(
+        if self.percentile_mode == PERCENTILE_MODE_SKETCH:
+            streamer = StreamingSummarizer(slo=self.slo)
+            for cluster_record in records:
+                streamer.observe(cluster_record.record)
+            serve_summary = streamer.summary(
+                offered=len(requests),
+                rejected=len(loop.rejected()),
+                elapsed_s=elapsed,
+            )
+        else:
+            serve_summary = summarize(
                 [c.record for c in records],
                 offered=len(requests),
                 rejected=len(loop.rejected()),
                 elapsed_s=elapsed,
                 slo=self.slo,
-            ),
+            )
+        summary = ClusterSummary(
+            serve=serve_summary,
             router=self.router_name,
             replicas=tuple(r.stats() for r in loop.replicas),
             replicas_max=self.n_replicas,
@@ -548,6 +653,9 @@ class ClusterSimulator:
             summary=summary,
             records=tuple(records),
             rejected=loop.rejected(),
+            alerts=(
+                self.slo_monitor.to_dict() if self.slo_monitor is not None else None
+            ),
         )
 
     def _train_result(

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.obs.telemetry.sketch import StreamingQuantiles
 
 #: Median rank of every latency summary (the typical request).
 MEDIAN_PERCENTILE = 50.0
@@ -30,20 +31,45 @@ P99_PERCENTILE = 99.0
 #: Percentiles every latency summary reports, in ascending order.
 SUMMARY_PERCENTILES = (MEDIAN_PERCENTILE, P95_PERCENTILE, P99_PERCENTILE)
 
+# Nearest-rank semantics, named: a percentile ``q`` is a rank on a
+# 0-100 scale, the selected ordinal is ``ceil(q/100 * n)``, and ranks
+# clamp at the first element so q→0⁺ returns the minimum.
+#: Scale percentile ranks are expressed on.
+PERCENTILE_SCALE = 100.0
+#: Lowest ordinal rank a percentile may select (1-indexed minimum).
+PERCENTILE_MIN_RANK = 1
+
+#: Summary percentiles computed by exact nearest-rank over the stored
+#: sample (byte-reproducible, O(n log n) at summary time).
+PERCENTILE_MODE_EXACT = "exact"
+#: Summary percentiles estimated by streaming P² sketches (O(1) memory;
+#: may differ from exact by up to
+#: :data:`repro.obs.telemetry.sketch.P2_RANK_TOLERANCE` percentile
+#: ranks on long streams — see that module's accuracy contract).
+PERCENTILE_MODE_SKETCH = "p2"
+#: Every recognised percentile mode.
+PERCENTILE_MODES = (PERCENTILE_MODE_EXACT, PERCENTILE_MODE_SKETCH)
+
 
 def percentile(values: list[float] | tuple[float, ...], q: float) -> float:
     """Nearest-rank percentile of ``values`` (q in (0, 100]).
 
     Nearest-rank is exact on small samples and fully deterministic,
-    which keeps serving summaries byte-reproducible.
+    which keeps serving summaries byte-reproducible.  Sketch-mode
+    summaries (:data:`PERCENTILE_MODE_SKETCH`) estimate the same ranks
+    with P² sketches and may differ from this function within the
+    documented tolerance.
     """
     if not values:
         raise ConfigError("percentile of an empty sample")
-    if not 0.0 < q <= 100.0:
+    if not 0.0 < q <= PERCENTILE_SCALE:
         raise ConfigError(f"percentile must be in (0, 100], got {q}")
+    if len(values) == 1:
+        # Single-sample fast path: every rank selects the only element.
+        return values[0]
     ordered = sorted(values)
-    rank = int(-(-(q * len(ordered)) // 100))  # ceil(q/100 * n)
-    return ordered[max(rank, 1) - 1]
+    rank = int(-(-(q * len(ordered)) // PERCENTILE_SCALE))  # ceil(q/100 * n)
+    return ordered[max(rank, PERCENTILE_MIN_RANK) - 1]
 
 
 @dataclass(frozen=True)
@@ -134,6 +160,19 @@ class LatencySummary:
         """
         return cls(p50=0.0, p95=0.0, p99=0.0, mean=0.0, max=0.0)
 
+    @classmethod
+    def from_streaming(cls, stream: StreamingQuantiles) -> "LatencySummary":
+        """Summary from a P² sketch bundle (zero summary when empty)."""
+        if stream.count == 0:
+            return cls.zero()
+        return cls(
+            p50=stream.quantile(MEDIAN_PERCENTILE),
+            p95=stream.quantile(P95_PERCENTILE),
+            p99=stream.quantile(P99_PERCENTILE),
+            mean=stream.mean,
+            max=stream.max,
+        )
+
     def to_dict(self) -> dict:
         """Plain-mapping form."""
         return {
@@ -164,9 +203,13 @@ class SLOPolicy:
 
     def met(self, record: RequestRecord) -> bool:
         """Whether one completed request meets every active bound."""
-        if self.ttft_s is not None and record.ttft_s > self.ttft_s:
+        return self.met_values(record.ttft_s, record.e2e_s)
+
+    def met_values(self, ttft_s: float, e2e_s: float) -> bool:
+        """Attainment check on raw latencies (online SLO monitoring)."""
+        if self.ttft_s is not None and ttft_s > self.ttft_s:
             return False
-        if self.e2e_s is not None and record.e2e_s > self.e2e_s:
+        if self.e2e_s is not None and e2e_s > self.e2e_s:
             return False
         return True
 
@@ -196,6 +239,7 @@ class ServeSummary:
     energy_per_request_wh: float
     tokens_per_wh: float
     extra: dict[str, float] = field(default_factory=dict)
+    percentile_mode: str = PERCENTILE_MODE_EXACT
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -208,7 +252,12 @@ class ServeSummary:
         return self.slo_attained / self.completed if self.completed else 1.0
 
     def to_dict(self) -> dict:
-        """Flat numeric mapping (result-store / TrainResult.extra form)."""
+        """Flat mapping (result-store / TrainResult.extra form).
+
+        All values are numeric except ``percentile_mode``, which names
+        the mode (:data:`PERCENTILE_MODES`) that produced the latency
+        percentiles.
+        """
         out = {
             "offered_requests": float(self.offered),
             "completed_requests": float(self.completed),
@@ -232,6 +281,7 @@ class ServeSummary:
             for key, value in summary.to_dict().items():
                 out[f"{name}_{key}_s"] = value
         out.update(self.extra)
+        out["percentile_mode"] = self.percentile_mode
         return out
 
 
@@ -288,3 +338,70 @@ def summarize(
         energy_per_request_wh=energy / len(records),
         tokens_per_wh=generated / energy if energy > 0 else 0.0,
     )
+
+
+class StreamingSummarizer:
+    """O(1)-memory :class:`ServeSummary` builder fed one record at a time.
+
+    The streaming counterpart of :func:`summarize`: latency percentiles
+    come from P² sketches instead of sorting stored samples, so a
+    million-request run needs constant memory for its summary.  The
+    resulting summary carries ``percentile_mode="p2"`` and its
+    percentiles may differ from exact nearest-rank within the sketch
+    module's documented tolerance.
+    """
+
+    def __init__(self, *, slo: SLOPolicy | None = None) -> None:
+        self.slo = slo if slo is not None else SLOPolicy()
+        self.completed = 0
+        self.generated_tokens = 0
+        self.good_tokens = 0
+        self.slo_attained = 0
+        self.energy_wh = 0.0
+        self._ttft = StreamingQuantiles(SUMMARY_PERCENTILES)
+        self._tpot = StreamingQuantiles(SUMMARY_PERCENTILES)
+        self._e2e = StreamingQuantiles(SUMMARY_PERCENTILES)
+        self._queue_delay = StreamingQuantiles(SUMMARY_PERCENTILES)
+
+    def observe(self, record: RequestRecord) -> bool:
+        """Fold one completed request in; returns its SLO attainment."""
+        self.completed += 1
+        self.generated_tokens += record.generate_tokens
+        self.energy_wh += record.energy_wh
+        self._ttft.observe(record.ttft_s)
+        self._tpot.observe(record.tpot_s)
+        self._e2e.observe(record.e2e_s)
+        self._queue_delay.observe(record.queue_delay_s)
+        ok = self.slo.met(record)
+        if ok:
+            self.slo_attained += 1
+            self.good_tokens += record.generate_tokens
+        return ok
+
+    def summary(
+        self, *, offered: int, rejected: int, elapsed_s: float
+    ) -> ServeSummary:
+        """The sketch-mode summary of everything observed so far."""
+        return ServeSummary(
+            offered=offered,
+            completed=self.completed,
+            rejected=rejected,
+            elapsed_s=elapsed_s,
+            generated_tokens=self.generated_tokens,
+            ttft=LatencySummary.from_streaming(self._ttft),
+            tpot=LatencySummary.from_streaming(self._tpot),
+            e2e=LatencySummary.from_streaming(self._e2e),
+            queue_delay=LatencySummary.from_streaming(self._queue_delay),
+            slo_attained=self.slo_attained,
+            goodput_tokens_per_s=(
+                self.good_tokens / elapsed_s if elapsed_s > 0 else 0.0
+            ),
+            energy_wh=self.energy_wh,
+            energy_per_request_wh=(
+                self.energy_wh / self.completed if self.completed else 0.0
+            ),
+            tokens_per_wh=(
+                self.generated_tokens / self.energy_wh if self.energy_wh > 0 else 0.0
+            ),
+            percentile_mode=PERCENTILE_MODE_SKETCH,
+        )

@@ -43,10 +43,34 @@ from repro.errors import ConfigError, MeasurementError
 from repro.faults.injector import get_injector
 from repro.jpwr.energy import cumulative_energy_wh
 from repro.obs.metrics import get_metrics
+from repro.obs.telemetry.sampler import TelemetrySampler
+from repro.obs.telemetry.slo import SLOMonitor
 from repro.obs.trace import get_tracer
 from repro.serve.arrivals import Request
+from repro.serve.constants import (  # noqa: F401  (historical import location)
+    ALERT_CLEARED_EVENT,
+    ALERT_FIRED_EVENT,
+    QUEUE_DEPTH_COUNTER,
+    QUEUE_DEPTH_GAUGE,
+    QUEUE_DEPTH_GAUGE_HELP,
+    SERVE_TRACK,
+    TELEMETRY_TRACK,
+    TS_BATCH_OCCUPANCY,
+    TS_KV_UTILISATION,
+    TS_QUEUE_DEPTH,
+    TS_TTFT_ROLLING_P95,
+)
 from repro.serve.queue import AdmissionQueue
-from repro.serve.result import RequestRecord, ServeSummary, SLOPolicy, summarize
+from repro.serve.result import (
+    PERCENTILE_MODE_EXACT,
+    PERCENTILE_MODE_SKETCH,
+    PERCENTILE_MODES,
+    RequestRecord,
+    ServeSummary,
+    SLOPolicy,
+    StreamingSummarizer,
+    summarize,
+)
 from repro.serve.scheduler import DEFAULT_BATCH_CAP, ContinuousBatchScheduler
 
 #: Default bound on the admission queue.
@@ -56,20 +80,6 @@ DEFAULT_QUEUE_CAPACITY = 256
 #: (samples also land on every phase edge, so integration stays exact).
 DEFAULT_SAMPLE_INTERVAL_MS = 100.0
 
-#: Trace track request spans and the queue-depth counter live on.
-SERVE_TRACK = "serve"
-
-#: Metrics-registry gauge recording the admission queue depth; tagged
-#: with ``system=<jube tag>`` so multi-system sweeps stay separable.
-QUEUE_DEPTH_GAUGE = "serve_queue_depth"
-
-#: Help string of :data:`QUEUE_DEPTH_GAUGE`.
-QUEUE_DEPTH_GAUGE_HELP = "requests waiting for admission"
-
-#: Trace counter track mirroring :data:`QUEUE_DEPTH_GAUGE` over
-#: simulated time in ``--trace`` runs.
-QUEUE_DEPTH_COUNTER = "serve/queue_depth"
-
 
 @dataclass(frozen=True)
 class ServeResult:
@@ -77,13 +87,16 @@ class ServeResult:
 
     ``train`` is the familiar result-table row (the serving summary is
     flattened into its ``extra``); ``records`` carry the per-request
-    latency/energy detail the summary was computed from.
+    latency/energy detail the summary was computed from.  ``alerts``
+    is the burn-rate monitor's summary when one was attached
+    (``None`` otherwise — telemetry off).
     """
 
     train: TrainResult
     summary: ServeSummary
     records: tuple[RequestRecord, ...]
     rejected: tuple[Request, ...]
+    alerts: dict | None = None
 
     def records_json(self) -> str:
         """Deterministic JSON of the per-request records.
@@ -96,6 +109,25 @@ class ServeResult:
             [r.to_dict() for r in self.records],
             sort_keys=True,
             separators=(",", ":"),
+        )
+
+
+def _emit_alert_transitions(transitions) -> None:
+    """Mirror burn-rate alert fire/clear transitions onto the trace."""
+    if not transitions:
+        return
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    for kind, alert in transitions:
+        tracer.event(
+            ALERT_FIRED_EVENT if kind == "fired" else ALERT_CLEARED_EVENT,
+            attrs={
+                "rule": alert.rule,
+                "burn_rate_short": round(alert.burn_rate_short, 4),
+                "burn_rate_long": round(alert.burn_rate_long, 4),
+            },
+            track=TELEMETRY_TRACK,
         )
 
 
@@ -112,6 +144,21 @@ class _ServeLoop:
         self.intervals: list[tuple[float, float, tuple[int, ...]]] = []
         self.finished: list[tuple[object, float]] = []  # (sequence, completed_s)
         self.decode_steps = 0
+        self.sampler = sim.telemetry
+        self.monitor = sim.slo_monitor
+        self._ttft_window = None
+        if self.sampler is not None:
+            self.sampler.add_probe(TS_QUEUE_DEPTH, lambda t: float(len(self.queue)))
+            self.sampler.add_probe(
+                TS_BATCH_OCCUPANCY, lambda t: float(self.scheduler.batch_size)
+            )
+            self.sampler.add_probe(TS_KV_UTILISATION, self._kv_utilisation)
+            self._ttft_window = self.sampler.add_rolling(TS_TTFT_ROLLING_P95)
+
+    def _kv_utilisation(self, t_s: float) -> float:
+        """Fraction of the KV budget currently reserved."""
+        budget = self.scheduler.kv_budget_bytes
+        return self.scheduler.kv_reserved_bytes / budget if budget else 0.0
 
     def _ingest(self, now: float) -> None:
         while self.pending and self.pending[0].arrival_s <= now:
@@ -125,6 +172,23 @@ class _ServeLoop:
         if tracer.enabled:
             tracer.counter(QUEUE_DEPTH_COUNTER, len(self.queue))
 
+    def _tick(self, now: float) -> None:
+        """Take any telemetry samples due at or before ``now``."""
+        if self.sampler is not None:
+            self.sampler.tick(now)
+
+    def _complete(self, seq, now: float) -> None:
+        """Book one finished sequence; feed SLO monitor and telemetry."""
+        self.finished.append((seq, now))
+        if self.monitor is not None:
+            request = seq.request
+            ok = self.sim.slo.met_values(
+                seq.first_token_s - request.arrival_s, now - request.arrival_s
+            )
+            _emit_alert_transitions(self.monitor.observe(now, ok))
+        if self._ttft_window is not None:
+            self._ttft_window.observe(now, seq.first_token_s - seq.request.arrival_s)
+
     def run(self, runner, clock) -> None:
         """The scheduler loop: idle, admit+prefill, decode, evict."""
         sim = self.sim
@@ -135,6 +199,7 @@ class _ServeLoop:
         util_decode = engine.cal.util_full_llm * DECODE_UTILISATION_FRACTION
         self._ingest(clock.now())
         self._gauge_queue(tag)
+        self._tick(clock.now())
         while self.pending or len(self.queue) or self.scheduler.active:
             now = clock.now()
             if not self.scheduler.active and not len(self.queue):
@@ -144,6 +209,7 @@ class _ServeLoop:
                 nxt = self.pending[0]
                 if nxt.arrival_s > now:
                     runner.idle(nxt.arrival_s - now)
+                self._tick(clock.now())
                 self._ingest(clock.now())
                 if self.pending and self.pending[0] is nxt:
                     self.queue.offer(self.pending.popleft())
@@ -168,6 +234,7 @@ class _ServeLoop:
                 t0 = clock.now()
                 runner.run_phase(t_prefill * factor, util_prefill)
                 self.intervals.append((t0, clock.now(), (request.index,)))
+                self._tick(clock.now())
             self._gauge_queue(tag)
             if not self.scheduler.active:
                 continue
@@ -185,8 +252,9 @@ class _ServeLoop:
             runner.run_phase(step_s, util_decode)
             self.decode_steps += 1
             self.intervals.append((now, clock.now(), members))
+            self._tick(clock.now())
             for seq in self.scheduler.step_completed(clock.now()):
-                self.finished.append((seq, clock.now()))
+                self._complete(seq, clock.now())
             self._ingest(clock.now())
             self._gauge_queue(tag)
 
@@ -232,6 +300,21 @@ class ServingSimulator:
         Latency objectives for attainment/goodput accounting.
     sample_interval_ms:
         jpwr sampling period (samples also land on every phase edge).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.sampler.TelemetrySampler`;
+        when given, the loop registers queue-depth, batch-occupancy,
+        KV-utilisation and rolling-TTFT probes and ticks it on every
+        clock advance.  ``None`` (the default) keeps the hot path free
+        of telemetry branches beyond one ``is None`` check.
+    slo_monitor:
+        Optional :class:`~repro.obs.telemetry.slo.SLOMonitor` fed one
+        attainment observation per completion; its alert transitions
+        are mirrored onto the trace and its summary lands on
+        ``ServeResult.alerts``.
+    percentile_mode:
+        ``"exact"`` (default) sorts stored latencies;
+        ``"p2"`` summarises via streaming P² sketches (O(1) memory,
+        within the documented tolerance of exact).
     """
 
     def __init__(
@@ -242,12 +325,23 @@ class ServingSimulator:
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         slo: SLOPolicy | None = None,
         sample_interval_ms: float = DEFAULT_SAMPLE_INTERVAL_MS,
+        telemetry: TelemetrySampler | None = None,
+        slo_monitor: SLOMonitor | None = None,
+        percentile_mode: str = PERCENTILE_MODE_EXACT,
     ) -> None:
         self.engine = engine
         self.batch_cap = int(batch_cap)
         self.queue_capacity = int(queue_capacity)
         self.slo = slo if slo is not None else SLOPolicy()
         self.sample_interval_ms = float(sample_interval_ms)
+        self.telemetry = telemetry
+        self.slo_monitor = slo_monitor
+        if percentile_mode not in PERCENTILE_MODES:
+            raise ConfigError(
+                f"unknown percentile mode {percentile_mode!r}; "
+                f"known: {PERCENTILE_MODES}"
+            )
+        self.percentile_mode = percentile_mode
         # Validate the cap against the engine's own planner once.
         if batch_cap < 1:
             raise ConfigError("batch cap must be >= 1")
@@ -263,6 +357,8 @@ class ServingSimulator:
         requests = tuple(arrivals.generate())
         if not requests:
             raise ConfigError("arrival process generated no requests")
+        if self.telemetry is not None and not self.telemetry.attached:
+            self.telemetry.attach_registry(get_metrics())
         loop = _ServeLoop(self, requests)
         for request in requests:
             loop.scheduler.admissible(request)
@@ -311,14 +407,26 @@ class ServingSimulator:
                 "requests": len(requests),
             },
         )
+        if self.telemetry is not None:
+            self.telemetry.finish(elapsed)
         records.sort(key=lambda r: r.index)
-        summary = summarize(
-            records,
-            offered=len(requests),
-            rejected=len(loop.queue.rejected),
-            elapsed_s=elapsed,
-            slo=self.slo,
-        )
+        if self.percentile_mode == PERCENTILE_MODE_SKETCH:
+            streamer = StreamingSummarizer(slo=self.slo)
+            for record in records:
+                streamer.observe(record)
+            summary = streamer.summary(
+                offered=len(requests),
+                rejected=len(loop.queue.rejected),
+                elapsed_s=elapsed,
+            )
+        else:
+            summary = summarize(
+                records,
+                offered=len(requests),
+                rejected=len(loop.queue.rejected),
+                elapsed_s=elapsed,
+                slo=self.slo,
+            )
         self._observe(summary, records)
         extra = summary.to_dict()
         extra.pop("elapsed_s", None)  # already a TrainResult field
@@ -342,6 +450,9 @@ class ServingSimulator:
             summary=summary,
             records=tuple(records),
             rejected=loop.queue.rejected,
+            alerts=(
+                self.slo_monitor.to_dict() if self.slo_monitor is not None else None
+            ),
         )
 
     def _observe(self, summary: ServeSummary, records: list[RequestRecord]) -> None:

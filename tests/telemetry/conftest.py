@@ -1,0 +1,26 @@
+"""Isolation fixtures for the telemetry tests.
+
+Telemetry touches two process-wide singletons — the metrics registry
+(gauge listeners) and the telemetry plan — so every test gets fresh
+copies of both, restored afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.telemetry import set_telemetry
+from repro.obs.trace import NULL_TRACER, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry_state():
+    """Fresh registry, null tracer, no telemetry plan around each test."""
+    previous_metrics = set_metrics(MetricsRegistry())
+    previous_tracer = set_tracer(NULL_TRACER)
+    previous_plan = set_telemetry(None)
+    yield
+    set_metrics(previous_metrics)
+    set_tracer(previous_tracer)
+    set_telemetry(previous_plan)

@@ -1,0 +1,121 @@
+"""OpenMetrics exposition and its linter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import get_metrics
+from repro.obs.telemetry import render_openmetrics, validate_openmetrics
+from repro.obs.telemetry.openmetrics import EOF_LINE
+
+pytestmark = pytest.mark.telemetry
+
+
+def populated_registry():
+    registry = get_metrics()
+    registry.counter("requests_total", "served requests").inc(system="A100")
+    registry.counter("requests_total").inc(4, system="GH200")
+    registry.gauge("queue_depth", "admission queue").set(7, replica="0")
+    registry.gauge("queue_depth").set(2, replica="1")
+    hist = registry.histogram("ttft_seconds", "time to first token", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+class TestRender:
+    def test_document_lints_clean(self):
+        text = render_openmetrics(populated_registry())
+        assert validate_openmetrics(text) == []
+
+    def test_counter_family_drops_total_but_samples_keep_it(self):
+        text = render_openmetrics(populated_registry())
+        assert "# TYPE requests counter" in text
+        assert 'requests_total{system="A100"} 1' in text
+        assert 'requests_total{system="GH200"} 4' in text
+
+    def test_gauge_series_sorted_by_labels(self):
+        text = render_openmetrics(populated_registry())
+        lines = text.splitlines()
+        r0 = lines.index('queue_depth{replica="0"} 7')
+        r1 = lines.index('queue_depth{replica="1"} 2')
+        assert r0 < r1
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_openmetrics(populated_registry())
+        assert 'ttft_seconds_bucket{le="0.1"} 1' in text
+        assert 'ttft_seconds_bucket{le="1"} 2' in text
+        assert 'ttft_seconds_bucket{le="+Inf"} 3' in text
+        assert "ttft_seconds_count 3" in text
+
+    def test_help_and_eof(self):
+        text = render_openmetrics(populated_registry())
+        assert "# HELP requests served requests" in text
+        assert text.endswith(EOF_LINE + "\n")
+
+    def test_empty_registry_is_valid(self):
+        text = render_openmetrics(get_metrics())
+        assert text == EOF_LINE + "\n"
+        assert validate_openmetrics(text) == []
+
+    def test_label_values_escaped(self):
+        registry = get_metrics()
+        registry.gauge("g", "").set(1, path='a"b\\c')
+        text = render_openmetrics(registry)
+        assert 'g{path="a\\"b\\\\c"} 1' in text
+        assert validate_openmetrics(text) == []
+
+    def test_deterministic_across_renders(self):
+        registry = populated_registry()
+        assert render_openmetrics(registry) == render_openmetrics(registry)
+
+
+class TestLinter:
+    def test_missing_eof(self):
+        problems = validate_openmetrics("# TYPE x gauge\nx 1\n")
+        assert any("must end with" in p for p in problems)
+
+    def test_sample_without_type_declaration(self):
+        problems = validate_openmetrics("orphan 1\n# EOF\n")
+        assert any("no # TYPE declaration" in p for p in problems)
+
+    def test_counter_sample_requires_total_suffix(self):
+        doc = "# TYPE hits counter\nhits 3\n# EOF\n"
+        problems = validate_openmetrics(doc)
+        assert any("must end with" in p and "_total" in p for p in problems)
+
+    def test_unknown_family_type(self):
+        problems = validate_openmetrics("# TYPE x widget\n# EOF\n")
+        assert any("unknown family type" in p for p in problems)
+
+    def test_duplicate_type(self):
+        doc = "# TYPE x gauge\n# TYPE x gauge\n# EOF\n"
+        assert any("duplicate" in p for p in validate_openmetrics(doc))
+
+    def test_help_before_type(self):
+        doc = "# HELP x too early\n# TYPE x gauge\n# EOF\n"
+        assert any("undeclared family" in p for p in validate_openmetrics(doc))
+
+    def test_non_numeric_value(self):
+        doc = "# TYPE x gauge\nx NaNope\n# EOF\n"
+        assert any("non-numeric" in p for p in validate_openmetrics(doc))
+
+    def test_bad_label_pair(self):
+        doc = '# TYPE x gauge\nx{bad-label="1"} 1\n# EOF\n'
+        assert validate_openmetrics(doc)  # unparseable or bad label
+
+    def test_blank_line_rejected(self):
+        doc = "# TYPE x gauge\n\nx 1\n# EOF\n"
+        assert any("blank line" in p for p in validate_openmetrics(doc))
+
+    def test_content_after_eof(self):
+        doc = "# TYPE x gauge\nx 1\n# EOF\nx 2\n"
+        assert any("after" in p for p in validate_openmetrics(doc))
+
+    def test_unknown_comment_directive(self):
+        doc = "# WAT x\n# EOF\n"
+        assert any("unknown comment" in p for p in validate_openmetrics(doc))
+
+    def test_empty_document(self):
+        assert validate_openmetrics("") == ["document is empty"]

@@ -1,0 +1,149 @@
+"""Sampler mechanics: boundaries, probes, gauge history, ring buffers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import get_metrics
+from repro.obs.telemetry import RingTimeseries, TelemetrySampler
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestBoundaries:
+    def test_tick_samples_every_elapsed_boundary(self):
+        sampler = TelemetrySampler(interval_s=0.1)
+        sampler.add_probe("x", lambda t: t)
+        assert sampler.tick(0.0) == 1  # boundary at t=0
+        assert sampler.tick(0.35) == 3  # 0.1, 0.2, 0.3
+        assert sampler.tick(0.35) == 0  # idempotent at the same time
+        series = sampler.series("x")
+        assert series.times() == pytest.approx([0.0, 0.1, 0.2, 0.3])
+
+    def test_boundaries_are_exact_multiples(self):
+        # Integer-multiplication boundaries: no float-accumulation
+        # drift even over thousands of ticks.
+        sampler = TelemetrySampler(interval_s=0.1)
+        sampler.add_probe("x", lambda t: 0.0)
+        sampler.tick(100.0)
+        times = sampler.series("x").times()
+        assert times[-1] == pytest.approx(100.0, abs=1e-9)
+        assert all(
+            t == pytest.approx(i * 0.1, abs=1e-9) for i, t in enumerate(times)
+        )
+
+    def test_align_skips_boundaries_before_start(self):
+        sampler = TelemetrySampler(interval_s=0.5)
+        sampler.add_probe("x", lambda t: t)
+        sampler.align(2.2)
+        sampler.tick(3.1)
+        assert sampler.series("x").times() == pytest.approx([2.5, 3.0])
+
+    def test_probe_receives_boundary_time(self):
+        seen = []
+        sampler = TelemetrySampler(interval_s=1.0)
+        sampler.add_probe("x", lambda t: seen.append(t) or 0.0)
+        sampler.tick(2.0)
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            TelemetrySampler(interval_s=0.0)
+
+
+class TestGaugeHistory:
+    def test_gauge_writes_become_per_label_series(self):
+        registry = get_metrics()
+        sampler = TelemetrySampler(interval_s=1.0)
+        sampler.attach_registry(registry)
+        gauge = registry.gauge("depth", "queue depth")
+        gauge.set(3.0, replica="0")
+        gauge.set(5.0, replica="1")
+        sampler.tick(0.0)
+        gauge.set(7.0, replica="0")  # last-write-wins fix: history kept
+        sampler.tick(1.0)
+        series0 = sampler.series("depth", {"replica": "0"})
+        series1 = sampler.series("depth", {"replica": "1"})
+        assert series0.values() == [3.0, 7.0]
+        assert series1.values() == [5.0, 5.0]
+
+    def test_gauges_created_after_attach_are_seen(self):
+        registry = get_metrics()
+        sampler = TelemetrySampler(interval_s=1.0)
+        sampler.attach_registry(registry)
+        registry.gauge("late", "created after attach").set(42.0)
+        sampler.tick(0.0)
+        assert sampler.series("late").values() == [42.0]
+
+    def test_double_attach_rejected_and_detach_unsubscribes(self):
+        registry = get_metrics()
+        sampler = TelemetrySampler()
+        sampler.attach_registry(registry)
+        assert sampler.attached
+        with pytest.raises(ConfigError, match="already attached"):
+            sampler.attach_registry(registry)
+        sampler.detach_registry()
+        assert not sampler.attached
+        registry.gauge("after", "post-detach write").set(1.0)
+        sampler.tick(0.0)
+        assert sampler.series("after") is None
+
+    def test_finish_flushes_and_detaches(self):
+        registry = get_metrics()
+        sampler = TelemetrySampler(interval_s=1.0)
+        sampler.attach_registry(registry)
+        sampler.add_probe("x", lambda t: 1.0)
+        sampler.finish(2.0)
+        assert sampler.samples_taken == 3
+        assert not sampler.attached
+
+
+class TestRollingSeries:
+    def test_rolling_percentile_sampled_at_boundaries(self):
+        sampler = TelemetrySampler(interval_s=1.0, rolling_window_s=10.0)
+        window = sampler.add_rolling("ttft_p95", q=95.0)
+        sampler.tick(0.0)  # boundary before any completions
+        window.observe(0.2, 0.5)
+        window.observe(0.4, 1.5)
+        sampler.tick(1.0)
+        values = sampler.series("ttft_p95").values()
+        assert values == [0.0, 1.5]  # empty at t=0, p95 of {0.5, 1.5} at t=1
+
+
+class TestOnSample:
+    def test_callback_fires_per_boundary(self):
+        seen = []
+        sampler = TelemetrySampler(interval_s=1.0)
+        sampler.add_probe("x", lambda t: t)
+        sampler.on_sample(lambda t, s: seen.append((t, s.samples_taken)))
+        sampler.tick(2.0)
+        assert seen == [(0.0, 1), (1.0, 2), (2.0, 3)]
+
+
+class TestRing:
+    def test_overwrites_oldest_when_full(self):
+        ring = RingTimeseries(name="x", labels={}, capacity=3)
+        for i in range(5):
+            ring.append(float(i), float(i * 10))
+        assert ring.times() == [2.0, 3.0, 4.0]
+        assert ring.values() == [20.0, 30.0, 40.0]
+        assert ring.last() == 40.0
+        assert ring.to_dict()["dropped"] == 2
+
+    def test_to_dict_and_key(self):
+        ring = RingTimeseries(name="x", labels={"b": "2", "a": "1"}, capacity=4)
+        ring.append(0.5, 1.0)
+        doc = ring.to_dict()
+        assert doc["labels"] == {"a": "1", "b": "2"}
+        assert doc["times_s"] == [0.5]
+        assert ring.key() == ("x", (("a", "1"), ("b", "2")))
+
+    def test_sampler_to_dict_sorted_series(self):
+        sampler = TelemetrySampler(interval_s=1.0)
+        sampler.add_probe("zeta", lambda t: 1.0)
+        sampler.add_probe("alpha", lambda t: 2.0)
+        sampler.tick(0.0)
+        doc = sampler.to_dict()
+        assert [s["name"] for s in doc["series"]] == ["alpha", "zeta"]
+        assert doc["samples_taken"] == 1

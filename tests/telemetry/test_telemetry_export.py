@@ -1,0 +1,199 @@
+"""Timeseries export/load round-trip, byte-determinism, and dashboards."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.telemetry import (
+    TelemetrySampler,
+    load_timeseries_jsonl,
+    render_dashboard,
+    sparkline,
+    timeseries_json_lines,
+    write_timeseries_jsonl,
+)
+from repro.obs.telemetry.cli import LiveDashboard, run_watch_command
+from repro.obs.telemetry.dashboard import SPARK_CHARS, render_frames
+
+pytestmark = pytest.mark.telemetry
+
+
+def make_sampler() -> TelemetrySampler:
+    sampler = TelemetrySampler(interval_s=0.5)
+    sampler.add_probe("queue_depth", lambda t: 2.0 * t, labels={"replica": "0"})
+    sampler.add_probe("power_w", lambda t: 100.0 + t)
+    sampler.tick(3.0)
+    return sampler
+
+
+class TestExport:
+    def test_header_then_sorted_series(self):
+        lines = timeseries_json_lines(make_sampler())
+        assert '"kind":"telemetry_meta"' in lines[0]
+        assert '"samples_taken":7' in lines[0]
+        assert '"series_count":2' in lines[0]
+        assert len(lines) == 3
+        assert '"name":"power_w"' in lines[1]  # sorted before queue_depth
+        assert '"name":"queue_depth"' in lines[2]
+
+    def test_round_trip(self, tmp_path):
+        sampler = make_sampler()
+        path = write_timeseries_jsonl(sampler, tmp_path / "run.jsonl")
+        loaded = load_timeseries_jsonl(path)
+        assert loaded["meta"]["interval_s"] == 0.5
+        assert loaded["meta"]["samples_taken"] == 7
+        by_name = {s["name"]: s for s in loaded["series"]}
+        assert by_name["queue_depth"]["labels"] == {"replica": "0"}
+        assert by_name["queue_depth"]["values"] == [
+            0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0,
+        ]
+
+    def test_byte_identical_across_identical_runs(self, tmp_path):
+        texts = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = write_timeseries_jsonl(make_sampler(), tmp_path / name)
+            texts.append(path.read_bytes())
+        assert texts[0] == texts[1]
+
+    def test_values_rounded_to_export_precision(self):
+        sampler = TelemetrySampler(interval_s=1.0)
+        sampler.add_probe("x", lambda t: 1.0 / 3.0)
+        sampler.tick(0.0)
+        lines = timeseries_json_lines(sampler)
+        assert '"values":[0.333333]' in lines[1]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_timeseries_jsonl(tmp_path / "absent.jsonl")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{nope\n")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            load_timeseries_jsonl(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"mystery"}\n')
+        with pytest.raises(ConfigError, match="unknown line kind"):
+            load_timeseries_jsonl(path)
+
+    def test_length_mismatch(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind":"series","name":"x","labels":{},'
+            '"times_s":[0.0,1.0],"values":[1.0]}\n'
+        )
+        with pytest.raises(ConfigError, match="length mismatch"):
+            load_timeseries_jsonl(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind":"series","name":"x","labels":{},'
+            '"times_s":[],"values":[]}\n'
+        )
+        with pytest.raises(ConfigError, match="header"):
+            load_timeseries_jsonl(path)
+
+
+class TestSparkline:
+    def test_flat_series_renders_baseline(self):
+        assert sparkline([5.0, 5.0, 5.0]) == SPARK_CHARS[0] * 3
+
+    def test_rising_series_uses_rising_glyphs(self):
+        art = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert art[0] == SPARK_CHARS[0]
+        assert art[-1] == SPARK_CHARS[-1]
+
+    def test_long_series_bucketed_to_width(self):
+        assert len(sparkline([float(i) for i in range(100)], width=10)) == 10
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_width_validated(self):
+        with pytest.raises(ConfigError):
+            sparkline([1.0], width=0)
+
+
+class TestDashboard:
+    def test_renders_series_rows_from_sampler(self):
+        text = render_dashboard(make_sampler(), width=12)
+        assert "== telemetry @ t=3.0s ==" in text
+        assert "power_w" in text
+        assert "queue_depth[replica=0]" in text
+        assert "103.000" in text  # last power_w value
+
+    def test_renders_from_export_doc(self, tmp_path):
+        path = write_timeseries_jsonl(make_sampler(), tmp_path / "run.jsonl")
+        doc = load_timeseries_jsonl(path)
+        text = render_dashboard(doc, width=12, title="replay")
+        assert "== replay @" in text
+        assert "queue_depth[replica=0]" in text
+
+    def test_empty_sampler_placeholder(self):
+        text = render_dashboard(TelemetrySampler(), width=10)
+        assert "(no samples yet)" in text
+
+    def test_render_frames_progressive(self, tmp_path):
+        path = write_timeseries_jsonl(make_sampler(), tmp_path / "run.jsonl")
+        doc = load_timeseries_jsonl(path)
+        frames = render_frames(doc, frames=3, width=10)
+        assert len(frames) == 3
+        # Later frames cover more of the run: clock advances.
+        assert "t=3.0s" in frames[-1]
+
+
+class TestWatchCommand:
+    def _args(self, path, frames=2, width=20, interval=0.0):
+        class Args:
+            pass
+
+        args = Args()
+        args.file = str(path)
+        args.frames = frames
+        args.width = width
+        args.interval = interval
+        return args
+
+    def test_replay_summary(self, tmp_path):
+        path = write_timeseries_jsonl(make_sampler(), tmp_path / "run.jsonl")
+        out = io.StringIO()
+        code = run_watch_command(self._args(path), out)
+        assert code == 0
+        text = out.getvalue()
+        assert "replayed 7 samples over 2 series" in text
+        assert "queue_depth[replica=0]" in text
+
+    def test_single_frame(self, tmp_path):
+        path = write_timeseries_jsonl(make_sampler(), tmp_path / "run.jsonl")
+        out = io.StringIO()
+        assert run_watch_command(self._args(path, frames=1), out) == 0
+        assert "t=3.0s" in out.getvalue()
+
+    def test_rejects_bad_frames(self, tmp_path):
+        path = write_timeseries_jsonl(make_sampler(), tmp_path / "run.jsonl")
+        with pytest.raises(ConfigError):
+            run_watch_command(self._args(path, frames=0), io.StringIO())
+        with pytest.raises(ConfigError):
+            run_watch_command(self._args(path, width=0), io.StringIO())
+
+
+class TestLiveDashboard:
+    def test_redraws_on_refresh_cadence_and_finish(self):
+        out = io.StringIO()
+        live = LiveDashboard(out, refresh_samples=3, width=10)
+        sampler = TelemetrySampler(interval_s=1.0)
+        sampler.add_probe("x", lambda t: t)
+        sampler.on_sample(live.on_sample)
+        sampler.tick(4.0)  # 5 samples -> one redraw at sample 3
+        mid = out.getvalue()
+        assert mid.count("== telemetry") == 1
+        live.finish(sampler, 4.0)
+        final = out.getvalue()
+        assert final.count("== telemetry") == 2
+        assert "t=4.0s" in final
