@@ -208,6 +208,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency percentile computation: exact nearest-rank over "
         "retained samples, or p2 streaming sketches (O(1) memory)",
     )
+    from repro.serve.engines import DEFAULT_ENGINE_MODE, ENGINE_MODES
+
+    serve.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE_MODE,
+        choices=sorted(ENGINE_MODES),
+        help="simulation engine: the vectorized fast path (default) or "
+        "the per-event reference loop it is differentially tested "
+        "against (identical outputs, ~10-100x slower)",
+    )
     _add_trace_flag(serve)
     _add_faults_flag(serve)
 
@@ -579,7 +589,15 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
             SLOPolicy,
         )
 
+        from repro.errors import ConfigError
+        from repro.serve.result import PERCENTILE_MODE_SKETCH
+
         scope = _fault_scope(args, "serve")
+        if args.requests_json and args.percentiles == PERCENTILE_MODE_SKETCH:
+            raise ConfigError(
+                "--requests-json needs per-request records, which "
+                "--percentiles p2 does not store; use --percentiles exact"
+            )
         engine = InferenceEngine(get_system(args.system), get_gpt_preset(args.model))
         slo = SLOPolicy(
             ttft_s=args.slo_ttft_ms / 1e3 if args.slo_ttft_ms > 0 else None,
@@ -653,6 +671,7 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                 telemetry=sampler,
                 slo_monitor=monitor,
                 percentile_mode=args.percentiles,
+                engine_mode=args.engine,
             )
         else:
             simulator = ServingSimulator(
@@ -663,6 +682,7 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                 telemetry=sampler,
                 slo_monitor=monitor,
                 percentile_mode=args.percentiles,
+                engine_mode=args.engine,
             )
         with _maybe_traced(args.trace, out), activate_injection(scope):
             served = simulator.run(arrivals)

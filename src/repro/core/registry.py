@@ -195,6 +195,8 @@ def build_operation_registry() -> OperationRegistry:
             ),
             telemetry=sampler,
             slo_monitor=monitor,
+            percentile_mode=args.get("percentiles", "exact"),
+            engine_mode=args.get("engine", "fast"),
         )
         arrivals = PoissonArrivals(
             rate_per_s=float(_require(args, "rate")),
@@ -279,6 +281,8 @@ def build_operation_registry() -> OperationRegistry:
             disaggregation=disagg,
             telemetry=sampler,
             slo_monitor=monitor,
+            percentile_mode=args.get("percentiles", "exact"),
+            engine_mode=args.get("engine", "fast"),
         )
         sessions = int(args.get("sessions", "0"))
         if sessions > 0:

@@ -101,6 +101,27 @@ def cumulative_energy_wh(
     return t, cumulative_j / JOULES_PER_WH
 
 
+def cumulative_at(
+    times: np.ndarray, cumulative: np.ndarray, bounds: np.ndarray
+) -> np.ndarray:
+    """Cumulative energy (Wh) at arbitrary instants, vectorized.
+
+    One ``np.interp`` over every phase boundary of a serving run —
+    the basis of the incremental attribution cursor: the fast and
+    reference serve engines interpolate each boundary exactly once
+    instead of re-slicing the curve per request, and difference the
+    interpolated values to price phases and residencies.
+
+    Raises :class:`~repro.errors.MeasurementError` when the curve is
+    degenerate (fewer than two samples).
+    """
+    if len(times) < 2:
+        raise MeasurementError(
+            f"need at least 2 curve samples to interpolate, got {len(times)}"
+        )
+    return np.interp(bounds, times, cumulative)
+
+
 def energy_in_window_wh(
     df: DataFrame,
     t0: float,

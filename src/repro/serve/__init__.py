@@ -19,8 +19,15 @@ from repro.serve.arrivals import (
     SessionArrivals,
     TraceArrivals,
 )
+from repro.serve.engines import (
+    DEFAULT_ENGINE_MODE,
+    ENGINE_FAST,
+    ENGINE_MODES,
+    ENGINE_REFERENCE,
+)
 from repro.serve.queue import AdmissionQueue
 from repro.serve.result import (
+    NO_RECORDS_MESSAGE,
     PERCENTILE_MODE_EXACT,
     PERCENTILE_MODE_SKETCH,
     PERCENTILE_MODES,
@@ -48,9 +55,14 @@ __all__ = [
     "BurstArrivals",
     "ContinuousBatchScheduler",
     "DEFAULT_BATCH_CAP",
+    "DEFAULT_ENGINE_MODE",
     "DEFAULT_QUEUE_CAPACITY",
+    "ENGINE_FAST",
+    "ENGINE_MODES",
+    "ENGINE_REFERENCE",
     "FixedArrivals",
     "LatencySummary",
+    "NO_RECORDS_MESSAGE",
     "PERCENTILE_MODES",
     "PERCENTILE_MODE_EXACT",
     "PERCENTILE_MODE_SKETCH",

@@ -1,0 +1,301 @@
+"""The cluster serve fast path: heap events and fused decode runs.
+
+:class:`_FastClusterLoop` is the ``engine_mode="fast"`` implementation
+behind :class:`~repro.serve.cluster.simulator.ClusterSimulator` and the
+path that carries the million-request headline: the reference loop
+costs ~90 events per request (every decode step of every replica is a
+full-loop iteration with an O(sources) next-event scan), the fast loop
+costs ~O(1) heap events per request.
+
+Three mechanisms, each provably output-preserving:
+
+* **Heap-based event scheduling** (:class:`~repro.serve.events.EventHeap`):
+  producers push candidate event times (phase ends, arrivals, transfer
+  completions, autoscaler evaluations, spin-up readiness) and the loop
+  pops the earliest, running the *same fixed handler order* the
+  reference runs per iteration — so same-time ties break identically,
+  and stale or duplicate entries are harmless no-op iterations.
+* **Fused decode runs**: between two queue-changing events a replica's
+  batch membership is provably constant (admissions happen only in
+  ``_dispatch`` at event boundaries, evictions only at completions),
+  so up to ``steps_to_next_completion`` decode steps collapse into one
+  scheduled run.  Step boundaries are reproduced bit-exactly with a
+  sequential ``np.add.accumulate`` (a left fold, exactly the scalar
+  ``t += dt`` chain), and the per-step energy shares fold into the
+  replica's incremental cursor the same way.  A run never extends past
+  the first step boundary at or after the next *potential* queue
+  change (next arrival, any in-flight KV-transfer completion, any
+  prefill-pool phase end), which is exactly when the reference could
+  admit new work mid-stream.
+* **Vectorized KV admission**: per-request KV reservations come from
+  one :class:`~repro.serve.soa.RequestTable` multiply, cached into
+  every replica's scheduler.
+
+Telemetry equivalence: samples are taken at heap events instead of at
+every step boundary, but every probed quantity is piecewise-constant
+between heap events (a fused run presents one synthetic busy phase
+with the same utilisation), so each sample point reads the same value
+it reads under the reference.  Byte-identical outputs are asserted by
+``tests/serve/test_equivalence.py`` across the full configuration grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.arrivals import Request
+from repro.serve.cluster.replica import JOULES_PER_WH, Replica, ReplicaRole, ReplicaState
+from repro.serve.cluster.simulator import _ClusterLoop
+from repro.serve.events import EventHeap
+from repro.serve.soa import RequestTable
+
+#: Phase kind marking a fused multi-step decode run.
+_FUSED_DECODE = "decode-run"
+
+#: Run lengths at or below this fold with scalar arithmetic (same IEEE
+#: operation sequence as the numpy path, without the fixed overhead of
+#: array allocation; crossover measured at roughly a hundred steps).
+_SCALAR_STEPS = 128
+
+#: "No bound": the fused run is limited only by the next completion.
+_NO_BOUND = float("inf")
+
+
+class _FastClusterLoop(_ClusterLoop):
+    """The heap-driven, run-fusing drop-in for ``_ClusterLoop``."""
+
+    def __init__(
+        self, sim, requests: tuple[Request, ...], clock
+    ) -> None:
+        self.table = RequestTable(
+            requests,
+            sim.engine.model.kv_cache_bytes_per_token(sim.engine.policy),
+        )
+        super().__init__(sim, requests, clock)
+        kv_cache = self.table.kv_bytes_by_index()
+        for replica in self.replicas:
+            replica.scheduler.kv_bytes_cache = kv_cache
+        self.events = EventHeap()
+        self._decode_cache: dict[int, float] = {}
+        #: Steps of each in-flight fused run, by replica index.
+        self._run_steps: dict[int, int] = {}
+        self._decode_power = self.replicas[0].power_model.power(self.util_decode)
+        # Last armed time per event source, to avoid duplicate pushes.
+        self._armed_arrival: float | None = None
+        self._armed_eval: float | None = None
+        self._armed_busy: list[float | None] = [None] * len(self.replicas)
+        self._armed_ready: list[float | None] = [None] * len(self.replicas)
+
+    # -- event arming --------------------------------------------------------
+
+    def _arm(self, now: float) -> None:
+        """Push every pending event source's next time (if it changed)."""
+        events = self.events
+        if self.pending:
+            t = self.pending[0].arrival_s
+            if t != self._armed_arrival:
+                events.push_at_or_after(t, now)
+                self._armed_arrival = t
+        for replica in self.replicas:
+            busy = replica.busy_until_s
+            if busy is not None and busy != self._armed_busy[replica.index]:
+                events.push(busy)
+                self._armed_busy[replica.index] = busy
+            if (
+                replica.state is ReplicaState.STARTING
+                and replica.ready_at_s != self._armed_ready[replica.index]
+            ):
+                events.push(replica.ready_at_s)
+                self._armed_ready[replica.index] = replica.ready_at_s
+        if self.autoscaler is not None and (
+            self.autoscaler.next_eval_s != self._armed_eval
+        ):
+            events.push(self.autoscaler.next_eval_s)
+            self._armed_eval = self.autoscaler.next_eval_s
+
+    def _start_transfer(self, index: int, source: Replica, now: float) -> None:
+        super()._start_transfer(index, source, now)
+        self.events.push(self.transfers[-1].done_at_s)
+
+    # -- event loop ----------------------------------------------------------
+
+    def run(self) -> None:
+        """The reference loop's handler order, driven by the heap."""
+        self._observe_replicas()
+        now = self.clock.now()
+        self._ingest(now)
+        self._dispatch(now)
+        if self.sampler is not None:
+            self.sampler.tick(now)
+        self._arm(now)
+        while self._work_remaining():
+            target = self.events.pop_due()
+            now = self.clock.now()
+            if target > now:
+                self.clock.advance_to(target)
+                now = target
+            if self.sampler is not None:
+                self.sampler.tick(now)
+            self._replica_transitions(now)
+            self._phase_completions(now)
+            self._ingest(now)
+            self._transfer_completions(now)
+            if self.autoscaler is not None and self.autoscaler.due(now):
+                started, stopped = self.autoscaler.evaluate(now)
+                if started or stopped:
+                    self._observe_replicas()
+            self._dispatch(now)
+            self._arm(now)
+        # Close every powered-on replica's idle accounting at end of run.
+        end = self.clock.now()
+        for replica in self.replicas:
+            replica.account_to(max(end, replica.ready_at_s))
+
+    # -- fused decode runs ---------------------------------------------------
+
+    def _run_bound(self) -> float:
+        """Earliest future event that could add work to a busy replica.
+
+        New queue entries come only from arrivals (routing) and KV
+        transfer deliveries; new transfers are created only when a
+        prefill-pool phase ends.  A fused run that does not extend past
+        the first step boundary at or after this time can never miss a
+        mid-run admission the reference would have made.
+        """
+        bound = _NO_BOUND
+        if self.pending:
+            bound = self.pending[0].arrival_s
+        for transfer in self.transfers:
+            if transfer.done_at_s < bound:
+                bound = transfer.done_at_s
+        if self.sim.disaggregation is not None:
+            for replica in self.replicas:
+                if (
+                    replica.role is ReplicaRole.PREFILL
+                    and replica.busy_until_s is not None
+                    and replica.busy_until_s < bound
+                ):
+                    bound = replica.busy_until_s
+        return bound
+
+    def _begin_decode(self, replica: Replica, now: float) -> None:
+        """Schedule one fused decode run instead of a single step."""
+        scheduler = replica.scheduler
+        active = scheduler.active
+        batch = len(active)
+        step_s = self._decode_cache.get(batch)
+        if step_s is None:
+            step_s = self.sim.engine.decode_step_time_s(batch)
+            self._decode_cache[batch] = step_s
+        remaining = min(
+            seq.request.generate_tokens - seq.generated for seq in active
+        )
+        # A full batch admits nothing at intermediate step boundaries
+        # (``fits`` is False at the cap regardless of the queue), so
+        # the run can extend straight to the next completion.
+        bound = (
+            _NO_BOUND if batch >= scheduler.batch_cap else self._run_bound()
+        )
+        power = self._decode_power
+        replica.account_to(now)
+        if bound == _NO_BOUND and remaining > _SCALAR_STEPS:
+            # Long uninterruptible run: one numpy left fold per series.
+            # ``np.add.accumulate`` accumulates strictly left-to-right,
+            # bit-identical to the scalar ``t += dt`` / ``x += v``
+            # chains the reference loop performs.
+            arr = np.empty(remaining + 1, dtype=np.float64)
+            arr[0] = now
+            arr[1:] = step_s
+            ts = np.add.accumulate(arr)
+            steps = remaining
+            t_end = float(ts[steps])
+            first_t = float(ts[1])
+            dts = np.diff(ts)
+            energies_j = power * dts
+            shares = (energies_j / JOULES_PER_WH) / batch
+            replica.busy_s = _fold(replica.busy_s, dts)
+            replica.busy_energy_j = _fold(replica.busy_energy_j, energies_j)
+            replica.decode_cursor_wh = _fold(
+                replica.decode_cursor_wh, shares
+            )
+        else:
+            # Scalar walk, stopping at the first step boundary at or
+            # past the bound: the step in flight when the bound event
+            # fires still finishes, and admissions resume at its end,
+            # exactly like the reference.
+            busy_s = replica.busy_s
+            busy_j = replica.busy_energy_j
+            cursor = replica.decode_cursor_wh
+            t = now
+            steps = 0
+            while steps < remaining:
+                t1 = t + step_s
+                dt = t1 - t
+                energy_j = power * dt
+                busy_s += dt
+                busy_j += energy_j
+                cursor += (energy_j / JOULES_PER_WH) / batch
+                t = t1
+                steps += 1
+                if t1 >= bound:
+                    break
+            t_end = t
+            first_t = now + step_s
+            replica.busy_s = busy_s
+            replica.busy_energy_j = busy_j
+            replica.decode_cursor_wh = cursor
+        replica.decode_steps += steps
+        replica.last_active_s = t_end
+        replica._accounted_until_s = t_end  # the fold closed the gap
+        replica.busy_until_s = t_end
+        replica.phase = (now, t_end, self.util_decode, _FUSED_DECODE, ())
+        self._run_steps[replica.index] = steps
+        for seq in active:
+            if seq.first_token_s is None:
+                # First decode step these sequences participate in:
+                # their first token lands at its end, same stamp the
+                # reference applies inside step_completed.
+                seq.first_token_s = first_t
+
+    def _phase_completions(self, now: float) -> None:
+        """Finish due phases: fused runs here, prefills as in reference."""
+        for replica in self.replicas:
+            if replica.busy_until_s is None or replica.busy_until_s > now:
+                continue
+            if replica.phase is not None and replica.phase[3] == _FUSED_DECODE:
+                self._finish_run(replica)
+                continue
+            # A prefill phase (the fast path never schedules bare
+            # decode steps): identical handling to the reference.
+            t0, t1, util, kind, members = replica.finish_phase()
+            phase_wh = replica.phase_energy_wh(util, t1 - t0)
+            self.prefill_wh[members[0]] = phase_wh
+            if replica.role is ReplicaRole.PREFILL:
+                self._start_transfer(members[0], replica, t1)
+
+    def _finish_run(self, replica: Replica) -> None:
+        """Close one fused run: bulk token bookkeeping, then evictions."""
+        t1 = replica.busy_until_s
+        steps = self._run_steps.pop(replica.index)
+        replica.busy_until_s = None
+        replica.phase = None
+        for seq in replica.scheduler.active:
+            seq.generated += steps
+        for seq in replica.scheduler.evict_done():
+            replica.completed += 1
+            index = seq.request.index
+            self.energy_wh[index] = self.prefill_wh.pop(index, 0.0) + (
+                replica.decode_cursor_wh - self.cursor_snap.pop(index)
+            )
+            self.finished.append((seq, t1, replica.index))
+            self._observe_completion(seq, t1)
+
+
+def _fold(initial: float, values: np.ndarray) -> float:
+    """Sequential left fold ``((initial + v0) + v1) + ...`` in float64.
+
+    ``np.add.accumulate`` accumulates in order, so this reproduces the
+    reference's scalar ``x += v`` chain bit-exactly (unlike ``np.sum``,
+    which may use pairwise summation).
+    """
+    return float(np.add.accumulate(np.concatenate(([initial], values)))[-1])

@@ -137,6 +137,10 @@ class Replica:
         ``STOPPED`` (autoscaled spares).
     start_s:
         Simulated time accounting starts at (the cluster run's t0).
+    kv_bytes_cache:
+        Optional precomputed request-index -> KV-bytes mapping handed
+        to the scheduler (the fast engine's vectorized admission
+        cache).
     """
 
     def __init__(
@@ -150,6 +154,7 @@ class Replica:
         prefix_cache_slots: int = DEFAULT_PREFIX_CACHE_SLOTS,
         started: bool = True,
         start_s: float = 0.0,
+        kv_bytes_cache: dict[int, float] | None = None,
     ) -> None:
         if prefix_cache_slots < 1:
             raise ConfigError("prefix cache needs at least one slot")
@@ -158,7 +163,9 @@ class Replica:
         self.role = role
         self.power_model = power_model_for_device(engine.node.accelerator)
         self.queue = AdmissionQueue(queue_capacity)
-        self.scheduler = ContinuousBatchScheduler(engine, batch_cap=batch_cap)
+        self.scheduler = ContinuousBatchScheduler(
+            engine, batch_cap=batch_cap, kv_bytes_cache=kv_bytes_cache
+        )
         self.state = ReplicaState.RUNNING if started else ReplicaState.STOPPED
         self.ready_at_s = start_s
         #: End of the current busy phase, or None when free.
@@ -172,6 +179,12 @@ class Replica:
         self._prefix_cache: OrderedDict[int, None] = OrderedDict()
         self._accounted_until_s = start_s
         self._spinup_util = 0.0
+        #: Running cumulative per-member decode share, in Wh: advanced
+        #: by ``phase_wh / batch`` at every decode step this replica
+        #: completes.  A request's decode energy is the cursor
+        #: difference between its completion and its admission — the
+        #: incremental attribution both serve engines share.
+        self.decode_cursor_wh = 0.0
         # Accumulated accounting.
         self.completed = 0
         self.prefills = 0

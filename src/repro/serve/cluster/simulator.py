@@ -16,13 +16,20 @@ loop produces — the same affine model jpwr samples in single-engine
 runs, but integrated exactly instead of trapezoidally, because replicas
 advance through *independent* phase boundaries that a single shared
 sample frame cannot straddle.  Busy-phase energy is attributed to
-requests exactly as the single-engine simulator does (a prefill to its
-request, a decode step split across the batch); idle, spin-up and
-transfer energy stay cluster-level so Wh/request is honest about
+requests by the **incremental cursor**: every decode step advances a
+per-replica running per-member share cursor
+(``replica.decode_cursor_wh``), a request's decode energy is the cursor
+difference between its admission snapshot and its completion, and its
+prefill energy is booked directly at prefill completion; idle, spin-up
+and transfer energy stay cluster-level so Wh/request is honest about
 overprovisioning.
 
-Runs are deterministic: the same arrival seed and cluster configuration
-produce byte-identical per-request records.
+Two engines drive the loop (:mod:`repro.serve.engines`): the
+``reference`` per-event slow path below and the fused fast path
+(:mod:`repro.serve.cluster.fastsim`), byte-identical by construction
+and asserted so by the differential suite.  Runs are deterministic:
+the same arrival seed and cluster configuration produce byte-identical
+per-request records.
 """
 
 from __future__ import annotations
@@ -63,6 +70,11 @@ from repro.serve.constants import (  # noqa: F401  (historical import location)
     TS_QUEUE_DEPTH,
     TS_REPLICAS_ON,
     TS_TTFT_ROLLING_P95,
+)
+from repro.serve.engines import (
+    DEFAULT_ENGINE_MODE,
+    ENGINE_REFERENCE,
+    validate_engine_mode,
 )
 from repro.serve.result import (
     PERCENTILE_MODE_EXACT,
@@ -126,6 +138,10 @@ class _ClusterLoop:
         self.prefix_hit: dict[int, bool] = {}
         self.transfer_s: dict[int, float] = {}
         self.energy_wh: dict[int, float] = {}
+        # Incremental-attribution state: a request's prefill energy,
+        # and its decode-replica cursor snapshot taken at admission.
+        self.prefill_wh: dict[int, float] = {}
+        self.cursor_snap: dict[int, float] = {}
         self.dropped: list[Request] = []  # shed on a full decode queue
         self.finished: list[tuple[object, float, int]] = []  # (seq, t, replica)
         self.transfer_energy_total_wh = 0.0
@@ -293,17 +309,23 @@ class _ClusterLoop:
                 continue
             t0, t1, util, kind, members = replica.finish_phase()
             phase_wh = replica.phase_energy_wh(util, t1 - t0)
-            share = phase_wh / len(members) if members else 0.0
-            for index in members:
-                self.energy_wh[index] = self.energy_wh.get(index, 0.0) + share
             if kind == _DECODE:
+                # Advance the replica's running per-member share cursor;
+                # completions are priced as a cursor difference.
+                replica.decode_cursor_wh += phase_wh / len(members)
                 replica.decode_steps += 1
                 for seq in replica.scheduler.step_completed(t1):
                     replica.completed += 1
+                    index = seq.request.index
+                    self.energy_wh[index] = self.prefill_wh.pop(index, 0.0) + (
+                        replica.decode_cursor_wh - self.cursor_snap.pop(index)
+                    )
                     self.finished.append((seq, t1, replica.index))
                     self._observe_completion(seq, t1)
-            elif kind == _PREFILL and replica.role is ReplicaRole.PREFILL:
-                self._start_transfer(members[0], replica, t1)
+            else:
+                self.prefill_wh[members[0]] = phase_wh
+                if replica.role is ReplicaRole.PREFILL:
+                    self._start_transfer(members[0], replica, t1)
 
     def _start_transfer(self, index: int, source: Replica, now: float) -> None:
         """Hand a prefilled request's KV state to the decode pool."""
@@ -364,6 +386,7 @@ class _ClusterLoop:
             ):
                 request = replica.queue.pop()
                 replica.scheduler.admit(request, now)
+                self.cursor_snap[request.index] = replica.decode_cursor_wh
             if replica.scheduler.active:
                 self._begin_decode(replica, now)
             return
@@ -391,6 +414,7 @@ class _ClusterLoop:
             )
             if role is ReplicaRole.UNIFIED:
                 replica.scheduler.admit(request, now)
+                self.cursor_snap[request.index] = replica.decode_cursor_wh
                 self.decode_replica[request.index] = replica.index
             else:
                 replica.handoff[request.index] = request
@@ -494,7 +518,13 @@ class ClusterSimulator:
         the trace, the summary to ``ClusterResult.alerts``.
     percentile_mode:
         ``"exact"`` (default) or ``"p2"`` — see
-        :class:`~repro.serve.simulator.ServingSimulator`.
+        :class:`~repro.serve.simulator.ServingSimulator`.  ``"p2"``
+        streams completions in completion order and stores no
+        per-request records.
+    engine_mode:
+        ``"fast"`` (default) or ``"reference"`` — see
+        :mod:`repro.serve.engines`.  Both produce byte-identical
+        results; the reference path is the differential-test oracle.
     """
 
     def __init__(
@@ -511,6 +541,7 @@ class ClusterSimulator:
         telemetry: TelemetrySampler | None = None,
         slo_monitor: SLOMonitor | None = None,
         percentile_mode: str = PERCENTILE_MODE_EXACT,
+        engine_mode: str = DEFAULT_ENGINE_MODE,
     ) -> None:
         if replicas < 1:
             raise ConfigError("cluster needs at least one replica")
@@ -535,6 +566,7 @@ class ClusterSimulator:
         self.telemetry = telemetry
         self.slo_monitor = slo_monitor
         self.percentile_mode = percentile_mode
+        self.engine_mode = validate_engine_mode(engine_mode)
         if disaggregation is not None:
             self.n_replicas = disaggregation.total_replicas
             self.link = (
@@ -554,6 +586,16 @@ class ClusterSimulator:
     def make_router(self) -> Router:
         """A fresh router instance for one run."""
         return make_router(self.router_name)
+
+    def _make_loop(
+        self, requests: tuple[Request, ...], clock
+    ) -> _ClusterLoop:
+        """The run's loop for the configured engine mode."""
+        if self.engine_mode == ENGINE_REFERENCE:
+            return _ClusterLoop(self, requests, clock)
+        from repro.serve.cluster.fastsim import _FastClusterLoop
+
+        return _FastClusterLoop(self, requests, clock)
 
     def make_replicas(self, start_s: float) -> list[Replica]:
         """The run's replica fleet in index order."""
@@ -600,7 +642,7 @@ class ClusterSimulator:
         self.requests_by_index = {r.index: r for r in requests}
         if self.telemetry is not None and not self.telemetry.attached:
             self.telemetry.attach_registry(get_metrics())
-        loop = _ClusterLoop(self, requests, clock)
+        loop = self._make_loop(requests, clock)
         probe = loop.replicas[0].scheduler
         for request in requests:
             probe.admissible(request)
@@ -617,21 +659,41 @@ class ClusterSimulator:
         if self.telemetry is not None:
             self.telemetry.finish(clock.now())
         elapsed = clock.now() - loop.start_s
-        records = loop.records()
+        rejected = loop.rejected()
         if self.percentile_mode == PERCENTILE_MODE_SKETCH:
+            # O(1) record emission: stream completions (in completion
+            # order, the canonical stream order of both engines) into
+            # the sketches without materializing records.
+            records: tuple[ClusterRecord, ...] | None = None
             streamer = StreamingSummarizer(slo=self.slo)
-            for cluster_record in records:
-                streamer.observe(cluster_record.record)
+            for seq, completed_s, _replica_index in loop.finished:
+                request = seq.request
+                streamer.observe_values(
+                    ttft_s=seq.first_token_s - request.arrival_s,
+                    tpot_s=(
+                        (completed_s - seq.first_token_s)
+                        / (request.generate_tokens - 1)
+                        if request.generate_tokens > 1
+                        else 0.0
+                    ),
+                    e2e_s=completed_s - request.arrival_s,
+                    queue_delay_s=(
+                        loop.admitted_at[request.index] - request.arrival_s
+                    ),
+                    generate_tokens=request.generate_tokens,
+                    energy_wh=loop.energy_wh.get(request.index, 0.0),
+                )
             serve_summary = streamer.summary(
                 offered=len(requests),
-                rejected=len(loop.rejected()),
+                rejected=len(rejected),
                 elapsed_s=elapsed,
             )
         else:
+            records = tuple(loop.records())
             serve_summary = summarize(
                 [c.record for c in records],
                 offered=len(requests),
-                rejected=len(loop.rejected()),
+                rejected=len(rejected),
                 elapsed_s=elapsed,
                 slo=self.slo,
             )
@@ -651,8 +713,8 @@ class ClusterSimulator:
         return ClusterResult(
             train=train,
             summary=summary,
-            records=tuple(records),
-            rejected=loop.rejected(),
+            records=records,
+            rejected=rejected,
             alerts=(
                 self.slo_monitor.to_dict() if self.slo_monitor is not None else None
             ),

@@ -1,0 +1,45 @@
+"""The serve engine seam: reference vs. vectorized fast path.
+
+Both serving simulators (:class:`~repro.serve.simulator.ServingSimulator`
+and :class:`~repro.serve.cluster.simulator.ClusterSimulator`) accept an
+``engine_mode`` naming which implementation drives the run:
+
+* :data:`ENGINE_REFERENCE` — the original per-event loop over
+  per-request objects.  Slow, simple, and the semantic ground truth:
+  every observable output (summary, records, traces, telemetry
+  exports) is *defined* by what this path produces.
+* :data:`ENGINE_FAST` — the vectorized hot path (heap-based event
+  scheduling, fused decode-step runs over parallel numpy arrays,
+  memoized step times).  Byte-identical to the reference by
+  construction — the differential suite in
+  ``tests/serve/test_equivalence.py`` and the hypothesis fuzz harness
+  assert it on every grid point.
+
+The fast path is the default; the reference path is retained so every
+future performance change can be gated on the differential suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: The original per-event, per-object slow path (semantic ground truth).
+ENGINE_REFERENCE = "reference"
+
+#: The vectorized hot path (heap events, fused step runs, SoA state).
+ENGINE_FAST = "fast"
+
+#: Every recognised engine mode.
+ENGINE_MODES = (ENGINE_REFERENCE, ENGINE_FAST)
+
+#: Mode used when the caller does not pick one.
+DEFAULT_ENGINE_MODE = ENGINE_FAST
+
+
+def validate_engine_mode(mode: str) -> str:
+    """Return ``mode`` if recognised, else raise :class:`ConfigError`."""
+    if mode not in ENGINE_MODES:
+        raise ConfigError(
+            f"unknown serve engine mode {mode!r}; known: {ENGINE_MODES}"
+        )
+    return mode

@@ -1,0 +1,203 @@
+"""The single-engine serve fast path.
+
+:class:`_FastServeLoop` is the ``engine_mode="fast"`` implementation
+behind :class:`~repro.serve.simulator.ServingSimulator`.  It keeps the
+reference loop's *phase sequence* exactly — every ``run_phase`` /
+``idle`` call happens at the same time with the same duration and
+utilisation, so the jpwr sample frame, traces and telemetry are
+byte-identical — while removing the per-step overheads that dominate a
+million-request run:
+
+* **memoized phase times** — prefill times keyed by (prompt, generate)
+  and decode-step times keyed by batch size are computed once per
+  distinct key instead of once per phase,
+* **heap-scheduled completions** — a min-heap of (completion step,
+  admission order) replaces the reference's per-step O(batch) scan for
+  finished sequences; batched ``generated`` bookkeeping replaces the
+  per-member updates,
+* **compact attribution bookkeeping** — O(1) per step (bounds + batch
+  size) instead of an O(batch) membership tuple, feeding the shared
+  incremental energy cursor
+  (:func:`repro.serve.soa.attribute_request_energy_wh`),
+* **vectorized KV admission** — per-request KV reservations are
+  precomputed by one :class:`~repro.serve.soa.RequestTable` multiply
+  and served to the scheduler from a cache,
+* **deferred gauge writes** — when neither a telemetry sampler nor the
+  tracer observes the run, the queue-depth gauge is written once at the
+  end (same final registry state) instead of at every iteration.
+
+Equivalence with the reference loop is asserted byte-for-byte by
+``tests/serve/test_equivalence.py`` and the hypothesis differential
+fuzz suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.engine.inference import DECODE_UTILISATION_FRACTION, InferenceWorkload
+from repro.faults.injector import get_injector
+from repro.obs.trace import get_tracer
+from repro.serve.arrivals import Request
+from repro.serve.scheduler import ContinuousBatchScheduler
+from repro.serve.simulator import _ServeLoop
+from repro.serve.soa import RequestTable
+
+
+class _FastServeLoop(_ServeLoop):
+    """The vectorized drop-in for the reference ``_ServeLoop``."""
+
+    def __init__(self, sim, requests: tuple[Request, ...]) -> None:
+        # The table must exist before the base constructor builds the
+        # scheduler (``_make_scheduler`` hands it the KV cache).
+        self.table = RequestTable(
+            requests,
+            sim.engine.model.kv_cache_bytes_per_token(sim.engine.policy),
+        )
+        super().__init__(sim, requests)
+        # Compact attribution bookkeeping (O(1) per decode step).
+        self.prefill_events: list[tuple[int, float, float]] = []
+        self.step_t0: list[float] = []
+        self.step_t1: list[float] = []
+        self.step_batch: list[int] = []
+        self.spans: list[tuple[int, int, int]] = []
+        self._first_step: dict[int, int] = {}
+
+    def _make_scheduler(self, requests: tuple[Request, ...]) -> ContinuousBatchScheduler:
+        """The scheduler, with every KV reservation precomputed."""
+        return ContinuousBatchScheduler(
+            self.sim.engine,
+            batch_cap=self.sim.batch_cap,
+            kv_bytes_cache=self.table.kv_bytes_by_index(),
+        )
+
+    def _attribution_inputs(self):
+        """The compact form, recorded directly on the hot loop."""
+        return (
+            self.prefill_events,
+            self.step_t0,
+            self.step_t1,
+            self.step_batch,
+            self.spans,
+        )
+
+    def run(self, runner, clock) -> None:
+        """The reference loop's phase sequence, on fast bookkeeping."""
+        sim = self.sim
+        engine = sim.engine
+        injector = get_injector()
+        tag = engine.node.jube_tag
+        util_prefill = engine.cal.util_full_llm
+        util_decode = engine.cal.util_full_llm * DECODE_UTILISATION_FRACTION
+        observed = self.sampler is not None or get_tracer().enabled
+        scheduler = self.scheduler
+        queue = self.queue
+        pending = self.pending
+        prefill_cache: dict[tuple[int, int], float] = {}
+        decode_cache: dict[int, float] = {}
+        # (completion step, admission order, sequence): a sequence
+        # admitted with the step counter at s finishes when the counter
+        # reaches s + generate_tokens; ties resolve in admission order,
+        # matching the reference's in-batch eviction order.
+        completions: list[tuple[int, int, object]] = []
+        admitted = 0
+        fresh: list = []  # admitted since the last decode step
+        self._ingest(clock.now())
+        if observed:
+            self._gauge_queue(tag)
+        self._tick(clock.now())
+        while pending or len(queue) or scheduler.active:
+            now = clock.now()
+            if not scheduler.active and not len(queue):
+                # Batch idle and nothing queued: sleep to the next
+                # arrival, then force it in (guards against float
+                # residue leaving `now` a hair before the arrival).
+                nxt = pending[0]
+                if nxt.arrival_s > now:
+                    runner.idle(nxt.arrival_s - now)
+                self._tick(clock.now())
+                self._ingest(clock.now())
+                if pending and pending[0] is nxt:
+                    queue.offer(pending.popleft())
+                if observed:
+                    self._gauge_queue(tag)
+                continue
+            # Iteration boundary: admit whatever fits, paying prefill.
+            while len(queue) and scheduler.fits(queue.peek()):
+                request = queue.pop()
+                seq = scheduler.admit(request, clock.now())
+                key = (request.prompt_tokens, request.generate_tokens)
+                t_prefill = prefill_cache.get(key)
+                if t_prefill is None:
+                    t_prefill = engine.prefill_time_s(
+                        InferenceWorkload(
+                            prompt_tokens=request.prompt_tokens,
+                            generate_tokens=request.generate_tokens,
+                            batch_size=1,
+                        )
+                    )
+                    prefill_cache[key] = t_prefill
+                factor = (
+                    injector.straggler_factor(clock.now(), self.decode_steps)
+                    if injector.enabled
+                    else 1.0
+                )
+                t0 = clock.now()
+                runner.run_phase(t_prefill * factor, util_prefill)
+                self.prefill_events.append((request.index, t0, clock.now()))
+                self._first_step[request.index] = self.decode_steps
+                heapq.heappush(
+                    completions,
+                    (self.decode_steps + request.generate_tokens, admitted, seq),
+                )
+                admitted += 1
+                fresh.append(seq)
+                self._tick(clock.now())
+            if observed:
+                self._gauge_queue(tag)
+            if not scheduler.active:
+                continue
+            # One decode step over the current batch.
+            now = clock.now()
+            if injector.enabled:
+                injector.check_step(now, self.decode_steps)
+            factor = (
+                injector.straggler_factor(now, self.decode_steps)
+                if injector.enabled
+                else 1.0
+            )
+            batch = len(scheduler.active)
+            base = decode_cache.get(batch)
+            if base is None:
+                base = engine.decode_step_time_s(batch)
+                decode_cache[batch] = base
+            runner.run_phase(base * factor, util_decode)
+            self.decode_steps += 1
+            t1 = clock.now()
+            self.step_t0.append(now)
+            self.step_t1.append(t1)
+            self.step_batch.append(batch)
+            self._tick(t1)
+            if fresh:
+                # First decode step these sequences participate in:
+                # their first token lands at its end (same stamp the
+                # reference applies inside step_completed).
+                for seq in fresh:
+                    seq.first_token_s = t1
+                fresh.clear()
+            if completions and completions[0][0] == self.decode_steps:
+                while completions and completions[0][0] == self.decode_steps:
+                    seq = heapq.heappop(completions)[2]
+                    seq.generated = seq.request.generate_tokens
+                for seq in scheduler.evict_done():
+                    index = seq.request.index
+                    self.spans.append(
+                        (index, self._first_step.pop(index), self.decode_steps - 1)
+                    )
+                    self._complete(seq, t1)
+            self._ingest(t1)
+            if observed:
+                self._gauge_queue(tag)
+        if not observed:
+            # Same final registry state as the reference's last write.
+            self._gauge_queue(tag)

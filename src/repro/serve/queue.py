@@ -33,6 +33,16 @@ class AdmissionQueue:
         """Requests shed because the queue was full, in arrival order."""
         return tuple(self._rejected)
 
+    @property
+    def rejected_count(self) -> int:
+        """Number of shed requests, without materializing the tuple.
+
+        The summary paths count rejections once per run; on a
+        million-request saturation run the tuple copy behind
+        :attr:`rejected` is pure overhead, so counting is O(1).
+        """
+        return len(self._rejected)
+
     def offer(self, request: Request) -> bool:
         """Enqueue ``request``; ``False`` (and recorded) when full."""
         if len(self._waiting) >= self.capacity:

@@ -50,6 +50,12 @@ PERCENTILE_MODE_SKETCH = "p2"
 #: Every recognised percentile mode.
 PERCENTILE_MODES = (PERCENTILE_MODE_EXACT, PERCENTILE_MODE_SKETCH)
 
+#: Error raised when per-request records are requested from a p2 run.
+NO_RECORDS_MESSAGE = (
+    "per-request records are not stored in percentile_mode='p2' "
+    "(O(1) record emission); run with percentile_mode='exact' to keep them"
+)
+
 
 def percentile(values: list[float] | tuple[float, ...], q: float) -> float:
     """Nearest-rank percentile of ``values`` (q in (0, 100]).
@@ -365,17 +371,43 @@ class StreamingSummarizer:
 
     def observe(self, record: RequestRecord) -> bool:
         """Fold one completed request in; returns its SLO attainment."""
+        return self.observe_values(
+            ttft_s=record.ttft_s,
+            tpot_s=record.tpot_s,
+            e2e_s=record.e2e_s,
+            queue_delay_s=record.queue_delay_s,
+            generate_tokens=record.generate_tokens,
+            energy_wh=record.energy_wh,
+        )
+
+    def observe_values(
+        self,
+        *,
+        ttft_s: float,
+        tpot_s: float,
+        e2e_s: float,
+        queue_delay_s: float,
+        generate_tokens: int,
+        energy_wh: float,
+    ) -> bool:
+        """Fold one completion's raw latencies in, without a record.
+
+        The O(1)-emission path of ``percentile_mode="p2"``: million-
+        request runs stream completions straight into the sketches in
+        completion order, never materializing per-request records.
+        Returns the completion's SLO attainment.
+        """
         self.completed += 1
-        self.generated_tokens += record.generate_tokens
-        self.energy_wh += record.energy_wh
-        self._ttft.observe(record.ttft_s)
-        self._tpot.observe(record.tpot_s)
-        self._e2e.observe(record.e2e_s)
-        self._queue_delay.observe(record.queue_delay_s)
-        ok = self.slo.met(record)
+        self.generated_tokens += generate_tokens
+        self.energy_wh += energy_wh
+        self._ttft.observe(ttft_s)
+        self._tpot.observe(tpot_s)
+        self._e2e.observe(e2e_s)
+        self._queue_delay.observe(queue_delay_s)
+        ok = self.slo.met_values(ttft_s, e2e_s)
         if ok:
             self.slo_attained += 1
-            self.good_tokens += record.generate_tokens
+            self.good_tokens += generate_tokens
         return ok
 
     def summary(

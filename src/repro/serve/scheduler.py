@@ -55,6 +55,7 @@ class ContinuousBatchScheduler:
         *,
         batch_cap: int = DEFAULT_BATCH_CAP,
         kv_budget_bytes: float | None = None,
+        kv_bytes_cache: dict[int, float] | None = None,
     ) -> None:
         if batch_cap < 1:
             raise ConfigError("batch cap must be >= 1")
@@ -71,11 +72,19 @@ class ContinuousBatchScheduler:
         self.kv_budget_bytes = float(budget)
         self.active: list[Sequence] = []
         self._kv_reserved = 0.0
+        #: Optional request-index -> KV-bytes cache (the fast path
+        #: precomputes every reservation in one vectorized multiply;
+        #: values are bit-identical to the scalar computation).
+        self.kv_bytes_cache = kv_bytes_cache
 
     # -- accounting ----------------------------------------------------------
 
     def kv_bytes_for(self, request: Request) -> float:
         """KV-cache reservation of one request at full context."""
+        if self.kv_bytes_cache is not None:
+            cached = self.kv_bytes_cache.get(request.index)
+            if cached is not None:
+                return cached
         return request.context_tokens * self.engine.model.kv_cache_bytes_per_token(
             self.engine.policy
         )
@@ -131,6 +140,39 @@ class ContinuousBatchScheduler:
                 seq.first_token_s = now_s
             if seq.done:
                 finished.append(seq)
+        for seq in finished:
+            self.active.remove(seq)
+            self._kv_reserved -= self.kv_bytes_for(seq.request)
+        if not self.active:
+            self._kv_reserved = 0.0  # absorb float drift at empty batch
+        return finished
+
+    # -- fused-run support (fast engine) -------------------------------------
+
+    def steps_to_next_completion(self) -> int:
+        """Decode steps until the earliest active sequence finishes.
+
+        The fast engine fuses that many steps into one run: batch
+        membership is provably constant until then (admissions only
+        happen at run boundaries, evictions only at completions).
+        """
+        if not self.active:
+            raise ConfigError("no active sequences to step")
+        return min(
+            seq.request.generate_tokens - seq.generated for seq in self.active
+        )
+
+    def evict_done(self) -> list[Sequence]:
+        """Evict every finished sequence, in admission order.
+
+        The fused-run counterpart of the eviction half of
+        :meth:`step_completed`: the fast engine advances ``generated``
+        in bulk and stamps first-token times itself, then calls this at
+        the run boundary.  The KV release order and the empty-batch
+        drift reset match :meth:`step_completed` exactly, so reserved
+        bytes stay bit-identical between engines.
+        """
+        finished = [seq for seq in self.active if seq.done]
         for seq in finished:
             self.active.remove(seq)
             self._kv_reserved -= self.kv_bytes_for(seq.request)

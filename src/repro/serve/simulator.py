@@ -13,25 +13,27 @@ the training engines use:
   roofline step time for the *current* batch size — continuous
   batching's throughput advantage over lock-step batches falls out of
   the model rather than being asserted,
-* the jpwr sample frame is sliced per phase
-  (:func:`repro.jpwr.energy.cumulative_energy_wh`) to attribute
-  measured energy to individual requests: a prefill's energy goes to
-  its request, a decode step's energy is split evenly across the
-  sequences it advanced.
+* measured energy is attributed to individual requests by the
+  **incremental cursor** (:func:`repro.serve.soa.attribute_request_energy_wh`):
+  each phase boundary is interpolated on the jpwr cumulative-energy
+  curve exactly once, a prefill's energy goes to its request, and a
+  decode residency is priced as the difference of a running per-member
+  share cursor.
 
-Runs are deterministic: the same arrival seed, engine and fault plan
-produce byte-identical per-request records and traces.  The fault
-injection seams of the training path (OOM at a step index, stragglers,
-sensor faults) apply unchanged.
+Two engines drive the loop (:mod:`repro.serve.engines`): the
+``reference`` per-event slow path below, and the vectorized ``fast``
+path (:mod:`repro.serve.fastsim`), byte-identical by construction and
+asserted so by the differential suite.  Runs are deterministic: the
+same arrival seed, engine and fault plan produce byte-identical
+per-request records and traces.  The fault injection seams of the
+training path (OOM at a step index, stragglers, sensor faults) apply
+unchanged.
 """
 
 from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass
-
-import numpy as np
 
 from repro.engine.inference import (
     DECODE_UTILISATION_FRACTION,
@@ -60,8 +62,14 @@ from repro.serve.constants import (  # noqa: F401  (historical import location)
     TS_QUEUE_DEPTH,
     TS_TTFT_ROLLING_P95,
 )
+from repro.serve.engines import (
+    DEFAULT_ENGINE_MODE,
+    ENGINE_REFERENCE,
+    validate_engine_mode,
+)
 from repro.serve.queue import AdmissionQueue
 from repro.serve.result import (
+    NO_RECORDS_MESSAGE,
     PERCENTILE_MODE_EXACT,
     PERCENTILE_MODE_SKETCH,
     PERCENTILE_MODES,
@@ -72,6 +80,7 @@ from repro.serve.result import (
     summarize,
 )
 from repro.serve.scheduler import DEFAULT_BATCH_CAP, ContinuousBatchScheduler
+from repro.serve.soa import attribute_request_energy_wh
 
 #: Default bound on the admission queue.
 DEFAULT_QUEUE_CAPACITY = 256
@@ -80,30 +89,63 @@ DEFAULT_QUEUE_CAPACITY = 256
 #: (samples also land on every phase edge, so integration stays exact).
 DEFAULT_SAMPLE_INTERVAL_MS = 100.0
 
+#: Phase kinds the single-engine loops record for attribution.
+PHASE_PREFILL, PHASE_DECODE = "prefill", "decode"
 
-@dataclass(frozen=True)
+
 class ServeResult:
     """Everything one serving run produced.
 
     ``train`` is the familiar result-table row (the serving summary is
     flattened into its ``extra``); ``records`` carry the per-request
-    latency/energy detail the summary was computed from.  ``alerts``
-    is the burn-rate monitor's summary when one was attached
-    (``None`` otherwise — telemetry off).
+    latency/energy detail the summary was computed from — available in
+    ``percentile_mode="exact"`` only.  In ``"p2"`` mode the run never
+    materializes them (O(1) record emission) and reading ``records``
+    raises :class:`~repro.errors.ConfigError`.  ``alerts`` is the
+    burn-rate monitor's summary when one was attached (``None``
+    otherwise — telemetry off).
     """
 
-    train: TrainResult
-    summary: ServeSummary
-    records: tuple[RequestRecord, ...]
-    rejected: tuple[Request, ...]
-    alerts: dict | None = None
+    __slots__ = ("train", "summary", "rejected", "alerts", "_records")
+
+    def __init__(
+        self,
+        *,
+        train: TrainResult,
+        summary: ServeSummary,
+        records: tuple[RequestRecord, ...] | None,
+        rejected: tuple[Request, ...],
+        alerts: dict | None = None,
+    ) -> None:
+        self.train = train
+        self.summary = summary
+        self.rejected = rejected
+        self.alerts = alerts
+        self._records = records
+
+    @property
+    def records(self) -> tuple[RequestRecord, ...]:
+        """The per-request records (exact mode only).
+
+        Raises :class:`~repro.errors.ConfigError` on a
+        ``percentile_mode="p2"`` run, which does not store them.
+        """
+        if self._records is None:
+            raise ConfigError(NO_RECORDS_MESSAGE)
+        return self._records
+
+    @property
+    def has_records(self) -> bool:
+        """Whether the run stored per-request records."""
+        return self._records is not None
 
     def records_json(self) -> str:
         """Deterministic JSON of the per-request records.
 
         Byte-identical across runs with the same seed, engine and fault
         plan — the serving counterpart of the campaign layer's
-        content-addressing guarantee.
+        content-addressing guarantee.  Raises
+        :class:`~repro.errors.ConfigError` on a p2-mode run.
         """
         return json.dumps(
             [r.to_dict() for r in self.records],
@@ -132,16 +174,22 @@ def _emit_alert_transitions(transitions) -> None:
 
 
 class _ServeLoop:
-    """One run's mutable state; the body executed under measure_run."""
+    """One run's mutable state; the body executed under measure_run.
+
+    This is the **reference engine**: per-event stepping over
+    per-request objects, with per-step membership tuples.  The fast
+    engine (:class:`repro.serve.fastsim._FastServeLoop`) subclasses it
+    and overrides the hot loop; both converge on the same attribution
+    helper so per-request energies are identical by construction.
+    """
 
     def __init__(self, sim: "ServingSimulator", requests: tuple[Request, ...]) -> None:
         self.sim = sim
         self.pending = deque(requests)
         self.queue = AdmissionQueue(sim.queue_capacity)
-        self.scheduler = ContinuousBatchScheduler(
-            sim.engine, batch_cap=sim.batch_cap
-        )
-        self.intervals: list[tuple[float, float, tuple[int, ...]]] = []
+        self.scheduler = self._make_scheduler(requests)
+        # (t0, t1, members, kind) per phase — reference bookkeeping.
+        self.intervals: list[tuple[float, float, tuple[int, ...], str]] = []
         self.finished: list[tuple[object, float]] = []  # (sequence, completed_s)
         self.decode_steps = 0
         self.sampler = sim.telemetry
@@ -154,6 +202,10 @@ class _ServeLoop:
             )
             self.sampler.add_probe(TS_KV_UTILISATION, self._kv_utilisation)
             self._ttft_window = self.sampler.add_rolling(TS_TTFT_ROLLING_P95)
+
+    def _make_scheduler(self, requests: tuple[Request, ...]) -> ContinuousBatchScheduler:
+        """The run's scheduler (the fast engine adds its KV cache)."""
+        return ContinuousBatchScheduler(self.sim.engine, batch_cap=self.sim.batch_cap)
 
     def _kv_utilisation(self, t_s: float) -> float:
         """Fraction of the KV budget currently reserved."""
@@ -218,7 +270,7 @@ class _ServeLoop:
             # Iteration boundary: admit whatever fits, paying prefill.
             while len(self.queue) and self.scheduler.fits(self.queue.peek()):
                 request = self.queue.pop()
-                seq = self.scheduler.admit(request, clock.now())
+                self.scheduler.admit(request, clock.now())
                 t_prefill = engine.prefill_time_s(
                     InferenceWorkload(
                         prompt_tokens=request.prompt_tokens,
@@ -233,7 +285,9 @@ class _ServeLoop:
                 )
                 t0 = clock.now()
                 runner.run_phase(t_prefill * factor, util_prefill)
-                self.intervals.append((t0, clock.now(), (request.index,)))
+                self.intervals.append(
+                    (t0, clock.now(), (request.index,), PHASE_PREFILL)
+                )
                 self._tick(clock.now())
             self._gauge_queue(tag)
             if not self.scheduler.active:
@@ -251,12 +305,44 @@ class _ServeLoop:
             members = tuple(s.request.index for s in self.scheduler.active)
             runner.run_phase(step_s, util_decode)
             self.decode_steps += 1
-            self.intervals.append((now, clock.now(), members))
+            self.intervals.append((now, clock.now(), members, PHASE_DECODE))
             self._tick(clock.now())
             for seq in self.scheduler.step_completed(clock.now()):
                 self._complete(seq, clock.now())
             self._ingest(clock.now())
             self._gauge_queue(tag)
+
+    def _attribution_inputs(self):
+        """Phase bounds, batch sizes and residency spans for attribution.
+
+        The reference loop derives them from its per-step membership
+        tuples; the fast loop records the compact form directly and
+        overrides this.  Both yield identical values, so the shared
+        cursor attribution produces identical floats.
+        """
+        prefill_events: list[tuple[int, float, float]] = []
+        step_t0: list[float] = []
+        step_t1: list[float] = []
+        step_batch: list[int] = []
+        first_seen: dict[int, int] = {}
+        last_seen: dict[int, int] = {}
+        step = 0
+        for t0, t1, members, kind in self.intervals:
+            if kind == PHASE_PREFILL:
+                prefill_events.append((members[0], t0, t1))
+                continue
+            step_t0.append(t0)
+            step_t1.append(t1)
+            step_batch.append(len(members))
+            for index in members:
+                if index not in first_seen:
+                    first_seen[index] = step
+                last_seen[index] = step
+            step += 1
+        spans = [
+            (index, first, last_seen[index]) for index, first in first_seen.items()
+        ]
+        return prefill_events, step_t0, step_t1, step_batch, spans
 
     def request_energy_wh(self, runner) -> dict[int, float]:
         """Measured energy attributed per request from the jpwr frame.
@@ -265,24 +351,23 @@ class _ServeLoop:
         dropout); attribution then reports 0.0 Wh per request rather
         than failing the run's latency results.
         """
-        per_request: dict[int, float] = {}
         try:
             labels = primary_energy_labels(runner.scope.df.columns, runner.devices)
             times, cumulative = cumulative_energy_wh(runner.scope.df, labels)
         except MeasurementError:
-            return per_request
-        bounds = np.array(
-            [t for t0, t1, _ in self.intervals for t in (t0, t1)], dtype=float
+            return {}
+        prefill_events, step_t0, step_t1, step_batch, spans = (
+            self._attribution_inputs()
         )
-        values = np.interp(bounds, times, cumulative)
-        for i, (_, _, members) in enumerate(self.intervals):
-            if not members:
-                continue
-            wh = float(values[2 * i + 1] - values[2 * i])
-            share = wh / len(members)
-            for index in members:
-                per_request[index] = per_request.get(index, 0.0) + share
-        return per_request
+        return attribute_request_energy_wh(
+            times,
+            cumulative,
+            prefill_events=prefill_events,
+            step_t0=step_t0,
+            step_t1=step_t1,
+            step_batch=step_batch,
+            spans=spans,
+        )
 
 
 class ServingSimulator:
@@ -313,8 +398,13 @@ class ServingSimulator:
         ``ServeResult.alerts``.
     percentile_mode:
         ``"exact"`` (default) sorts stored latencies;
-        ``"p2"`` summarises via streaming P² sketches (O(1) memory,
-        within the documented tolerance of exact).
+        ``"p2"`` summarises via streaming P² sketches fed in
+        completion order (O(1) memory, within the documented tolerance
+        of exact) and stores **no** per-request records.
+    engine_mode:
+        ``"fast"`` (default) or ``"reference"`` — see
+        :mod:`repro.serve.engines`.  Both produce byte-identical
+        results; the reference path is the differential-test oracle.
     """
 
     def __init__(
@@ -328,6 +418,7 @@ class ServingSimulator:
         telemetry: TelemetrySampler | None = None,
         slo_monitor: SLOMonitor | None = None,
         percentile_mode: str = PERCENTILE_MODE_EXACT,
+        engine_mode: str = DEFAULT_ENGINE_MODE,
     ) -> None:
         self.engine = engine
         self.batch_cap = int(batch_cap)
@@ -342,9 +433,18 @@ class ServingSimulator:
                 f"known: {PERCENTILE_MODES}"
             )
         self.percentile_mode = percentile_mode
+        self.engine_mode = validate_engine_mode(engine_mode)
         # Validate the cap against the engine's own planner once.
         if batch_cap < 1:
             raise ConfigError("batch cap must be >= 1")
+
+    def _make_loop(self, requests: tuple[Request, ...]) -> _ServeLoop:
+        """The run's loop for the configured engine mode."""
+        if self.engine_mode == ENGINE_REFERENCE:
+            return _ServeLoop(self, requests)
+        from repro.serve.fastsim import _FastServeLoop
+
+        return _FastServeLoop(self, requests)
 
     def run(self, arrivals) -> ServeResult:
         """Serve ``arrivals.generate()`` end to end; returns the result.
@@ -359,15 +459,19 @@ class ServingSimulator:
             raise ConfigError("arrival process generated no requests")
         if self.telemetry is not None and not self.telemetry.attached:
             self.telemetry.attach_registry(get_metrics())
-        loop = _ServeLoop(self, requests)
+        loop = self._make_loop(requests)
         for request in requests:
             loop.scheduler.admissible(request)
 
+        exact = self.percentile_mode != PERCENTILE_MODE_SKETCH
         records: list[RequestRecord] = []
+        energy_by_index: dict[int, float] = {}
 
         def body(runner, clock):
             loop.run(runner, clock)
-            energy = loop.request_energy_wh(runner)
+            energy_by_index.update(loop.request_energy_wh(runner))
+            if not exact:
+                return len(loop.finished)
             tracer = get_tracer()
             for seq, completed_s in loop.finished:
                 record = RequestRecord(
@@ -378,7 +482,7 @@ class ServingSimulator:
                     completed_s=completed_s,
                     prompt_tokens=seq.request.prompt_tokens,
                     generate_tokens=seq.request.generate_tokens,
-                    energy_wh=energy.get(seq.request.index, 0.0),
+                    energy_wh=energy_by_index.get(seq.request.index, 0.0),
                 )
                 records.append(record)
                 if tracer.enabled:
@@ -409,25 +513,22 @@ class ServingSimulator:
         )
         if self.telemetry is not None:
             self.telemetry.finish(elapsed)
-        records.sort(key=lambda r: r.index)
-        if self.percentile_mode == PERCENTILE_MODE_SKETCH:
-            streamer = StreamingSummarizer(slo=self.slo)
-            for record in records:
-                streamer.observe(record)
-            summary = streamer.summary(
-                offered=len(requests),
-                rejected=len(loop.queue.rejected),
-                elapsed_s=elapsed,
-            )
-        else:
+        if exact:
+            records.sort(key=lambda r: r.index)
             summary = summarize(
                 records,
                 offered=len(requests),
-                rejected=len(loop.queue.rejected),
+                rejected=loop.queue.rejected_count,
                 elapsed_s=elapsed,
                 slo=self.slo,
             )
-        self._observe(summary, records)
+            self._observe(summary, records)
+            records_out: tuple[RequestRecord, ...] | None = tuple(records)
+        else:
+            summary = self._stream_summary(
+                loop, energy_by_index, offered=len(requests), elapsed_s=elapsed
+            )
+            records_out = None
         extra = summary.to_dict()
         extra.pop("elapsed_s", None)  # already a TrainResult field
         extra["decode_steps"] = float(loop.decode_steps)
@@ -448,15 +549,61 @@ class ServingSimulator:
         return ServeResult(
             train=train,
             summary=summary,
-            records=tuple(records),
+            records=records_out,
             rejected=loop.queue.rejected,
             alerts=(
                 self.slo_monitor.to_dict() if self.slo_monitor is not None else None
             ),
         )
 
-    def _observe(self, summary: ServeSummary, records: list[RequestRecord]) -> None:
-        """Record the run's serving metrics on the process registry."""
+    def _stream_summary(
+        self,
+        loop: _ServeLoop,
+        energy_by_index: dict[int, float],
+        *,
+        offered: int,
+        elapsed_s: float,
+    ) -> ServeSummary:
+        """The p2-mode summary: stream completions, store no records.
+
+        Completions feed the sketches (and the latency histograms) in
+        **completion order** — the canonical stream order both engines
+        share, since neither materializes an index-sorted record list.
+        """
+        metrics = get_metrics()
+        tag = self.engine.node.jube_tag
+        ttft_hist = metrics.histogram("serve_ttft_s", "time to first token")
+        e2e_hist = metrics.histogram("serve_e2e_s", "end-to-end request latency")
+        streamer = StreamingSummarizer(slo=self.slo)
+        for seq, completed_s in loop.finished:
+            request = seq.request
+            ttft_s = seq.first_token_s - request.arrival_s
+            e2e_s = completed_s - request.arrival_s
+            tpot_s = (
+                (completed_s - seq.first_token_s) / (request.generate_tokens - 1)
+                if request.generate_tokens > 1
+                else 0.0
+            )
+            streamer.observe_values(
+                ttft_s=ttft_s,
+                tpot_s=tpot_s,
+                e2e_s=e2e_s,
+                queue_delay_s=seq.admitted_s - request.arrival_s,
+                generate_tokens=request.generate_tokens,
+                energy_wh=energy_by_index.get(request.index, 0.0),
+            )
+            ttft_hist.observe(ttft_s, system=tag)
+            e2e_hist.observe(e2e_s, system=tag)
+        summary = streamer.summary(
+            offered=offered,
+            rejected=loop.queue.rejected_count,
+            elapsed_s=elapsed_s,
+        )
+        self._observe_counters(summary)
+        return summary
+
+    def _observe_counters(self, summary: ServeSummary) -> None:
+        """Record the run's aggregate serving counters."""
         metrics = get_metrics()
         tag = self.engine.node.jube_tag
         metrics.counter(
@@ -466,6 +613,12 @@ class ServingSimulator:
             metrics.counter(
                 "serve_requests_rejected_total", "requests shed at admission"
             ).inc(summary.rejected, system=tag)
+
+    def _observe(self, summary: ServeSummary, records: list[RequestRecord]) -> None:
+        """Record the run's serving metrics on the process registry."""
+        self._observe_counters(summary)
+        metrics = get_metrics()
+        tag = self.engine.node.jube_tag
         ttft = metrics.histogram("serve_ttft_s", "time to first token")
         e2e = metrics.histogram("serve_e2e_s", "end-to-end request latency")
         for record in records:

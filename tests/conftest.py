@@ -45,6 +45,22 @@ def a100_registry(a100_node, clock):
     return DeviceRegistry.for_node(a100_node, clock=clock)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden fixtures under tests/serve/goldens/ "
+        "with the outputs of the current code instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether this run should rewrite goldens instead of asserting."""
+    return request.config.getoption("--update-goldens")
+
+
 def pytest_configure(config):
     # Registered in pyproject.toml too; repeated here so the suite stays
     # warning-clean when pytest is invoked without the project config.

@@ -1,0 +1,358 @@
+"""Differential equivalence: the fast engine vs the reference loop.
+
+The guard rail behind the vectorized serve hot path: every observable
+output of a run — the summary dict, the per-request record JSON, the
+rejected set, trace-sink records, SLO alerts, the OpenMetrics render
+and the telemetry timeseries export — must be **byte-identical**
+between ``engine_mode="fast"`` and ``engine_mode="reference"`` across
+the configuration grid (arrival processes x routers x autoscaling x
+fault plans x disaggregation x percentile modes).  Any drift, however
+small, is a bug in the fast path, never tolerance-worthy.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.inference import InferenceEngine
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, activate_injection
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.sinks import InMemorySink
+from repro.obs.telemetry import (
+    SLOMonitor,
+    TelemetrySampler,
+    render_openmetrics,
+    write_timeseries_jsonl,
+)
+from repro.obs.trace import Tracer, activate
+from repro.serve import (
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    BurstArrivals,
+    PoissonArrivals,
+    SessionArrivals,
+    SLOPolicy,
+)
+from repro.serve.cluster import (
+    AutoscalePolicy,
+    ClusterSimulator,
+    DisaggregationSpec,
+)
+from repro.serve.simulator import ServingSimulator
+from repro.simcluster.clock import VirtualClock
+
+pytestmark = [pytest.mark.serve]
+
+POISSON = PoissonArrivals(
+    rate_per_s=10.0,
+    requests=32,
+    prompt_tokens=256,
+    generate_tokens=32,
+    length_spread=0.25,
+    seed=0,
+)
+BURSTS = BurstArrivals(bursts=((0.0, 12), (20.0, 14)), generate_tokens=48)
+SESSIONS = SessionArrivals(
+    rate_per_s=8.0,
+    requests=36,
+    sessions=4,
+    prompt_tokens=512,
+    prefix_tokens=384,
+    generate_tokens=48,
+    seed=0,
+)
+FLOOD = PoissonArrivals(
+    rate_per_s=500.0,
+    requests=48,
+    prompt_tokens=256,
+    generate_tokens=24,
+    seed=3,
+)
+ARRIVALS = {"poisson": POISSON, "bursts": BURSTS, "sessions": SESSIONS}
+
+
+def _engine():
+    return InferenceEngine(get_system("GH200"), get_gpt_preset("800M"))
+
+
+def _fault_scope(*faults):
+    plan = FaultPlan(name="serve-equiv", seed=0, faults=tuple(faults))
+    return FaultInjector(plan).scope_for("serve", 0, {"system": "GH200"})
+
+
+def _payload(result, sink, sampler, tmp_path, mode):
+    """Every observable byte a run produced, as comparable strings."""
+    out = {
+        "summary": json.dumps(result.summary.to_dict(), sort_keys=True),
+        "records": result.records_json() if result.has_records else None,
+        "rejected": [r.index for r in result.rejected],
+        "alerts": json.dumps(result.alerts, sort_keys=True),
+        "openmetrics": render_openmetrics(get_metrics()),
+        "elapsed_s": result.train.elapsed_s,
+    }
+    if sink is not None:
+        out["trace"] = json.dumps(sink.records, sort_keys=True, default=repr)
+    if sampler is not None:
+        path = tmp_path / f"{mode}.timeseries.jsonl"
+        write_timeseries_jsonl(sampler, path)
+        out["timeseries"] = path.read_text()
+    return out
+
+
+def run_single(
+    mode,
+    tmp_path,
+    *,
+    arrivals=POISSON,
+    percentile_mode="exact",
+    queue_capacity=256,
+    slo=None,
+    faults=(),
+    telemetry=False,
+    traced=True,
+):
+    """One single-engine run; returns its full observable payload."""
+    set_metrics(MetricsRegistry())
+    sampler = TelemetrySampler() if telemetry else None
+    monitor = SLOMonitor() if telemetry else None
+    sim = ServingSimulator(
+        _engine(),
+        batch_cap=8,
+        queue_capacity=queue_capacity,
+        slo=slo or SLOPolicy(),
+        telemetry=sampler,
+        slo_monitor=monitor,
+        percentile_mode=percentile_mode,
+        engine_mode=mode,
+    )
+    scope = _fault_scope(*faults) if faults else None
+    sink = InMemorySink() if traced else None
+    if traced:
+        with activate(Tracer(clock=VirtualClock(), sinks=[sink])):
+            with activate_injection(scope):
+                result = sim.run(arrivals)
+    else:
+        with activate_injection(scope):
+            result = sim.run(arrivals)
+    return _payload(result, sink, sampler, tmp_path, mode)
+
+
+def run_cluster(
+    mode,
+    tmp_path,
+    *,
+    arrivals=POISSON,
+    percentile_mode="exact",
+    replicas=2,
+    router="round-robin",
+    queue_capacity=256,
+    autoscale=None,
+    disaggregation=None,
+    slo=None,
+    telemetry=False,
+    traced=True,
+):
+    """One cluster run; returns its full observable payload."""
+    set_metrics(MetricsRegistry())
+    sampler = TelemetrySampler() if telemetry else None
+    monitor = SLOMonitor() if telemetry else None
+    sim = ClusterSimulator(
+        _engine(),
+        replicas=replicas,
+        router=router,
+        batch_cap=8,
+        queue_capacity=queue_capacity,
+        slo=slo or SLOPolicy(),
+        autoscale=autoscale,
+        disaggregation=disaggregation,
+        telemetry=sampler,
+        slo_monitor=monitor,
+        percentile_mode=percentile_mode,
+        engine_mode=mode,
+    )
+    sink = InMemorySink() if traced else None
+    if traced:
+        with activate(Tracer(clock=VirtualClock(), sinks=[sink])):
+            result = sim.run(arrivals)
+    else:
+        result = sim.run(arrivals)
+    return _payload(result, sink, sampler, tmp_path, mode)
+
+
+def assert_identical(ref, fast):
+    """Byte-compare every payload entry, naming the first that differs."""
+    assert set(ref) == set(fast)
+    for key in sorted(ref):
+        assert ref[key] == fast[key], f"engines diverge on {key!r}"
+
+
+class TestSingleEngineEquivalence:
+    """ServingSimulator: fast vs reference, all observables."""
+
+    @pytest.mark.parametrize("name", sorted(ARRIVALS))
+    @pytest.mark.parametrize("percentiles", ["exact", "p2"])
+    def test_arrival_grid(self, tmp_path, name, percentiles):
+        kw = dict(arrivals=ARRIVALS[name], percentile_mode=percentiles)
+        assert_identical(
+            run_single(ENGINE_REFERENCE, tmp_path, **kw),
+            run_single(ENGINE_FAST, tmp_path, **kw),
+        )
+
+    def test_untraced_run(self, tmp_path):
+        # No tracer, no sampler: the fast loop defers its gauge writes,
+        # but the final registry state must still match byte-for-byte.
+        assert_identical(
+            run_single(ENGINE_REFERENCE, tmp_path, traced=False),
+            run_single(ENGINE_FAST, tmp_path, traced=False),
+        )
+
+    @pytest.mark.parametrize("percentiles", ["exact", "p2"])
+    def test_saturated_queue_rejections(self, tmp_path, percentiles):
+        kw = dict(
+            arrivals=FLOOD, queue_capacity=4, percentile_mode=percentiles
+        )
+        ref = run_single(ENGINE_REFERENCE, tmp_path, **kw)
+        assert ref["rejected"], "flood must shed load for this test to bite"
+        assert_identical(ref, run_single(ENGINE_FAST, tmp_path, **kw))
+
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            (FaultSpec(kind="straggler", magnitude=3.0),),
+            (FaultSpec(kind="sensor_dropout", at_time_s=0.05, duration_s=0.3),),
+            (FaultSpec(kind="sensor_spike", magnitude=-1e9),),
+        ],
+        ids=["straggler", "sensor-dropout", "zero-power"],
+    )
+    def test_fault_plans(self, tmp_path, faults):
+        kw = dict(faults=faults)
+        assert_identical(
+            run_single(ENGINE_REFERENCE, tmp_path, **kw),
+            run_single(ENGINE_FAST, tmp_path, **kw),
+        )
+
+    @pytest.mark.parametrize("percentiles", ["exact", "p2"])
+    def test_telemetry_and_alerts(self, tmp_path, percentiles):
+        kw = dict(
+            arrivals=BURSTS,
+            slo=SLOPolicy(ttft_s=0.02, e2e_s=0.3),
+            telemetry=True,
+            percentile_mode=percentiles,
+        )
+        ref = run_single(ENGINE_REFERENCE, tmp_path, **kw)
+        assert json.loads(ref["alerts"]), "tight SLO under burst must alert"
+        assert_identical(ref, run_single(ENGINE_FAST, tmp_path, **kw))
+
+
+class TestClusterEquivalence:
+    """ClusterSimulator: fast vs reference, all observables."""
+
+    @pytest.mark.parametrize(
+        "router,name",
+        [
+            ("round-robin", "poisson"),
+            ("least-loaded", "poisson"),
+            ("least-loaded", "bursts"),
+            ("session-affinity", "sessions"),
+        ],
+    )
+    @pytest.mark.parametrize("percentiles", ["exact", "p2"])
+    def test_router_grid(self, tmp_path, router, name, percentiles):
+        kw = dict(
+            arrivals=ARRIVALS[name],
+            replicas=3,
+            router=router,
+            percentile_mode=percentiles,
+        )
+        assert_identical(
+            run_cluster(ENGINE_REFERENCE, tmp_path, **kw),
+            run_cluster(ENGINE_FAST, tmp_path, **kw),
+        )
+
+    @pytest.mark.parametrize("pools", [(1, 2), (2, 2)])
+    @pytest.mark.parametrize("percentiles", ["exact", "p2"])
+    def test_disaggregated(self, tmp_path, pools, percentiles):
+        prefill, decode = pools
+        kw = dict(
+            replicas=prefill + decode,
+            disaggregation=DisaggregationSpec(
+                prefill_replicas=prefill, decode_replicas=decode
+            ),
+            percentile_mode=percentiles,
+        )
+        assert_identical(
+            run_cluster(ENGINE_REFERENCE, tmp_path, **kw),
+            run_cluster(ENGINE_FAST, tmp_path, **kw),
+        )
+
+    @pytest.mark.parametrize("name", ["poisson", "bursts"])
+    def test_autoscaled(self, tmp_path, name):
+        kw = dict(
+            arrivals=ARRIVALS[name],
+            replicas=4,
+            autoscale=AutoscalePolicy(min_replicas=1),
+        )
+        assert_identical(
+            run_cluster(ENGINE_REFERENCE, tmp_path, **kw),
+            run_cluster(ENGINE_FAST, tmp_path, **kw),
+        )
+
+    def test_autoscaled_session_affinity(self, tmp_path):
+        # Autoscaling + prefix-heavy session traffic through the
+        # affinity router (autoscale and disaggregation are mutually
+        # exclusive by configuration).
+        kw = dict(
+            arrivals=SESSIONS,
+            replicas=4,
+            router="session-affinity",
+            autoscale=AutoscalePolicy(min_replicas=2),
+        )
+        assert_identical(
+            run_cluster(ENGINE_REFERENCE, tmp_path, **kw),
+            run_cluster(ENGINE_FAST, tmp_path, **kw),
+        )
+
+    def test_disaggregated_sessions(self, tmp_path):
+        kw = dict(
+            arrivals=SESSIONS,
+            replicas=4,
+            router="session-affinity",
+            disaggregation=DisaggregationSpec(
+                prefill_replicas=1, decode_replicas=3
+            ),
+        )
+        assert_identical(
+            run_cluster(ENGINE_REFERENCE, tmp_path, **kw),
+            run_cluster(ENGINE_FAST, tmp_path, **kw),
+        )
+
+    def test_saturated_cluster_sheds_identically(self, tmp_path):
+        flood = PoissonArrivals(
+            rate_per_s=500.0,
+            requests=48,
+            prompt_tokens=256,
+            generate_tokens=96,
+            seed=3,
+        )
+        kw = dict(arrivals=flood, replicas=2, queue_capacity=1)
+        ref = run_cluster(ENGINE_REFERENCE, tmp_path, **kw)
+        assert ref["rejected"], "flood must shed load for this test to bite"
+        assert_identical(ref, run_cluster(ENGINE_FAST, tmp_path, **kw))
+
+    @pytest.mark.parametrize("percentiles", ["exact", "p2"])
+    def test_telemetry_and_alerts(self, tmp_path, percentiles):
+        kw = dict(
+            arrivals=BURSTS,
+            replicas=2,
+            slo=SLOPolicy(ttft_s=0.02, e2e_s=0.3),
+            telemetry=True,
+            percentile_mode=percentiles,
+        )
+        assert_identical(
+            run_cluster(ENGINE_REFERENCE, tmp_path, **kw),
+            run_cluster(ENGINE_FAST, tmp_path, **kw),
+        )

@@ -1,0 +1,110 @@
+"""Golden fixtures: seeded serve outputs pinned byte-for-byte.
+
+The differential suite proves fast == reference; these goldens prove
+*both* still equal what they produced when the fixture was last
+blessed, catching semantic drift that changes the two engines in
+lockstep (e.g. an accidental change to energy attribution or summary
+rounding).  Regenerate deliberately with::
+
+    pytest tests/serve/test_goldens.py --update-goldens
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.inference import InferenceEngine
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.telemetry import render_openmetrics
+from repro.serve import ENGINE_FAST, PoissonArrivals, SLOPolicy
+from repro.serve.cluster import ClusterSimulator
+from repro.serve.simulator import ServingSimulator
+
+pytestmark = [pytest.mark.serve]
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+ARRIVALS = PoissonArrivals(
+    rate_per_s=10.0,
+    requests=24,
+    prompt_tokens=256,
+    generate_tokens=32,
+    length_spread=0.25,
+    seed=7,
+)
+SLO = SLOPolicy(ttft_s=0.5, e2e_s=5.0)
+
+
+def _run_single():
+    set_metrics(MetricsRegistry())
+    result = ServingSimulator(
+        InferenceEngine(get_system("GH200"), get_gpt_preset("800M")),
+        batch_cap=8,
+        slo=SLO,
+        engine_mode=ENGINE_FAST,
+    ).run(ARRIVALS)
+    return result, render_openmetrics(get_metrics())
+
+
+def _run_cluster():
+    set_metrics(MetricsRegistry())
+    result = ClusterSimulator(
+        InferenceEngine(get_system("GH200"), get_gpt_preset("800M")),
+        replicas=2,
+        router="least-loaded",
+        batch_cap=8,
+        slo=SLO,
+        engine_mode=ENGINE_FAST,
+    ).run(ARRIVALS)
+    return result, render_openmetrics(get_metrics())
+
+
+def _summary_text(result) -> str:
+    return json.dumps(result.summary.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def _check(path: Path, produced: str, update: bool) -> None:
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(produced, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"golden {path.name} missing; generate it with --update-goldens"
+    )
+    assert produced == path.read_text(encoding="utf-8"), (
+        f"output drifted from golden {path.name}; if the change is "
+        "intentional, regenerate with --update-goldens and review the diff"
+    )
+
+
+class TestServeGoldens:
+    def test_single_engine_summary(self, update_goldens):
+        result, _ = _run_single()
+        _check(
+            GOLDEN_DIR / "serve_summary.json",
+            _summary_text(result),
+            update_goldens,
+        )
+
+    def test_single_engine_openmetrics(self, update_goldens):
+        _, openmetrics = _run_single()
+        _check(GOLDEN_DIR / "serve.om", openmetrics, update_goldens)
+
+    def test_cluster_summary(self, update_goldens):
+        result, _ = _run_cluster()
+        _check(
+            GOLDEN_DIR / "cluster_summary.json",
+            _summary_text(result),
+            update_goldens,
+        )
+
+    def test_cluster_openmetrics(self, update_goldens):
+        _, openmetrics = _run_cluster()
+        _check(GOLDEN_DIR / "cluster.om", openmetrics, update_goldens)

@@ -1,0 +1,118 @@
+"""p2 percentile mode must *refuse* per-request records, not fake them.
+
+A ``percentile_mode="p2"`` run streams completions into O(1) sketches
+and never materializes records; asking for them is a configuration
+contradiction and raises :class:`~repro.errors.ConfigError` — loudly,
+instead of silently returning an empty tuple the caller would happily
+aggregate into nonsense.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.cli import run as cli_run
+from repro.engine.inference import InferenceEngine
+from repro.errors import ConfigError
+from repro.hardware.systems import get_system
+from repro.models.transformer import get_gpt_preset
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.serve import NO_RECORDS_MESSAGE, PoissonArrivals
+from repro.serve.cluster import ClusterSimulator
+from repro.serve.simulator import ServingSimulator
+
+pytestmark = [pytest.mark.serve]
+
+ARRIVALS = PoissonArrivals(
+    rate_per_s=10.0, requests=12, prompt_tokens=128, generate_tokens=16, seed=0
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    previous = set_metrics(MetricsRegistry())
+    yield
+    set_metrics(previous)
+
+
+@pytest.fixture
+def engine():
+    return InferenceEngine(get_system("GH200"), get_gpt_preset("800M"))
+
+
+def single(engine, mode):
+    return ServingSimulator(engine, batch_cap=8, percentile_mode=mode).run(
+        ARRIVALS
+    )
+
+
+def cluster(engine, mode):
+    return ClusterSimulator(
+        engine, replicas=2, batch_cap=8, percentile_mode=mode
+    ).run(ARRIVALS)
+
+
+class TestP2RefusesRecords:
+    @pytest.mark.parametrize("runner", [single, cluster], ids=["serve", "cluster"])
+    def test_records_raises_config_error(self, engine, runner):
+        result = runner(engine, "p2")
+        assert not result.has_records
+        with pytest.raises(ConfigError, match="percentile_mode='p2'"):
+            result.records
+        with pytest.raises(ConfigError, match="exact"):
+            result.records_json()
+
+    @pytest.mark.parametrize("runner", [single, cluster], ids=["serve", "cluster"])
+    def test_exact_mode_still_serves_records(self, engine, runner):
+        result = runner(engine, "exact")
+        assert result.has_records
+        summary = result.summary
+        serve = getattr(summary, "serve", summary)
+        assert len(result.records) == serve.completed
+
+    def test_message_names_the_remedy(self):
+        assert "p2" in NO_RECORDS_MESSAGE
+        assert "exact" in NO_RECORDS_MESSAGE
+
+
+class TestCLIRejectsContradiction:
+    def test_requests_json_with_p2_fails_eagerly(self, tmp_path):
+        out = io.StringIO()
+        args = [
+            "serve",
+            "--system",
+            "GH200",
+            "--rate",
+            "10",
+            "--requests",
+            "8",
+            "--percentiles",
+            "p2",
+            "--requests-json",
+            str(tmp_path / "records.json"),
+        ]
+        with pytest.raises(ConfigError, match="--percentiles exact"):
+            cli_run(args, stdout=out)
+        assert not (tmp_path / "records.json").exists()
+
+    def test_requests_json_with_exact_still_works(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "records.json"
+        code = cli_run(
+            [
+                "serve",
+                "--system",
+                "GH200",
+                "--rate",
+                "10",
+                "--requests",
+                "8",
+                "--requests-json",
+                str(path),
+            ],
+            stdout=out,
+        )
+        assert code == 0
+        assert path.exists()
