@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-campaign bench-serve figures report validate campaign-demo trace-demo chaos-demo serve-demo cluster-demo watch-demo clean
+.PHONY: install test bench bench-campaign bench-serve gate-search figures report validate campaign-demo trace-demo chaos-demo serve-demo cluster-demo watch-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -22,6 +22,11 @@ bench-campaign:
 # rate, writes BENCH_serve.json. QUICK=1 runs the small CI sizes.
 bench-serve:
 	$(PYTHON) benchmarks/bench_serve_cluster.py $(if $(QUICK),--quick)
+
+# Re-measure the pruned-search speedup and fail on a >20% regression
+# against the reference recorded in BENCH_campaign.json.
+gate-search:
+	$(PYTHON) benchmarks/bench_campaign_scale.py --gate BENCH_campaign.json
 
 figures:
 	$(PYTHON) examples/render_figures.py figures

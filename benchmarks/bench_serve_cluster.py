@@ -51,6 +51,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core.provenance import provenance
 from repro.engine.inference import InferenceEngine
 from repro.hardware.systems import get_system
 from repro.models.transformer import get_gpt_preset
@@ -332,6 +333,7 @@ def main(argv: list[str] | None = None) -> int:
     requests = args.requests or (QUICK_REQUESTS if args.quick else DEFAULT_REQUESTS)
     report = run_bench(requests, quick=bool(args.quick or args.requests))
     report["quick"] = bool(args.quick or args.requests)
+    report["provenance"] = provenance(Path(__file__).resolve().parent.parent)
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {out}")

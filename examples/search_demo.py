@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Pruned Pareto search over a serve sweep, next to the exhaustive grid.
+
+The sweep fast path in one tour:
+
+1. declare a (system × arrival-rate × batch-cap) serving sweep with an
+   SLO, the grid behind a "cheapest config meeting 200 ms TTFT" ask,
+2. run ``SearchRunner``: every config is screened on a short shared
+   prefix of its arrival stream, dominated configs are pruned with
+   durable provenance, survivors run at full length,
+3. run the same spec exhaustively into a second store and verify the
+   reported rows are byte-identical (the pruning-safety contract),
+4. converge the searched store with a plain ``campaign run`` — exactly
+   the pruned configs execute — and print the frontier + recommendation.
+
+Usage::
+
+    python examples/search_demo.py
+"""
+
+# Make the in-repo package importable regardless of the working directory.
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    IsolatingExecutor,
+    SearchPolicy,
+    SearchRunner,
+    WorkloadSpec,
+    canonical_json,
+    open_store,
+)
+
+SPEC = CampaignSpec(
+    name="gh200-frontier",
+    systems=("GH200", "A100"),
+    workloads=(
+        WorkloadSpec.of_kind(
+            "serve",
+            axes={
+                "arrival_rate": ("20", "40", "80"),
+                "batch_cap": ("4", "16"),
+            },
+            fixed={
+                "requests": "512",
+                "generate_tokens": "24",
+                "slo_ttft_ms": "200",
+            },
+        ),
+    ),
+)
+
+POLICY = SearchPolicy(screen_requests=32, rungs=2, min_keep=3)
+
+
+def main() -> None:
+    tmp = tempfile.TemporaryDirectory()
+    root = Path(tmp.name)
+
+    print(f"== pruned search over {SPEC.size} configs")
+    search_store = open_store(root / "search.jsonl")
+    t0 = time.perf_counter()
+    report = SearchRunner(search_store, IsolatingExecutor()).search(SPEC, POLICY)
+    search_s = time.perf_counter() - t0
+    print(report.describe())
+
+    print("\n== exhaustive grid, for comparison")
+    grid_store = open_store(root / "grid.jsonl")
+    t0 = time.perf_counter()
+    CampaignRunner(grid_store, IsolatingExecutor()).run(SPEC)
+    grid_s = time.perf_counter() - t0
+    print(f"search {search_s:.2f}s vs exhaustive {grid_s:.2f}s "
+          f"({grid_s / search_s:.1f}x)")
+
+    mismatches = sum(
+        canonical_json(row.to_dict())
+        != canonical_json(grid_store.get(row.key).to_dict())
+        for row in report.rows
+        if row.status == "completed"
+    )
+    print(f"byte-identical reported rows: {report.executed - mismatches}"
+          f"/{report.executed}")
+    assert mismatches == 0, "pruning-safety contract violated"
+
+    print("\n== converge the searched store (plain run fills pruned configs)")
+    converged = CampaignRunner(search_store, IsolatingExecutor()).run(SPEC)
+    print(converged.describe())
+    assert converged.executed == report.pruned
+
+    tmp.cleanup()
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,11 @@ from repro.analysis.figures import (
     fig3_rows,
 )
 from repro.analysis.heatmap import heatmap_grid_for
+from repro.analysis.recommender import (
+    RecommenderScenario,
+    recommender_rows,
+    run_recommender,
+)
 from repro.analysis.render import render_all
 from repro.analysis.serving import (
     ClusterScenario,
@@ -110,6 +115,20 @@ def build_report(*, include_figures: bool = False, figure_dir: str = "figures") 
     sections.append(_md_table(fired) if fired else "(no alerts fired)")
     sections.append("\n### Sampled fleet timeseries\n")
     sections.append(_md_table(series_rows(sampler)))
+
+    recommender = RecommenderScenario()
+    search_report = run_recommender(recommender)
+    sections.append("\n## Recommender: cheapest config meeting the SLO\n")
+    sections.append(
+        f"Pruned Pareto search over a batch-cap × arrival-rate grid on "
+        f"{recommender.system} (TTFT SLO {recommender.slo_ttft_ms:g} ms, "
+        f"{recommender.requests} requests per config; "
+        f"{search_report.pruned} of {search_report.total} configs pruned "
+        f"on screening evidence, every reported row an exact full run).\n"
+    )
+    sections.append(_md_table(recommender_rows(search_report)))
+    sections.append("")
+    sections.append("```\n" + search_report.recommendation.describe() + "\n```")
 
     sections.append("\n## Figure 4: throughput heatmaps\n")
     for tag in SYSTEM_TAGS:

@@ -12,11 +12,22 @@ sweep a first-class subsystem:
   content-addressed by (script, parameters, calibration constants), so
   re-running is an exact cache hit and interrupted campaigns resume,
 * :class:`~repro.campaign.runner.CampaignRunner` ties them together
-  with failure isolation and retry-with-backoff.
+  with failure isolation and retry-with-backoff,
+* :class:`~repro.campaign.search.SearchRunner` prunes serve sweeps on
+  the SLO-energy Pareto frontier while keeping every reported row an
+  exact full run (the sweep fast path:
+  :mod:`repro.campaign.batch` + :mod:`repro.serve.streams`).
 
-See the "Campaign layer" section of ARCHITECTURE.md.
+See the "Campaign layer" and "Sweep fast path" sections of
+ARCHITECTURE.md.
 """
 
+from repro.campaign.batch import (
+    group_stream_batches,
+    plan_streams,
+    run_batches,
+    stream_spec_for_item,
+)
 from repro.campaign.executor import (
     DEFAULT_REGISTRY_FACTORY,
     IsolatingExecutor,
@@ -39,12 +50,23 @@ from repro.campaign.runner import (
 # Chaos campaigns: the fault-plan API, re-exported for convenience
 # (CampaignRunner/executors take these directly).
 from repro.faults import FaultPlan, FaultSpec, load_fault_plan
+from repro.campaign.search import (
+    SearchPolicy,
+    SearchReport,
+    SearchRunner,
+    load_search_spec,
+    run_search,
+)
 from repro.campaign.spec import CampaignSpec, WorkloadSpec, load_campaign_spec
 from repro.campaign.store import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    STATUS_PRUNED,
     CampaignRow,
     JsonlStore,
     ResultStore,
     SqliteStore,
+    canonical_json,
     open_store,
 )
 
@@ -64,13 +86,26 @@ __all__ = [
     "ResultKeyer",
     "ResultStore",
     "RetryPolicy",
+    "STATUS_COMPLETED",
+    "STATUS_FAILED",
+    "STATUS_PRUNED",
+    "SearchPolicy",
+    "SearchReport",
+    "SearchRunner",
     "SqliteStore",
     "StepStatus",
     "WorkloadSpec",
     "calibration_fingerprint",
+    "canonical_json",
+    "group_stream_batches",
     "load_campaign_spec",
     "load_fault_plan",
+    "load_search_spec",
     "open_store",
+    "plan_streams",
     "result_key",
+    "run_batches",
+    "run_search",
     "script_fingerprint",
+    "stream_spec_for_item",
 ]

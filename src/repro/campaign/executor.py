@@ -25,6 +25,7 @@ sequential output.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import importlib
 import os
 import time
@@ -35,6 +36,7 @@ from repro.errors import ConfigError, TransientError
 from repro.faults.injector import WorkpackageInjection, activate_injection
 from repro.faults.plan import FaultPlan
 from repro.obs.telemetry.config import TelemetryPlan, activate_telemetry
+from repro.serve.streams import FrozenStream, StreamCache, activate_streams, set_stream_cache
 from repro.jube.runner import (
     OperationRegistry,
     WorkItem,
@@ -203,16 +205,44 @@ class IsolatingExecutor:
         self.sleep = sleep
         self.fault_plan = fault_plan
         self.telemetry = telemetry
+        self._streams: dict[tuple, FrozenStream] = {}
+
+    def provide_streams(self, streams: dict) -> None:
+        """Accept pre-generated arrival streams (longest per family wins)."""
+        self._streams.update(streams)
+
+    def _stream_scope(self):
+        """Items run under a stream cache when streams were provided."""
+        if not self._streams:
+            return contextlib.nullcontext()
+        return activate_streams(StreamCache(self._streams))
 
     def run_items(self, items: list[WorkItem]) -> list[WorkResult]:
         """Execute items in order; failures are captured per item."""
-        return [
-            run_item_isolated(
-                self.registry, item, self.retry, self.sleep, self.fault_plan,
-                self.telemetry,
-            )
-            for item in items
-        ]
+        with self._stream_scope():
+            return [
+                run_item_isolated(
+                    self.registry, item, self.retry, self.sleep, self.fault_plan,
+                    self.telemetry,
+                )
+                for item in items
+            ]
+
+    def run_item_batches(
+        self, batches: list[list[WorkItem]]
+    ) -> list[list[WorkResult]]:
+        """Execute batches in order under one shared stream scope."""
+        with self._stream_scope():
+            return [
+                [
+                    run_item_isolated(
+                        self.registry, item, self.retry, self.sleep,
+                        self.fault_plan, self.telemetry,
+                    )
+                    for item in batch
+                ]
+                for batch in batches
+            ]
 
 
 # -- process pool -----------------------------------------------------------
@@ -234,8 +264,16 @@ def _pool_init(
     sleep: SleepFn,
     fault_plan: FaultPlan | None,
     telemetry: TelemetryPlan | None = None,
+    streams: dict | None = None,
 ) -> None:
-    """Pool initializer: runs once in each worker process."""
+    """Pool initializer: runs once in each worker process.
+
+    ``streams`` are the campaign's pre-generated frozen arrival
+    streams: they arrive once per worker (as SoA arrays, not per-item
+    pickles) and seed the worker's process-global stream cache, so
+    every workpackage the worker executes shares them instead of
+    re-generating its stream.
+    """
     global _worker_registry, _worker_retry, _worker_sleep, _worker_fault_plan
     global _worker_telemetry
     _worker_registry = resolve_registry_factory(factory)()
@@ -243,6 +281,7 @@ def _pool_init(
     _worker_sleep = sleep
     _worker_fault_plan = fault_plan
     _worker_telemetry = telemetry
+    set_stream_cache(StreamCache(streams or {}))
 
 
 def _pool_worker(item: WorkItem) -> WorkResult:
@@ -251,6 +290,15 @@ def _pool_worker(item: WorkItem) -> WorkResult:
         _worker_registry, item, _worker_retry, _worker_sleep,
         _worker_fault_plan, _worker_telemetry,
     )
+
+
+def _pool_worker_batch(items: tuple[WorkItem, ...]) -> list[WorkResult]:
+    """Run a whole batch in one worker dispatch (one pickle round-trip).
+
+    The items of a batch share the worker's stream cache, so K
+    configurations over one arrival stream materialize it once.
+    """
+    return [_pool_worker(item) for item in items]
 
 
 class PoolExecutor:
@@ -295,13 +343,28 @@ class PoolExecutor:
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._pool_config: tuple | None = None
         self._workers = 0
+        self._streams: dict[tuple, FrozenStream] = {}
         # Fail fast on an unresolvable factory, in the parent process.
         resolve_registry_factory(self.registry_factory)
+
+    def provide_streams(self, streams: dict) -> None:
+        """Ship pre-generated arrival streams to the workers.
+
+        Streams accumulate across calls; only genuinely new families
+        change the pool config (and hence restart the workers), so a
+        multi-step campaign whose steps share traffic pays the restart
+        at most once.
+        """
+        fresh = {k: v for k, v in streams.items() if k not in self._streams}
+        if fresh:
+            # A new dict (not in-place mutation): the old config tuple
+            # must compare unequal so _ensure_pool restarts the pool.
+            self._streams = {**self._streams, **fresh}
 
     def _config(self) -> tuple:
         return (
             self.registry_factory, self.retry, self.sleep, self.fault_plan,
-            self.telemetry,
+            self.telemetry, self._streams,
         )
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -338,6 +401,35 @@ class PoolExecutor:
         except concurrent.futures.process.BrokenProcessPool:
             # A dead worker poisons the whole pool; drop it so the next
             # run_items starts fresh instead of failing forever.
+            self.close()
+            raise
+
+    def run_item_batches(
+        self, batches: list[list[WorkItem]]
+    ) -> list[list[WorkResult]]:
+        """Execute pre-grouped batches, one worker dispatch per batch.
+
+        The batched seam of the sweep fast path: the caller groups K
+        configurations sharing one arrival stream into a batch, the
+        whole batch crosses the pool boundary as one task, and the
+        worker's stream cache serves all K from one materialization.
+        """
+        if not batches:
+            return []
+        pool = self._ensure_pool()
+        logger.info(
+            "pool executor: %d batches (%d items) across %d workers",
+            len(batches), sum(len(b) for b in batches), self._workers,
+        )
+        try:
+            return list(
+                pool.map(
+                    _pool_worker_batch,
+                    [tuple(batch) for batch in batches],
+                    chunksize=1,
+                )
+            )
+        except concurrent.futures.process.BrokenProcessPool:
             self.close()
             raise
 

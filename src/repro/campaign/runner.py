@@ -24,6 +24,7 @@ import logging
 import time
 from dataclasses import dataclass, field
 
+from repro.campaign.batch import plan_streams
 from repro.campaign.executor import IsolatingExecutor
 from repro.campaign.hashing import ResultKeyer, calibration_fingerprint, step_fingerprint
 from repro.campaign.spec import CampaignSpec
@@ -32,6 +33,7 @@ from repro.faults.plan import FaultPlan
 from repro.campaign.store import (
     STATUS_COMPLETED,
     STATUS_FAILED,
+    STATUS_PRUNED,
     CampaignRow,
     ResultStore,
 )
@@ -96,11 +98,13 @@ class StepStatus:
     failed: int
     degraded: int = 0
     failures: tuple = ()
+    pruned: int = 0
 
     @property
     def missing(self) -> int:
-        """Planned workpackages with no row yet."""
-        return self.planned - self.completed - self.failed
+        """Planned workpackages with no row yet (pruned rows are not
+        results, but they are accounted separately, not as missing)."""
+        return self.planned - self.completed - self.failed - self.pruned
 
 
 def _failure_entry(row: CampaignRow) -> dict:
@@ -122,8 +126,15 @@ class CampaignStatus:
 
     @property
     def done(self) -> bool:
-        """Whether every planned workpackage has completed."""
-        return all(s.missing == 0 and s.failed == 0 for s in self.steps)
+        """Whether every planned workpackage has an exact completed row.
+
+        Pruned rows do not count: a searched campaign is *answered*
+        but not exhaustively computed.
+        """
+        return all(
+            s.missing == 0 and s.failed == 0 and s.pruned == 0
+            for s in self.steps
+        )
 
     def describe(self) -> str:
         """Multi-line summary, including failed rows' fault provenance."""
@@ -133,6 +144,8 @@ class CampaignStatus:
                 f"  {s.step}: {s.completed}/{s.planned} completed, "
                 f"{s.failed} failed, {s.missing} missing"
             )
+            if s.pruned:
+                line += f", {s.pruned} pruned"
             if s.degraded:
                 line += f" ({s.degraded} degraded)"
             lines.append(line)
@@ -236,7 +249,10 @@ class CampaignRunner:
         With ``resume=False`` every workpackage re-executes and its row
         is superseded.  ``retry_failed`` additionally re-executes
         workpackages whose stored row is failed (``continue_run`` sets
-        it).
+        it).  Rows a search left as ``pruned`` are *always* treated as
+        misses — their outputs are screening evidence, not results —
+        so an exhaustive run over a searched store fills in exactly the
+        configurations the search skipped.
         """
         script = spec.compile()
         tagset = frozenset(tags)
@@ -270,7 +286,8 @@ class CampaignRunner:
             for key, combo, index, item in planned:
                 row = stored.get(key)
                 if row is not None and (
-                    row.status == STATUS_COMPLETED or not retry_failed
+                    row.status == STATUS_COMPLETED
+                    or (row.status == STATUS_FAILED and not retry_failed)
                 ):
                     final[key] = row
                     if row.status == STATUS_COMPLETED:
@@ -296,6 +313,18 @@ class CampaignRunner:
                 "step %s: %d planned, %d cached, %d to execute",
                 step.name, len(planned), len(planned) - len(to_run), len(to_run),
             )
+            # Sweep fast path: generate each distinct arrival stream
+            # once in the parent and hand it to the executor (the pool
+            # ships it to workers through the initializer).  Purely an
+            # optimization — results are byte-identical either way.
+            if to_run and hasattr(self.executor, "provide_streams"):
+                streams = plan_streams([item for _, item in to_run])
+                if streams:
+                    self.executor.provide_streams(streams)
+                    logger.info(
+                        "step %s: %d shared arrival stream(s) pre-generated",
+                        step.name, len(streams),
+                    )
             with tracer.span(
                 "campaign/step",
                 attrs={"step": step.name, "planned": len(planned), "misses": len(to_run)},
@@ -402,7 +431,7 @@ class CampaignRunner:
         for step in order_steps(script.steps, tagset):
             planned = self._planned_items(script, step, tagset, seeds, calibration_hash)
             stored = self._lookup_planned(planned, metrics, step.name)
-            completed = failed = degraded = 0
+            completed = failed = degraded = pruned = 0
             step_completed: list[CampaignRow] = []
             failures: list[dict] = []
             for planned_item in planned:
@@ -414,6 +443,8 @@ class CampaignRunner:
                     if row.degraded:
                         degraded += 1
                     step_completed.append(row)
+                elif row.status == STATUS_PRUNED:
+                    pruned += 1
                 else:
                     failed += 1
                     failures.append(_failure_entry(row))
@@ -425,6 +456,7 @@ class CampaignRunner:
                     failed=failed,
                     degraded=degraded,
                     failures=tuple(failures),
+                    pruned=pruned,
                 )
             )
             seeds[step.name] = step_completed

@@ -34,9 +34,14 @@ from typing import Iterable, Mapping
 from repro.campaign.hashing import canonical_json
 from repro.errors import ConfigError
 
-#: Row lifecycle states.
+#: Row lifecycle states.  ``pruned`` rows are written by the search
+#: driver for configurations eliminated on screening evidence: their
+#: outputs carry the screening provenance (rung, prefix length,
+#: dominating config) and are **never** exact results — a normal
+#: campaign run treats them as misses and re-executes them in full.
 STATUS_COMPLETED = "completed"
 STATUS_FAILED = "failed"
+STATUS_PRUNED = "pruned"
 
 _REDUCERS = {
     "mean": lambda vs: sum(vs) / len(vs),
@@ -399,6 +404,13 @@ class SqliteStore(ResultStore):
     #: comfortably below it when chunking ``IN (...)`` lookups.
     _IN_CHUNK = 500
 
+    #: At or below this many keys, ``get_many`` probes the key index
+    #: per row instead of weighing a table scan: the ``COUNT(*)``
+    #: round-trip the scan heuristic needs costs more than the whole
+    #: lookup at this scale, which showed up as a sub-1x "speedup" on
+    #: tiny campaigns.
+    _SMALL_LOOKUP_CUTOFF = 16
+
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -514,6 +526,16 @@ class SqliteStore(ResultStore):
             return {}
         out: dict[str, CampaignRow] = {}
         from_record = self._from_record
+        if len(keys) <= self._SMALL_LOOKUP_CUTOFF:
+            # Tiny keysets: per-row index probes, no COUNT round-trip.
+            for key in keys:
+                record = self._db.execute(
+                    f"SELECT {self._COLUMNS} FROM campaign_rows WHERE key = ?",
+                    (key,),
+                ).fetchone()
+                if record is not None:
+                    out[key] = from_record(record)
+            return out
         if 2 * len(keys) >= self.count():
             # Most of the table is wanted (the resume/fully-cached-rerun
             # shape): one sequential scan beats len(keys) index probes.

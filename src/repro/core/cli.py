@@ -10,7 +10,9 @@ Subcommands::
     caraml campaign run <spec.yaml>          # sweep with store + pool
     caraml campaign continue <spec.yaml>     # resume (retries failures)
     caraml campaign status <spec.yaml>
-    caraml campaign results <spec.yaml> [--csv out.csv]
+    caraml campaign results <spec.yaml> [--format table|csv|jsonl]
+    caraml campaign search <spec.yaml>       # pruned Pareto search
+    caraml search <spec.yaml>                # shorthand for the above
     caraml watch run.timeseries.jsonl        # replay telemetry dashboard
 """
 
@@ -55,6 +57,89 @@ def _add_faults_flag(parser) -> None:
         help="inject faults from this YAML fault plan (chaos mode); see "
         "the fault-injection section of ARCHITECTURE.md",
     )
+
+
+def _add_campaign_verb_args(cp, verb: str) -> None:
+    """Arguments of one ``caraml campaign <verb>`` subcommand.
+
+    Shared between the ``campaign`` verb family and the top-level
+    ``caraml search`` shorthand, so both spell identically.
+    """
+    cp.add_argument("spec", help="campaign spec YAML file")
+    cp.add_argument(
+        "--store",
+        default=None,
+        help="result store path (.jsonl or .sqlite); defaults to the "
+        "spec's 'store' entry or <name>.campaign.jsonl",
+    )
+    if verb in ("run", "continue", "status"):
+        _add_faults_flag(cp)
+    if verb in ("run", "continue", "search"):
+        cp.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="process-pool size (default: one per workpackage, max 8)",
+        )
+        cp.add_argument(
+            "--sequential",
+            action="store_true",
+            help="run in-process instead of through the process pool",
+        )
+        cp.add_argument("--tag", action="append", default=[], dest="tags")
+    if verb in ("run", "continue"):
+        cp.add_argument(
+            "--telemetry",
+            default=None,
+            metavar="DIR",
+            help="serving workpackages sample live telemetry and write "
+            "per-workpackage OpenMetrics + timeseries JSONL sidecars "
+            "into this directory",
+        )
+        _add_trace_flag(cp)
+    if verb == "run":
+        cp.add_argument(
+            "--retry-failed",
+            action="store_true",
+            help="also re-execute workpackages whose stored row is failed",
+        )
+    if verb == "results":
+        cp.add_argument("--csv", default=None, help="export rows to this CSV")
+        cp.add_argument("--step", default=None, help="only this workload step")
+        cp.add_argument(
+            "--format",
+            default="table",
+            choices=["table", "csv", "jsonl"],
+            dest="results_format",
+            help="stdout format: flat key=value lines (default), CSV, or "
+            "one JSON object per row",
+        )
+    if verb == "search":
+        cp.add_argument(
+            "--screen-requests",
+            type=int,
+            default=None,
+            help="first-rung arrival-stream prefix length (overrides the "
+            "spec's 'search' section; default: full requests / 64)",
+        )
+        cp.add_argument(
+            "--rungs",
+            type=int,
+            default=None,
+            help="screening rounds before full runs (override)",
+        )
+        cp.add_argument(
+            "--min-keep",
+            type=int,
+            default=None,
+            help="configs always kept through to full execution (override)",
+        )
+        cp.add_argument(
+            "--attainment-goal",
+            type=float,
+            default=None,
+            help="SLO attainment the recommender targets (override)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -267,48 +352,16 @@ def build_parser() -> argparse.ArgumentParser:
         ("continue", "resume an interrupted campaign, retrying failures"),
         ("status", "compare the plan against the store"),
         ("results", "print (and optionally export) the stored rows"),
+        ("search", "pruned Pareto search: screen, prune, run survivors exactly"),
     ):
         cp = campaign_sub.add_parser(verb, help=help_text)
-        cp.add_argument("spec", help="campaign spec YAML file")
-        cp.add_argument(
-            "--store",
-            default=None,
-            help="result store path (.jsonl or .sqlite); defaults to the "
-            "spec's 'store' entry or <name>.campaign.jsonl",
-        )
-        if verb in ("run", "continue", "status"):
-            _add_faults_flag(cp)
-        if verb in ("run", "continue"):
-            cp.add_argument(
-                "--workers",
-                type=int,
-                default=None,
-                help="process-pool size (default: one per workpackage, max 8)",
-            )
-            cp.add_argument(
-                "--telemetry",
-                default=None,
-                metavar="DIR",
-                help="serving workpackages sample live telemetry and write "
-                "per-workpackage OpenMetrics + timeseries JSONL sidecars "
-                "into this directory",
-            )
-            cp.add_argument(
-                "--sequential",
-                action="store_true",
-                help="run in-process instead of through the process pool",
-            )
-            cp.add_argument("--tag", action="append", default=[], dest="tags")
-            _add_trace_flag(cp)
-        if verb == "run":
-            cp.add_argument(
-                "--retry-failed",
-                action="store_true",
-                help="also re-execute workpackages whose stored row is failed",
-            )
-        if verb == "results":
-            cp.add_argument("--csv", default=None, help="export rows to this CSV")
-            cp.add_argument("--step", default=None, help="only this workload step")
+        _add_campaign_verb_args(cp, verb)
+
+    search = sub.add_parser(
+        "search",
+        help="shorthand for 'campaign search': pruned Pareto sweep search",
+    )
+    _add_campaign_verb_args(search, "search")
 
     jube = sub.add_parser("jube", help="drive the JUBE workflow engine")
     jube_sub = jube.add_subparsers(dest="jube_command", required=True)
@@ -361,10 +414,51 @@ def _run_campaign(args, out) -> int:
     """
     from repro.campaign import load_campaign_spec, open_store
 
+    if args.campaign_command == "search":
+        from repro.campaign.search import load_search_spec
+
+        spec, policy = load_search_spec(args.spec)
+        store_path = args.store or spec.store or f"{spec.name}.campaign.jsonl"
+        with open_store(store_path) as store:
+            return _run_campaign_search(args, out, spec, policy, store)
+
     spec = load_campaign_spec(args.spec)
     store_path = args.store or spec.store or f"{spec.name}.campaign.jsonl"
     with open_store(store_path) as store:
         return _run_campaign_with_store(args, out, spec, store)
+
+
+def _run_campaign_search(args, out, spec, policy, store) -> int:
+    """The ``caraml [campaign] search`` subcommand body."""
+    from dataclasses import replace
+
+    from repro.campaign import IsolatingExecutor, PoolExecutor
+    from repro.campaign.search import SearchRunner
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("screen_requests", args.screen_requests),
+            ("rungs", args.rungs),
+            ("min_keep", args.min_keep),
+            ("attainment_goal", args.attainment_goal),
+        )
+        if value is not None
+    }
+    if overrides:
+        policy = replace(policy, **overrides)
+    if args.sequential:
+        executor = IsolatingExecutor()
+    else:
+        executor = PoolExecutor(max_workers=args.workers)
+    try:
+        report = SearchRunner(store, executor).search(spec, policy, tags=args.tags)
+    finally:
+        if hasattr(executor, "close"):
+            executor.close()
+    print(report.describe(), file=out)
+    print(f"store: {store.path}", file=out)
+    return 0 if report.failed == 0 else 1
 
 
 def _run_campaign_with_store(args, out, spec, store) -> int:
@@ -442,12 +536,38 @@ def _run_campaign_with_store(args, out, spec, store) -> int:
 
     if args.campaign_command == "results":
         rows = store.query(campaign=spec.name, step=args.step)
-        for row in rows:
-            flat = row.flat()
-            if row.error:
-                flat["error"] = row.error
-            print("  " + "  ".join(f"{k}={v}" for k, v in flat.items()), file=out)
-        print(f"{len(rows)} rows in {store.path}", file=out)
+        fmt = getattr(args, "results_format", "table")
+        if fmt == "jsonl":
+            import json
+
+            for row in rows:
+                record = {"key": row.key, **row.flat()}
+                if row.error:
+                    record["error"] = row.error
+                print(json.dumps(record, sort_keys=True), file=out)
+        elif fmt == "csv":
+            import csv
+
+            flats = [row.flat() for row in rows]
+            columns: dict[str, None] = {}
+            for flat in flats:
+                for name in flat:
+                    columns.setdefault(name)
+            writer = csv.DictWriter(
+                out, fieldnames=list(columns), extrasaction="ignore"
+            )
+            writer.writeheader()
+            for flat in flats:
+                writer.writerow(flat)
+        else:
+            for row in rows:
+                flat = row.flat()
+                if row.error:
+                    flat["error"] = row.error
+                print(
+                    "  " + "  ".join(f"{k}={v}" for k, v in flat.items()), file=out
+                )
+            print(f"{len(rows)} rows in {store.path}", file=out)
         if args.csv:
             path = store.to_csv(args.csv, campaign=spec.name, step=args.step)
             print(f"wrote {path}", file=out)
@@ -755,6 +875,10 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
         return 0 if all(item.passed for item in items) else 1
 
     if args.command == "campaign":
+        return _run_campaign(args, out)
+
+    if args.command == "search":
+        args.campaign_command = "search"
         return _run_campaign(args, out)
 
     if args.command == "trace":

@@ -1,0 +1,50 @@
+"""Run provenance for benchmark artifacts.
+
+Every ``BENCH_*.json`` the benchmarks write embeds a provenance block —
+interpreter, platform, CPU budget, and the git commit the numbers were
+measured at — so a recorded headline can be traced to the environment
+that produced it (and a regression triaged as "code got slower" vs
+"machine changed").
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else "unknown"
+
+
+def provenance(cwd: str | Path | None = None) -> dict:
+    """The provenance block benchmark reports embed.
+
+    ``cwd`` points ``git rev-parse`` at the repository being measured
+    (defaults to the process working directory).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": git_revision(cwd),
+        "argv": list(sys.argv),
+    }

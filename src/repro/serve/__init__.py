@@ -49,9 +49,19 @@ from repro.serve.simulator import (
     ServeResult,
     ServingSimulator,
 )
+from repro.serve.streams import (
+    ArrivalStreamSpec,
+    FrozenStream,
+    StreamCache,
+    activate_streams,
+    get_stream_cache,
+    set_stream_cache,
+    shared_requests,
+)
 
 __all__ = [
     "AdmissionQueue",
+    "ArrivalStreamSpec",
     "BurstArrivals",
     "ContinuousBatchScheduler",
     "DEFAULT_BATCH_CAP",
@@ -67,6 +77,7 @@ __all__ = [
     "PERCENTILE_MODE_EXACT",
     "PERCENTILE_MODE_SKETCH",
     "PoissonArrivals",
+    "FrozenStream",
     "Request",
     "RequestRecord",
     "SLOPolicy",
@@ -75,8 +86,13 @@ __all__ = [
     "ServeSummary",
     "ServingSimulator",
     "SessionArrivals",
+    "StreamCache",
     "StreamingSummarizer",
     "TraceArrivals",
+    "activate_streams",
+    "get_stream_cache",
     "percentile",
+    "set_stream_cache",
+    "shared_requests",
     "summarize",
 ]

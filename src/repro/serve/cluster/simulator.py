@@ -87,6 +87,7 @@ from repro.serve.result import (
 )
 from repro.serve.scheduler import DEFAULT_BATCH_CAP
 from repro.serve.simulator import DEFAULT_QUEUE_CAPACITY, _emit_alert_transitions
+from repro.serve.streams import shared_requests
 from repro.simcluster.clock import VirtualClock
 
 #: Phase kinds the event loop schedules.
@@ -142,7 +143,6 @@ class _ClusterLoop:
         # and its decode-replica cursor snapshot taken at admission.
         self.prefill_wh: dict[int, float] = {}
         self.cursor_snap: dict[int, float] = {}
-        self.dropped: list[Request] = []  # shed on a full decode queue
         self.finished: list[tuple[object, float, int]] = []  # (seq, t, replica)
         self.transfer_energy_total_wh = 0.0
         self.transfer_s_total = 0.0
@@ -363,8 +363,10 @@ class _ClusterLoop:
             target = self.replicas[tr.target]
             request = self.sim.requests_by_index[tr.request_index]
             self.decode_replica[tr.request_index] = tr.target
-            if not target.queue.offer(request):
-                self.dropped.append(request)
+            # ``offer`` records the shed in the decode replica's queue
+            # when full, so conservation (completed + rejected ==
+            # offered) holds without a second ledger here.
+            target.queue.offer(request)
 
     def _dispatch(self, now: float) -> None:
         for replica in self.replicas:
@@ -435,7 +437,7 @@ class _ClusterLoop:
 
     def rejected(self) -> tuple[Request, ...]:
         """Every shed request (queue overflow at either pool)."""
-        shed = list(self.dropped)
+        shed: list[Request] = []
         for replica in self.replicas:
             shed.extend(replica.queue.rejected)
         return tuple(sorted(shed, key=lambda r: r.index))
@@ -630,7 +632,7 @@ class ClusterSimulator:
         Raises :class:`ConfigError` when any generated request could
         never fit a replica's KV budget.
         """
-        requests = tuple(arrivals.generate())
+        requests = shared_requests(arrivals)
         if not requests:
             raise ConfigError("arrival process generated no requests")
         tracer = get_tracer()

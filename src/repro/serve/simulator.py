@@ -81,6 +81,7 @@ from repro.serve.result import (
 )
 from repro.serve.scheduler import DEFAULT_BATCH_CAP, ContinuousBatchScheduler
 from repro.serve.soa import attribute_request_energy_wh
+from repro.serve.streams import shared_requests
 
 #: Default bound on the admission queue.
 DEFAULT_QUEUE_CAPACITY = 256
@@ -454,7 +455,7 @@ class ServingSimulator:
         and propagates engine errors (injected OOM, measurement
         failures) exactly like the training engines do.
         """
-        requests = tuple(arrivals.generate())
+        requests = shared_requests(arrivals)
         if not requests:
             raise ConfigError("arrival process generated no requests")
         if self.telemetry is not None and not self.telemetry.attached:

@@ -1,0 +1,59 @@
+"""The report's recommender scenario: spec expansion and inline search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.recommender import (
+    RecommenderScenario,
+    recommender_rows,
+    run_recommender,
+)
+from repro.campaign.search import SearchPolicy
+
+pytestmark = pytest.mark.serve
+
+
+SMALL = RecommenderScenario(
+    requests=48,
+    arrival_rates=(20, 80),
+    batch_caps=(2, 16),
+    policy=SearchPolicy(screen_requests=12, rungs=1, min_keep=2),
+)
+
+
+class TestScenario:
+    def test_spec_expands_the_grid(self):
+        spec = RecommenderScenario().spec()
+        assert spec.name == "report-recommender"
+        assert spec.systems == ("GH200",)
+        assert spec.size == 9  # 3 rates x 3 batch caps
+        workload = spec.workloads[0]
+        assert workload.fixed["slo_ttft_ms"] == "200.0"
+        assert workload.fixed["requests"] == "256"
+
+    def test_default_policy_is_report_sized(self):
+        policy = RecommenderScenario().policy
+        assert (policy.screen_requests, policy.rungs) == (32, 1)
+
+
+class TestRunRecommender:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_recommender(SMALL)
+
+    def test_search_covers_the_grid(self, report):
+        assert report.total == 4
+        assert report.executed + report.pruned == 4
+
+    def test_frontier_rows_are_table_ready(self, report):
+        rows = recommender_rows(report)
+        assert rows
+        for row in rows:
+            assert set(row) == {"config", "SLO attainment", "Wh/request", "replicas"}
+            assert row["SLO attainment"].endswith("%")
+            float(row["Wh/request"])  # formatted number
+
+    def test_recommendation_present(self, report):
+        assert report.recommendation is not None
+        assert "SLO attainment goal" in report.recommendation.describe()

@@ -144,3 +144,100 @@ class TestCampaignCli:
 
         with pytest.raises(ConfigError, match="no campaign spec"):
             invoke("campaign", "run", str(tmp_path / "nope.yaml"))
+
+
+@pytest.fixture
+def serve_search_spec_path(tmp_path):
+    spec = {
+        "name": "cli-search",
+        "systems": ["A100", "GH200"],
+        "workloads": [
+            {
+                "kind": "serve",
+                "axes": {"arrival_rate": [8, 64], "batch_cap": [2, 16]},
+                "fixed": {
+                    "requests": "64",
+                    "generate_tokens": "16",
+                    "slo_ttft_ms": "200",
+                },
+            }
+        ],
+        "search": {"screen_requests": 16, "rungs": 1, "min_keep": 2},
+    }
+    path = tmp_path / "search.yaml"
+    path.write_text(yaml.safe_dump(spec))
+    return path
+
+
+class TestSearchCli:
+    def test_campaign_search_prints_frontier(self, serve_search_spec_path, tmp_path):
+        store = str(tmp_path / "rows.jsonl")
+        code, text = invoke(
+            "campaign", "search", str(serve_search_spec_path),
+            "--store", store, "--sequential",
+        )
+        assert code == 0
+        assert "search 'cli-search': 8 configs" in text
+        assert "pruned" in text
+        assert "frontier:" in text
+        assert "request budget:" in text
+        assert store in text
+
+    def test_top_level_search_shorthand(self, serve_search_spec_path, tmp_path):
+        store = str(tmp_path / "rows.jsonl")
+        code, text = invoke(
+            "search", str(serve_search_spec_path), "--store", store,
+            "--sequential", "--min-keep", "8",
+        )
+        assert code == 0
+        # --min-keep 8 overrides the spec's search section: nothing prunes.
+        assert "0 pruned" in text
+        assert "8 run in full" in text
+
+    def test_plain_run_ignores_search_section(self, serve_search_spec_path, tmp_path):
+        store = str(tmp_path / "rows.jsonl")
+        code, text = invoke(
+            "campaign", "run", str(serve_search_spec_path), "--store", store,
+            "--sequential",
+        )
+        assert code == 0
+        assert "8 workpackages, 8 executed" in text
+
+
+class TestResultsFormats:
+    @pytest.fixture
+    def run_store(self, spec_path, tmp_path):
+        store = str(tmp_path / "rows.jsonl")
+        invoke("campaign", "run", str(spec_path), "--store", store, "--sequential")
+        return store
+
+    def test_csv_to_stdout(self, spec_path, run_store):
+        code, text = invoke(
+            "campaign", "results", str(spec_path), "--store", run_store,
+            "--format", "csv",
+        )
+        assert code == 0
+        lines = [line for line in text.splitlines() if line.strip()]
+        header, rows = lines[0], lines[1:]
+        assert "system" in header and "global_batch_size" in header
+        assert len(rows) == 2
+
+    def test_jsonl_to_stdout(self, spec_path, run_store):
+        import json
+
+        code, text = invoke(
+            "campaign", "results", str(spec_path), "--store", run_store,
+            "--format", "jsonl",
+        )
+        assert code == 0
+        records = [json.loads(line) for line in text.splitlines() if line.strip()]
+        assert len(records) == 2
+        for record in records:
+            assert "key" in record and "system" in record
+
+    def test_bad_format_rejected(self, spec_path, run_store):
+        with pytest.raises(SystemExit):
+            invoke(
+                "campaign", "results", str(spec_path), "--store", run_store,
+                "--format", "xml",
+            )

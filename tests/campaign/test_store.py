@@ -216,3 +216,33 @@ def test_corrupt_jsonl_raises(tmp_path):
     path.write_text('{"key": "k1"}\nnot json\n')
     with pytest.raises(ConfigError, match="corrupt campaign store"):
         JsonlStore(path)
+
+
+class TestSqliteLookupPaths:
+    """All three ``get_many`` strategies return identical results."""
+
+    def _seed(self, tmp_path, rows=100):
+        store = SqliteStore(tmp_path / "paths.sqlite")
+        store.put_many([_row(f"k{i}", index=i) for i in range(rows)])
+        return store
+
+    def test_small_keyset_takes_per_row_probes(self, tmp_path):
+        store = self._seed(tmp_path)
+        keys = [f"k{i}" for i in range(store._SMALL_LOOKUP_CUTOFF)] + ["absent"]
+        found = store.get_many(keys)
+        assert set(found) == {k for k in keys if k != "absent"}
+        assert all(found[k] == store.get(k) for k in found)
+
+    def test_medium_keyset_takes_chunked_in_selects(self, tmp_path):
+        store = self._seed(tmp_path, rows=200)
+        keys = [f"k{i}" for i in range(0, 200, 4)]  # 50 keys, < half the table
+        assert store._SMALL_LOOKUP_CUTOFF < len(keys) < store.count() / 2
+        found = store.get_many(keys)
+        assert set(found) == set(keys)
+
+    def test_large_keyset_takes_full_scan(self, tmp_path):
+        store = self._seed(tmp_path)
+        keys = [f"k{i}" for i in range(100)]
+        found = store.get_many(keys)
+        assert set(found) == set(keys)
+        assert found["k99"] == store.get("k99")

@@ -1,0 +1,33 @@
+"""Benchmark provenance: interpreter, platform, and git identity."""
+
+from __future__ import annotations
+
+import string
+from pathlib import Path
+
+from repro.core.provenance import git_revision, provenance
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestGitRevision:
+    def test_inside_a_checkout(self):
+        sha = git_revision(REPO_ROOT)
+        assert len(sha) == 40
+        assert set(sha) <= set(string.hexdigits)
+
+    def test_outside_a_checkout(self, tmp_path):
+        assert git_revision(tmp_path) == "unknown"
+
+
+class TestProvenance:
+    def test_block_shape(self):
+        block = provenance(REPO_ROOT)
+        assert set(block) == {
+            "python", "implementation", "platform", "machine",
+            "cpu_count", "git_sha", "argv",
+        }
+        assert block["cpu_count"] >= 1
+        assert block["python"].count(".") == 2
+        assert isinstance(block["argv"], list)
+        assert block["git_sha"] != "unknown"
