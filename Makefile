@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-campaign bench-serve gate-search figures report validate campaign-demo trace-demo chaos-demo serve-demo cluster-demo watch-demo clean
+.PHONY: install test bench bench-campaign bench-serve bench-powercap gate-search gate-powercap figures report validate campaign-demo trace-demo chaos-demo serve-demo cluster-demo watch-demo clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || $(PYTHON) setup.py develop
@@ -27,6 +27,17 @@ bench-serve:
 # against the reference recorded in BENCH_campaign.json.
 gate-search:
 	$(PYTHON) benchmarks/bench_campaign_scale.py --gate BENCH_campaign.json
+
+# Power-cap frontier sweep: cold execution vs the exact-cache walk,
+# merges a 'powercap' headline into BENCH_campaign.json. QUICK=1 runs
+# the 1-system CI sweep.
+bench-powercap:
+	$(PYTHON) benchmarks/bench_powercap.py $(if $(QUICK),--quick)
+
+# Re-measure the cached cap-sweep walk and fail on a >20% regression
+# against the reference recorded in BENCH_campaign.json.
+gate-powercap:
+	$(PYTHON) benchmarks/bench_powercap.py --gate BENCH_campaign.json
 
 figures:
 	$(PYTHON) examples/render_figures.py figures

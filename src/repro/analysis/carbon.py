@@ -121,3 +121,139 @@ def full_training_estimate(
 def joules(estimate_result: CarbonEstimate) -> float:
     """Site energy of an estimate in joules."""
     return wh_to_joules(estimate_result.site_energy_wh)
+
+
+# -- time-varying grids ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntensityPoint:
+    """One step of a piecewise-constant grid timeseries."""
+
+    start_s: float
+    gco2_per_kwh: float
+    price_per_kwh: float = 0.0
+
+
+@dataclass(frozen=True)
+class IntensityTimeseries:
+    """Piecewise-constant carbon intensity (and price) over time.
+
+    What electricityMap-style grid APIs return: a sequence of
+    ``(start, gCO2/kWh, price)`` steps, each valid until the next
+    step's start.  The last step extends to infinity, so lookups never
+    fall off the end; lookups before the first step clamp to it.
+    The energy-aware scheduler consumes this to pick caps and defer
+    work into low-intensity windows.
+    """
+
+    points: tuple[IntensityPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigError("intensity timeseries needs at least one point")
+        starts = [p.start_s for p in self.points]
+        if starts != sorted(starts) or len(set(starts)) != len(starts):
+            raise ConfigError("intensity points must have increasing starts")
+        for p in self.points:
+            if p.gco2_per_kwh < 0 or p.price_per_kwh < 0:
+                raise ConfigError("intensity and price must be >= 0")
+
+    def at(self, time_s: float) -> IntensityPoint:
+        """The step in effect at ``time_s``."""
+        current = self.points[0]
+        for p in self.points:
+            if p.start_s > time_s:
+                break
+            current = p
+        return current
+
+    def _mean(self, start_s: float, end_s: float, value) -> float:
+        if end_s <= start_s:
+            raise ConfigError("window must have positive duration")
+        boundaries = [
+            p.start_s for p in self.points if start_s < p.start_s < end_s
+        ]
+        total, t = 0.0, start_s
+        for b in boundaries:
+            total += (b - t) * value(self.at(t))
+            t = b
+        total += (end_s - t) * value(self.at(t))
+        return total / (end_s - start_s)
+
+    def mean_gco2(self, start_s: float, end_s: float) -> float:
+        """Time-weighted mean intensity over ``[start_s, end_s)``."""
+        return self._mean(start_s, end_s, lambda p: p.gco2_per_kwh)
+
+    def mean_price(self, start_s: float, end_s: float) -> float:
+        """Time-weighted mean energy price over ``[start_s, end_s)``."""
+        return self._mean(start_s, end_s, lambda p: p.price_per_kwh)
+
+    def lowest_window(
+        self, duration_s: float, *, horizon_s: float | None = None
+    ) -> tuple[float, float]:
+        """``(start, mean gCO2/kWh)`` of the greenest window.
+
+        Candidate starts are the step boundaries (plus 0): with a
+        piecewise-constant series the optimal window always begins at
+        one.  ``horizon_s`` bounds how far ahead the scheduler may
+        defer (default: the last step's start).
+        """
+        if duration_s <= 0:
+            raise ConfigError("window duration must be positive")
+        last = self.points[-1].start_s
+        limit = horizon_s if horizon_s is not None else last
+        candidates = sorted({0.0, *(p.start_s for p in self.points if p.start_s <= limit)})
+        best = None
+        for start in candidates:
+            mean = self.mean_gco2(start, start + duration_s)
+            if best is None or mean < best[1]:
+                best = (start, mean)
+        return best
+
+    @classmethod
+    def constant(
+        cls, gco2_per_kwh: float, *, price_per_kwh: float = 0.0
+    ) -> "IntensityTimeseries":
+        """A flat grid (what :class:`SiteProfile` alone describes)."""
+        return cls(points=(IntensityPoint(0.0, gco2_per_kwh, price_per_kwh),))
+
+    @classmethod
+    def diurnal(
+        cls,
+        *,
+        mean_gco2_per_kwh: float = 380.0,
+        swing: float = 0.45,
+        period_s: float = 86400.0,
+        steps: int = 24,
+        mean_price_per_kwh: float = 0.30,
+        trough_at_s: float = 50400.0,
+    ) -> "IntensityTimeseries":
+        """A deterministic day-shaped grid curve.
+
+        A sinusoid sampled into ``steps`` constant segments: intensity
+        (and price, which tracks it) bottoms out at ``trough_at_s``
+        (14:00 by default — the solar peak) and peaks half a period
+        away.  Purely analytic, so scheduler demos and tests are
+        reproducible without a grid API.
+        """
+        import math as _math
+
+        if steps < 2:
+            raise ConfigError("diurnal curve needs at least 2 steps")
+        if not 0.0 <= swing < 1.0:
+            raise ConfigError("swing must be in [0, 1)")
+        points = []
+        for i in range(steps):
+            start = period_s * i / steps
+            mid = start + period_s / (2 * steps)
+            phase = 2.0 * _math.pi * (mid - trough_at_s) / period_s
+            factor = 1.0 - swing * _math.cos(phase)
+            points.append(
+                IntensityPoint(
+                    start_s=start,
+                    gco2_per_kwh=mean_gco2_per_kwh * factor,
+                    price_per_kwh=mean_price_per_kwh * factor,
+                )
+            )
+        return cls(points=tuple(points))

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.analysis.carbon import IntensityTimeseries
 from repro.analysis.compare import llm_claims, resnet_claims
 from repro.analysis.figures import (
     fig2_llm_series,
@@ -29,6 +30,15 @@ from repro.analysis.serving import (
     ServingScenario,
     cluster_rows,
     serving_rows,
+)
+from repro.analysis.powercap import (
+    PowercapScenario,
+    ServeCapScenario,
+    energy_aware_schedule,
+    frontier_table,
+    points_from_rows,
+    run_powercap_sweep,
+    run_serve_cap_sweep,
 )
 from repro.analysis.tables import (
     table2_ipu_gpt,
@@ -129,6 +139,34 @@ def build_report(*, include_figures: bool = False, figure_dir: str = "figures") 
     sections.append(_md_table(recommender_rows(search_report)))
     sections.append("")
     sections.append("```\n" + search_report.recommendation.describe() + "\n```")
+
+    powercap = PowercapScenario()
+    cap_rows = frontier_table(
+        points_from_rows(run_powercap_sweep(powercap))
+    )
+    sections.append("\n## Power-cap frontier: throughput vs energy per token\n")
+    sections.append(
+        f"Cap × batch sweep on {' and '.join(powercap.systems)} "
+        f"(caps at {', '.join(f'{f:.0%}' for f in powercap.cap_fractions)} "
+        f"of TDP through the DVFS frequency model; one row per cap, best "
+        f"batch). The tokens/Wh optimum sits below TDP: near stock clocks "
+        f"throughput falls sublinearly in the cap while power falls "
+        f"linearly.\n"
+    )
+    sections.append(_md_table(cap_rows))
+
+    schedule = energy_aware_schedule(
+        run_serve_cap_sweep(ServeCapScenario(requests=32)),
+        IntensityTimeseries.diurnal(),
+        site="jsc",
+    )
+    sections.append("\n## Energy-aware serving: caps scheduled on the grid\n")
+    sections.append(
+        "A diurnal carbon-intensity curve drives per-window cap choices "
+        "for the serve fleet: clean windows run stock clocks, dirty "
+        "windows drop down the frontier while holding the SLO.\n"
+    )
+    sections.append("```\n" + schedule.describe() + "\n```")
 
     sections.append("\n## Figure 4: throughput heatmaps\n")
     for tag in SYSTEM_TAGS:

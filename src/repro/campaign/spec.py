@@ -35,7 +35,7 @@ BUILTIN_KINDS: dict[str, tuple[tuple[str, ...], dict[str, str]]] = {
             "llm_train --system $system --model $model_size "
             "--gbs $global_batch_size --mbs $micro_batch_size "
             "--duration $exit_duration --amd-variant $amd_variant "
-            "--synthetic $use_synthetic",
+            "--synthetic $use_synthetic --power-cap $power_cap",
         ),
         {
             "model_size": "800M",
@@ -43,19 +43,22 @@ BUILTIN_KINDS: dict[str, tuple[tuple[str, ...], dict[str, str]]] = {
             "exit_duration": "30",
             "amd_variant": "gcd",
             "use_synthetic": "false",
+            "power_cap": "0",
         },
     ),
     "resnet": (
         (
             "resnet_train --system $system --model $model "
             "--gbs $global_batch_size --devices $devices "
-            "--amd-variant $amd_variant --synthetic $use_synthetic",
+            "--amd-variant $amd_variant --synthetic $use_synthetic "
+            "--power-cap $power_cap",
         ),
         {
             "model": "resnet50",
             "devices": "1",
             "amd_variant": "gcd",
             "use_synthetic": "false",
+            "power_cap": "0",
         },
     ),
     "serve": (
@@ -66,7 +69,7 @@ BUILTIN_KINDS: dict[str, tuple[tuple[str, ...], dict[str, str]]] = {
             "--prompt-tokens $prompt_tokens "
             "--generate-tokens $generate_tokens --spread $length_spread "
             "--seed $arrival_seed --slo-ttft-ms $slo_ttft_ms "
-            "--slo-e2e-ms $slo_e2e_ms",
+            "--slo-e2e-ms $slo_e2e_ms --power-cap $power_cap",
         ),
         {
             "model_size": "800M",
@@ -80,6 +83,7 @@ BUILTIN_KINDS: dict[str, tuple[tuple[str, ...], dict[str, str]]] = {
             "arrival_seed": "0",
             "slo_ttft_ms": "0",
             "slo_e2e_ms": "0",
+            "power_cap": "0",
         },
     ),
     "serve_cluster": (
@@ -95,7 +99,7 @@ BUILTIN_KINDS: dict[str, tuple[tuple[str, ...], dict[str, str]]] = {
             "--prefill-replicas $prefill_replicas "
             "--decode-replicas $decode_replicas "
             "--seed $arrival_seed --slo-ttft-ms $slo_ttft_ms "
-            "--slo-e2e-ms $slo_e2e_ms",
+            "--slo-e2e-ms $slo_e2e_ms --power-cap $power_cap",
         ),
         {
             "model_size": "800M",
@@ -117,6 +121,7 @@ BUILTIN_KINDS: dict[str, tuple[tuple[str, ...], dict[str, str]]] = {
             "arrival_seed": "0",
             "slo_ttft_ms": "0",
             "slo_e2e_ms": "0",
+            "power_cap": "0",
         },
     ),
 }

@@ -13,6 +13,9 @@ Subcommands::
     caraml campaign results <spec.yaml> [--format table|csv|jsonl]
     caraml campaign search <spec.yaml>       # pruned Pareto search
     caraml search <spec.yaml>                # shorthand for the above
+    caraml powercap frontier [--system S]    # cap sweep -> efficiency frontier
+    caraml powercap schedule [--site jsc]    # energy-aware serve-cap schedule
+    caraml powercap defer <spec.yaml>        # defer cache misses to green windows
     caraml watch run.timeseries.jsonl        # replay telemetry dashboard
 """
 
@@ -57,6 +60,27 @@ def _add_faults_flag(parser) -> None:
         help="inject faults from this YAML fault plan (chaos mode); see "
         "the fault-injection section of ARCHITECTURE.md",
     )
+
+
+def _add_power_cap_flag(parser) -> None:
+    parser.add_argument(
+        "--power-cap",
+        type=float,
+        default=0.0,
+        metavar="WATTS",
+        help="per-device power cap in watts (0 = uncapped; derates "
+        "clocks through the DVFS model — see 'caraml powercap')",
+    )
+
+
+def _capped_system(tag: str, power_cap_watts: float):
+    """The system's node spec, derated when a cap was requested."""
+    node = get_system(tag)
+    if power_cap_watts > 0:
+        from repro.power.dvfs import apply_power_cap
+
+        node = apply_power_cap(node, power_cap_watts)
+    return node
 
 
 def _add_campaign_verb_args(cp, verb: str) -> None:
@@ -160,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     llm.add_argument("--mbs", type=int, default=4)
     llm.add_argument("--duration", type=float, default=120.0, help="seconds")
     llm.add_argument("--amd-variant", default="gcd", choices=["gcd", "gpu"])
+    _add_power_cap_flag(llm)
     _add_trace_flag(llm)
     _add_faults_flag(llm)
 
@@ -176,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[p.value for p in BindingPolicy],
         help="CPU binding policy (paper section V-C)",
     )
+    _add_power_cap_flag(cnn)
     _add_trace_flag(cnn)
     _add_faults_flag(cnn)
 
@@ -187,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--batch", type=int, default=8)
     infer.add_argument("--prompt-tokens", type=int, default=512)
     infer.add_argument("--generate-tokens", type=int, default=256)
+    _add_power_cap_flag(infer)
 
     serve = sub.add_parser(
         "serve", help="request-level serving simulation (continuous batching)"
@@ -303,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the per-event reference loop it is differentially tested "
         "against (identical outputs, ~10-100x slower)",
     )
+    _add_power_cap_flag(serve)
     _add_trace_flag(serve)
     _add_faults_flag(serve)
 
@@ -362,6 +390,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorthand for 'campaign search': pruned Pareto sweep search",
     )
     _add_campaign_verb_args(search, "search")
+
+    powercap = sub.add_parser(
+        "powercap",
+        help="power-cap frontier sweeps and energy-aware scheduling",
+    )
+    pc_sub = powercap.add_subparsers(dest="powercap_command", required=True)
+
+    pf = pc_sub.add_parser(
+        "frontier",
+        help="cap x batch sweep -> throughput vs energy-per-token frontier",
+    )
+    pf.add_argument(
+        "--system",
+        action="append",
+        choices=SYSTEM_TAGS,
+        default=None,
+        dest="systems",
+        help="system to sweep (repeatable; default: H100 and GH200)",
+    )
+    pf.add_argument("--model", default="800M")
+    pf.add_argument(
+        "--gbs",
+        action="append",
+        type=int,
+        default=None,
+        dest="batch_sizes",
+        help="global batch size (repeatable; default: 128 and 256)",
+    )
+    pf.add_argument(
+        "--cap-fraction",
+        action="append",
+        type=float,
+        default=None,
+        dest="cap_fractions",
+        help="cap as a fraction of TDP (repeatable; 1.0 = uncapped; "
+        "default: 1.0 0.85 0.7 0.55 0.45)",
+    )
+    pf.add_argument(
+        "--duration", type=float, default=20.0, help="benchmark seconds per point"
+    )
+    pf.add_argument(
+        "--store",
+        default=None,
+        help="persistent result store (.jsonl or .sqlite); re-runs become "
+        "pure cache walks",
+    )
+
+    ps = pc_sub.add_parser(
+        "schedule",
+        help="energy-aware serve-cap schedule over a diurnal grid curve",
+    )
+    ps.add_argument("--system", default="H100", choices=SYSTEM_TAGS)
+    ps.add_argument("--model", default="800M")
+    ps.add_argument("--rate", type=float, default=8.0, help="arrival rate (req/s)")
+    ps.add_argument("--requests", type=int, default=64)
+    ps.add_argument("--site", default="jsc", help="site profile (PUE)")
+    ps.add_argument(
+        "--attainment-goal",
+        type=float,
+        default=0.9,
+        help="SLO attainment the chosen caps must keep",
+    )
+    ps.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="gCO2/request budget per window (default: 85%% of the "
+        "uncapped point's emissions at mean grid intensity)",
+    )
+    ps.add_argument(
+        "--horizon",
+        type=float,
+        default=86400.0,
+        help="schedule horizon in seconds (default: one day)",
+    )
+    ps.add_argument("--store", default=None, help="persistent result store")
+
+    pd = pc_sub.add_parser(
+        "defer",
+        help="plan when to execute a campaign's cache misses (green windows)",
+    )
+    pd.add_argument("spec", help="campaign spec YAML file")
+    pd.add_argument(
+        "--store",
+        default=None,
+        help="result store path; defaults like 'caraml campaign'",
+    )
+    pd.add_argument("--site", default="jsc", help="site profile (PUE)")
+    pd.add_argument(
+        "--item-duration",
+        type=float,
+        default=60.0,
+        help="estimated seconds per missing workpackage",
+    )
+    pd.add_argument(
+        "--item-power",
+        type=float,
+        default=300.0,
+        help="estimated mean device watts per missing workpackage",
+    )
+    pd.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="workpackages executed concurrently (divides the makespan)",
+    )
+    pd.add_argument(
+        "--horizon",
+        type=float,
+        default=86400.0,
+        help="how far ahead deferral may push execution (seconds)",
+    )
 
     jube = sub.add_parser("jube", help="drive the JUBE workflow engine")
     jube_sub = jube.add_subparsers(dest="jube_command", required=True)
@@ -576,6 +716,116 @@ def _run_campaign_with_store(args, out, spec, store) -> int:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+@contextmanager
+def _powercap_store(path: str | None):
+    """A persistent store when ``--store`` was given, else ``None``
+    (the sweep helpers fall back to a throwaway store)."""
+    if not path:
+        yield None
+        return
+    from repro.campaign import open_store
+
+    with open_store(path) as store:
+        yield store
+
+
+def _run_powercap(args, out) -> int:
+    """The ``caraml powercap`` subcommand family."""
+    if args.powercap_command == "frontier":
+        from repro.analysis.powercap import (
+            PowercapScenario,
+            frontier_table,
+            points_from_rows,
+            run_powercap_sweep,
+        )
+
+        overrides = {}
+        if args.systems:
+            overrides["systems"] = tuple(args.systems)
+        if args.batch_sizes:
+            overrides["global_batch_sizes"] = tuple(args.batch_sizes)
+        if args.cap_fractions:
+            overrides["cap_fractions"] = tuple(args.cap_fractions)
+        scenario = PowercapScenario(
+            model_size=args.model, exit_duration_s=args.duration, **overrides
+        )
+        with _powercap_store(args.store) as store:
+            rows = run_powercap_sweep(scenario, store=store)
+        table = frontier_table(points_from_rows(rows))
+        for row in table:
+            print(
+                "  " + "  ".join(f"{k}={v}" for k, v in row.items() if v != ""),
+                file=out,
+            )
+        below_tdp = sorted(
+            {
+                r["system"]
+                for r in table
+                if "optimal" in r["pick"] and r["power_cap"] != "uncapped"
+            }
+        )
+        if below_tdp:
+            print(
+                f"tokens/Wh optimum below TDP on: {', '.join(below_tdp)}",
+                file=out,
+            )
+        if args.store:
+            print(f"store: {args.store}", file=out)
+        return 0
+
+    if args.powercap_command == "schedule":
+        from repro.analysis.carbon import IntensityTimeseries
+        from repro.analysis.powercap import (
+            ServeCapScenario,
+            energy_aware_schedule,
+            run_serve_cap_sweep,
+        )
+
+        scenario = ServeCapScenario(
+            system=args.system,
+            model_size=args.model,
+            arrival_rate=args.rate,
+            requests=args.requests,
+        )
+        with _powercap_store(args.store) as store:
+            points = run_serve_cap_sweep(scenario, store=store)
+        report = energy_aware_schedule(
+            points,
+            IntensityTimeseries.diurnal(),
+            site=args.site,
+            attainment_goal=args.attainment_goal,
+            budget_gco2_per_request=args.budget,
+            horizon_s=args.horizon,
+        )
+        print(report.describe(), file=out)
+        if args.store:
+            print(f"store: {args.store}", file=out)
+        return 0
+
+    if args.powercap_command == "defer":
+        from repro.analysis.carbon import IntensityTimeseries
+        from repro.campaign import load_campaign_spec, open_store
+        from repro.campaign.energysched import plan_deferral
+
+        spec = load_campaign_spec(args.spec)
+        store_path = args.store or spec.store or f"{spec.name}.campaign.jsonl"
+        with open_store(store_path) as store:
+            plan = plan_deferral(
+                spec,
+                store,
+                IntensityTimeseries.diurnal(),
+                site=args.site,
+                est_item_duration_s=args.item_duration,
+                est_item_power_w=args.item_power,
+                parallel_items=args.parallel,
+                horizon_s=args.horizon,
+            )
+        print(plan.describe(), file=out)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _print_result_row(result, out) -> None:
     for key, value in result.row().items():
         print(f"  {key}: {value}", file=out)
@@ -660,6 +910,7 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                 micro_batch_size=args.mbs,
                 exit_duration_s=args.duration,
                 amd_variant=AMDVariant(args.amd_variant),
+                power_cap_watts=args.power_cap,
             )
         _print_result_row(result, out)
         _print_fired_faults(scope, out)
@@ -678,6 +929,7 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                 amd_variant=AMDVariant(args.amd_variant),
                 synthetic_data=args.synthetic,
                 binding=BindingPolicy(args.binding),
+                power_cap_watts=args.power_cap,
             )
         _print_result_row(result, out)
         _print_fired_faults(scope, out)
@@ -687,7 +939,10 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
         from repro.engine.inference import InferenceEngine, InferenceWorkload
         from repro.models.transformer import get_gpt_preset
 
-        engine = InferenceEngine(get_system(args.system), get_gpt_preset(args.model))
+        engine = InferenceEngine(
+            _capped_system(args.system, args.power_cap),
+            get_gpt_preset(args.model),
+        )
         result = engine.serve(
             InferenceWorkload(
                 prompt_tokens=args.prompt_tokens,
@@ -718,7 +973,10 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
                 "--requests-json needs per-request records, which "
                 "--percentiles p2 does not store; use --percentiles exact"
             )
-        engine = InferenceEngine(get_system(args.system), get_gpt_preset(args.model))
+        engine = InferenceEngine(
+            _capped_system(args.system, args.power_cap),
+            get_gpt_preset(args.model),
+        )
         slo = SLOPolicy(
             ttft_s=args.slo_ttft_ms / 1e3 if args.slo_ttft_ms > 0 else None,
             e2e_s=args.slo_e2e_ms / 1e3 if args.slo_e2e_ms > 0 else None,
@@ -880,6 +1138,9 @@ def run(argv: list[str] | None = None, *, stdout=None) -> int:
     if args.command == "search":
         args.campaign_command = "search"
         return _run_campaign(args, out)
+
+    if args.command == "powercap":
+        return _run_powercap(args, out)
 
     if args.command == "trace":
         return run_trace_command(args, out)

@@ -19,6 +19,20 @@ from repro.models.transformer import GPT_PRESETS, get_gpt_preset
 from repro.simcluster.affinity import BindingPolicy
 
 
+def _resolve_node(system: str, power_cap_watts: float) -> NodeSpec:
+    """System tag → node spec, derated through the DVFS model if capped.
+
+    A cap of 0 means "uncapped" (the sweep-friendly sentinel: campaign
+    axes are strings, so ``power_cap=0`` is the no-cap baseline point).
+    """
+    node = get_system(system)
+    if power_cap_watts <= 0:
+        return node
+    from repro.power.dvfs import apply_power_cap
+
+    return apply_power_cap(node, power_cap_watts)
+
+
 class AMDVariant(str, enum.Enum):
     """The two MI250 reporting variants of the paper (§IV-A/B).
 
@@ -43,6 +57,7 @@ class LLMBenchmarkConfig:
     amd_variant: AMDVariant = AMDVariant.GCD
     synthetic_data: bool = False
     nodes: int = 1
+    power_cap_watts: float = 0.0  # 0 = uncapped (run at TDP)
 
     def __post_init__(self) -> None:
         if self.model_size not in GPT_PRESETS:
@@ -56,11 +71,13 @@ class LLMBenchmarkConfig:
             raise ConfigError("exit duration must be positive")
         if self.nodes < 1:
             raise ConfigError("nodes must be >= 1")
+        if self.power_cap_watts < 0:
+            raise ConfigError("power cap must be >= 0 (0 = uncapped)")
 
     @property
     def node(self) -> NodeSpec:
-        """The configured system's node spec."""
-        return get_system(self.system)
+        """The configured system's node spec (derated if capped)."""
+        return _resolve_node(self.system, self.power_cap_watts)
 
     def device_count(self) -> int:
         """Devices the run occupies (per the paper's conventions)."""
@@ -99,6 +116,7 @@ class ResNetBenchmarkConfig:
     iterations: int = 100
     nodes: int = 1
     binding: BindingPolicy = BindingPolicy.GPU_AFFINE
+    power_cap_watts: float = 0.0  # 0 = uncapped (run at TDP)
 
     def __post_init__(self) -> None:
         if self.model not in CNN_PRESETS:
@@ -109,11 +127,13 @@ class ResNetBenchmarkConfig:
             raise ConfigError("global batch size must be positive")
         if self.devices < 1 or self.nodes < 1 or self.iterations < 1:
             raise ConfigError("devices, nodes and iterations must be >= 1")
+        if self.power_cap_watts < 0:
+            raise ConfigError("power cap must be >= 0 (0 = uncapped)")
 
     @property
     def node(self) -> NodeSpec:
-        """The configured system's node spec."""
-        return get_system(self.system)
+        """The configured system's node spec (derated if capped)."""
+        return _resolve_node(self.system, self.power_cap_watts)
 
     def effective_devices(self) -> int:
         """Device count after applying the AMD variant convention."""

@@ -38,6 +38,25 @@ def _require(args: dict[str, str], key: str) -> str:
         raise JubeError(f"operation missing required --{key}") from None
 
 
+def _power_cap(args: dict[str, str]) -> float:
+    """The ``--power-cap`` watts of an operation (0 = uncapped)."""
+    cap = float(args.get("power-cap", "0"))
+    if cap < 0:
+        raise JubeError(f"--power-cap must be >= 0, got {cap}")
+    return cap
+
+
+def _serve_node(args: dict[str, str]):
+    """Node for a serving operation, derated when ``--power-cap`` binds."""
+    node = get_system(_require(args, "system"))
+    cap = _power_cap(args)
+    if cap > 0:
+        from repro.power.dvfs import apply_power_cap
+
+        node = apply_power_cap(node, cap)
+    return node
+
+
 def _telemetry_capture():
     """Sampler + monitor when a campaign telemetry plan is active.
 
@@ -128,6 +147,7 @@ def build_operation_registry() -> OperationRegistry:
             exit_duration_s=float(args.get("duration", "120")),
             amd_variant=AMDVariant(args.get("amd-variant", "gcd")),
             synthetic_data=args.get("synthetic", "false") == "true",
+            power_cap_watts=_power_cap(args),
         )
         try:
             result = run_llm_benchmark(config)
@@ -157,6 +177,7 @@ def build_operation_registry() -> OperationRegistry:
             devices=int(args.get("devices", "1")),
             amd_variant=AMDVariant(args.get("amd-variant", "gcd")),
             synthetic_data=args.get("synthetic", "false") == "true",
+            power_cap_watts=_power_cap(args),
         )
         try:
             result = run_resnet_benchmark(config)
@@ -178,11 +199,10 @@ def build_operation_registry() -> OperationRegistry:
         from repro.models.transformer import get_gpt_preset
         from repro.serve import PoissonArrivals, ServingSimulator, SLOPolicy
 
-        system = _require(args, "system")
         slo_ttft_ms = float(args.get("slo-ttft-ms", "0"))
         slo_e2e_ms = float(args.get("slo-e2e-ms", "0"))
         engine = InferenceEngine(
-            get_system(system), get_gpt_preset(args.get("model", "800M"))
+            _serve_node(args), get_gpt_preset(args.get("model", "800M"))
         )
         plan, sampler, monitor = _telemetry_capture()
         simulator = ServingSimulator(
@@ -250,11 +270,10 @@ def build_operation_registry() -> OperationRegistry:
             DisaggregationSpec,
         )
 
-        system = _require(args, "system")
         slo_ttft_ms = float(args.get("slo-ttft-ms", "0"))
         slo_e2e_ms = float(args.get("slo-e2e-ms", "0"))
         engine = InferenceEngine(
-            get_system(system), get_gpt_preset(args.get("model", "800M"))
+            _serve_node(args), get_gpt_preset(args.get("model", "800M"))
         )
         prefill = int(args.get("prefill-replicas", "0"))
         decode = int(args.get("decode-replicas", "0"))

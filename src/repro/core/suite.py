@@ -61,6 +61,7 @@ class CaramlSuite:
         micro_batch_size: int = 4,
         exit_duration_s: float = 120.0,
         amd_variant: AMDVariant | str = AMDVariant.GCD,
+        power_cap_watts: float = 0.0,
     ) -> TrainResult:
         """Run one LLM benchmark point."""
         config = LLMBenchmarkConfig(
@@ -70,6 +71,7 @@ class CaramlSuite:
             micro_batch_size=micro_batch_size,
             exit_duration_s=exit_duration_s,
             amd_variant=AMDVariant(amd_variant),
+            power_cap_watts=power_cap_watts,
         )
         return run_llm_benchmark(config)
 
@@ -83,6 +85,7 @@ class CaramlSuite:
         amd_variant: AMDVariant | str = AMDVariant.GCD,
         synthetic_data: bool = False,
         binding=None,
+        power_cap_watts: float = 0.0,
     ) -> TrainResult:
         """Run one ResNet benchmark point."""
         from repro.simcluster.affinity import BindingPolicy
@@ -95,6 +98,7 @@ class CaramlSuite:
             amd_variant=AMDVariant(amd_variant),
             synthetic_data=synthetic_data,
             binding=BindingPolicy(binding) if binding else BindingPolicy.GPU_AFFINE,
+            power_cap_watts=power_cap_watts,
         )
         return run_resnet_benchmark(config)
 

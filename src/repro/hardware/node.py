@@ -38,6 +38,12 @@ class NodeSpec:
     max_nodes:
         How many such nodes were available to the paper's experiments
         (1 for evaluation-platform systems without an interconnect).
+    power_cap_watts:
+        Enforced per-logical-device power cap (``nvidia-smi -pl``
+        style), or ``None`` when the device runs uncapped at TDP.
+        Capped nodes are built with :func:`repro.power.dvfs.apply_power_cap`,
+        which also derates the accelerator's achievable FLOP/s and
+        memory bandwidth through the calibrated frequency model.
     """
 
     name: str
@@ -52,10 +58,16 @@ class NodeSpec:
     internode_link: LinkSpec
     package_tdp_watts: float
     max_nodes: int = 1
+    power_cap_watts: float | None = None
 
     def __post_init__(self) -> None:
         if self.accelerators_per_node <= 0:
             raise HardwareError(f"{self.name}: needs at least one accelerator")
+        if self.power_cap_watts is not None and self.power_cap_watts <= 0:
+            raise HardwareError(
+                f"{self.name}: power cap must be positive, got "
+                f"{self.power_cap_watts}"
+            )
         if self.cpu_memory_bytes <= 0:
             raise HardwareError(f"{self.name}: CPU memory must be positive")
         if self.max_nodes < 1:
@@ -121,6 +133,17 @@ class NodeSpec:
         """Package TDP attributed to one logical device."""
         return self.package_tdp_watts / self.accelerator.logical_devices
 
+    @property
+    def effective_device_power_watts(self) -> float:
+        """Power budget of one logical device after any cap.
+
+        The TDP when uncapped; the enforced cap (never above TDP)
+        otherwise.
+        """
+        if self.power_cap_watts is None:
+            return self.device_tdp_watts
+        return min(self.power_cap_watts, self.device_tdp_watts)
+
     def describe(self) -> str:
         """Multi-line Table-I-style description of the node."""
         lines = [
@@ -135,4 +158,8 @@ class NodeSpec:
             f"  Inter-node: {self.internode_link.technology.value}",
             f"  TDP/device: {self.package_tdp_watts:.0f} W",
         ]
+        if self.power_cap_watts is not None:
+            lines.append(
+                f"  Power cap/device: {self.power_cap_watts:.0f} W"
+            )
         return "\n".join(lines)

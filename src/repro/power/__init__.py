@@ -5,13 +5,30 @@ the sensor layer exposes that as the counter interfaces (instantaneous
 watts, accumulated millijoules) the jpwr backends read.
 """
 
-from repro.power.model import PowerModel, power_model_for_device
+from repro.power.model import (
+    DEFAULT_IDLE_FRACTION,
+    PowerModel,
+    power_model_for_device,
+)
+from repro.power.dvfs import (
+    FrequencyModel,
+    PowerCapSpec,
+    apply_power_cap,
+    frequency_model_for_device,
+    frequency_model_for_node,
+)
 from repro.power.trace import PowerTrace, UtilisationTimeline
 from repro.power.sensors import SimulatedDevice, SensorReading, DeviceRegistry
 
 __all__ = [
+    "DEFAULT_IDLE_FRACTION",
     "PowerModel",
     "power_model_for_device",
+    "FrequencyModel",
+    "PowerCapSpec",
+    "apply_power_cap",
+    "frequency_model_for_device",
+    "frequency_model_for_node",
     "PowerTrace",
     "UtilisationTimeline",
     "SimulatedDevice",

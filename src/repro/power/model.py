@@ -15,8 +15,10 @@ slightly below 1 models the observed concavity of GPU power curves
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.hardware.accelerator import AcceleratorSpec, AcceleratorKind, Vendor
 
 
@@ -49,7 +51,24 @@ class PowerModel:
             raise ValueError("gamma must be positive")
 
     def power(self, utilisation: float) -> float:
-        """Instantaneous power at a given utilisation (clamped to [0,1])."""
+        """Instantaneous power at a given utilisation (clamped to [0,1]).
+
+        NaN utilisation is rejected at this boundary: ``min``/``max``
+        silently propagate NaN (``min(max(nan, 0), 1)`` is ``nan``), so
+        a sensor-NaN fault plan used to poison every downstream watt
+        and Wh figure.  A NaN reading carries no information about the
+        device's load, so it is treated as idle (utilisation 0) and
+        counted on the ``power_nan_utilisation_total`` metric for
+        observability.
+        """
+        if math.isnan(utilisation):
+            from repro.obs.metrics import get_metrics
+
+            get_metrics().counter(
+                "power_nan_utilisation_total",
+                "NaN utilisation readings zeroed by the power model",
+            ).inc()
+            utilisation = 0.0
         u = min(max(utilisation, 0.0), 1.0)
         return self.idle_watts + (self.max_watts - self.idle_watts) * u**self.gamma
 
@@ -69,6 +88,12 @@ _IDLE_FRACTION = {
     Vendor.GRAPHCORE: 0.35,
 }
 
+#: Idle fraction for accelerators whose vendor has no calibrated entry
+#: (user-registered custom systems, :mod:`repro.hardware.custom`).  The
+#: middle of the observed GPU range; pass ``idle_fraction=`` to
+#: :func:`power_model_for_device` to override per device.
+DEFAULT_IDLE_FRACTION = 0.20
+
 #: Calibrated achievable fraction of TDP at full training load.  PCIe
 #: cards run pinned at their cap (1.0); SXM/OAM parts have headroom.
 _CAP_FRACTION_BY_FORM = {
@@ -86,6 +111,8 @@ def power_model_for_device(
     *,
     package_tdp_watts: float | None = None,
     host_share_watts: float = 0.0,
+    cap_watts: float | None = None,
+    idle_fraction: float | None = None,
 ) -> PowerModel:
     """Build the calibrated power model of one *logical* device.
 
@@ -99,12 +126,49 @@ def power_model_for_device(
     host_share_watts:
         Extra constant draw attributed to the device by package-level
         counters (the Grace CPU share on GH200 superchips).
+    cap_watts:
+        Enforced power cap per logical device (``nvidia-smi -pl``
+        style, see :mod:`repro.power.dvfs`).  A capped device
+        saturates at the cap instead of its calibrated ``max_watts``;
+        the host share sits outside the device cap, as package-level
+        counters observe.
+    idle_fraction:
+        Idle draw as a fraction of max power.  Defaults to the
+        vendor's calibrated entry; custom-vendor accelerators without
+        one must pass a value (:data:`DEFAULT_IDLE_FRACTION` is the
+        documented general-purpose fallback).
+
+    Raises
+    ------
+    ConfigError
+        When ``spec.vendor`` has no calibrated idle fraction and
+        ``idle_fraction`` was not given.
     """
     tdp = package_tdp_watts if package_tdp_watts is not None else spec.tdp_watts
     per_logical = tdp / spec.logical_devices
     cap = _CAP_FRACTION_BY_FORM.get(spec.form_factor, 0.90)
-    idle_frac = _IDLE_FRACTION[spec.vendor]
-    max_w = per_logical * cap + host_share_watts
-    idle_w = per_logical * idle_frac + host_share_watts * 0.5
+    if idle_fraction is None:
+        try:
+            idle_fraction = _IDLE_FRACTION[spec.vendor]
+        except KeyError:
+            known = ", ".join(sorted(v.value for v in _IDLE_FRACTION))
+            raise ConfigError(
+                f"no calibrated idle power fraction for vendor "
+                f"{getattr(spec.vendor, 'value', spec.vendor)!r} "
+                f"(accelerator {spec.name!r}); known vendors: {known}. "
+                f"Pass idle_fraction= explicitly — DEFAULT_IDLE_FRACTION "
+                f"({DEFAULT_IDLE_FRACTION}) is the documented fallback "
+                f"for custom devices."
+            ) from None
+    device_max_w = per_logical * cap
+    if cap_watts is not None:
+        if cap_watts <= 0:
+            raise ConfigError(f"power cap must be positive, got {cap_watts}")
+        device_max_w = min(device_max_w, cap_watts)
+    max_w = device_max_w + host_share_watts
+    idle_w = per_logical * idle_fraction + host_share_watts * 0.5
+    # A very low cap can sit below the calibrated idle draw; the device
+    # then pins at the cap regardless of load.
+    idle_w = min(idle_w, max_w)
     gamma = 0.85 if spec.kind is AcceleratorKind.IPU else 0.9
     return PowerModel(idle_watts=idle_w, max_watts=max_w, gamma=gamma)

@@ -215,7 +215,9 @@ class DeviceRegistry:
         Logical devices are enumerated the way the OS would (8 for the
         MI250 node); GH200 devices get the Grace host share folded into
         their power model because the paper's package counter includes
-        the CPU.
+        the CPU.  A node carrying ``power_cap_watts`` (built via
+        :func:`repro.power.dvfs.apply_power_cap`) gets models that
+        saturate at the cap instead of the calibrated max.
         """
         registry = cls()
         host_share = 0.0
@@ -228,6 +230,7 @@ class DeviceRegistry:
                 node.accelerator,
                 package_tdp_watts=node.package_tdp_watts,
                 host_share_watts=host_share,
+                cap_watts=getattr(node, "power_cap_watts", None),
             )
             registry.add(
                 SimulatedDevice(

@@ -161,7 +161,10 @@ class Replica:
         self.index = index
         self.engine = engine
         self.role = role
-        self.power_model = power_model_for_device(engine.node.accelerator)
+        self.power_model = power_model_for_device(
+            engine.node.accelerator,
+            cap_watts=engine.node.power_cap_watts,
+        )
         self.queue = AdmissionQueue(queue_capacity)
         self.scheduler = ContinuousBatchScheduler(
             engine, batch_cap=batch_cap, kv_bytes_cache=kv_bytes_cache

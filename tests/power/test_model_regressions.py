@@ -1,0 +1,139 @@
+"""Regression tests for the power-layer bugfix sweep.
+
+Covers the two historic defects: NaN utilisation silently propagating
+through the min/max clamp in :meth:`PowerModel.power`, and the bare
+``KeyError`` :func:`power_model_for_device` raised for custom vendors.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.accelerator import (
+    AcceleratorKind,
+    AcceleratorSpec,
+    Vendor,
+    get_accelerator,
+)
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.power.model import (
+    DEFAULT_IDLE_FRACTION,
+    PowerModel,
+    power_model_for_device,
+)
+
+
+@pytest.fixture()
+def fresh_metrics():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    yield registry
+    set_metrics(MetricsRegistry())
+
+
+class TestNaNUtilisation:
+    def test_nan_no_longer_propagates(self, fresh_metrics):
+        m = PowerModel(idle_watts=50, max_watts=300)
+        p = m.power(float("nan"))
+        assert math.isfinite(p)
+        # A NaN reading carries no load information: treated as idle.
+        assert p == m.power(0.0)
+
+    def test_nan_energy_is_finite(self, fresh_metrics):
+        m = PowerModel(idle_watts=50, max_watts=300)
+        assert math.isfinite(m.energy(float("nan"), 10.0))
+
+    def test_nan_counted_on_metric(self, fresh_metrics):
+        m = PowerModel(idle_watts=50, max_watts=300)
+        m.power(float("nan"))
+        m.power(float("nan"))
+        m.power(0.5)  # finite readings are not counted
+        counter = fresh_metrics.counter("power_nan_utilisation_total")
+        assert counter.value() == 2.0
+
+    def test_nan_sensor_fault_yields_finite_measurement(self, fresh_metrics):
+        """End-to-end: a sensor_nan fault plan cannot poison Wh figures."""
+        from repro.faults import (
+            FaultInjector,
+            FaultPlan,
+            FaultSpec,
+            activate_injection,
+        )
+        from repro.hardware.systems import get_system
+        from repro.jpwr.ctxmgr import get_power
+        from repro.jpwr.methods.pynvml import PynvmlMethod
+        from repro.power.sensors import DeviceRegistry
+        from repro.simcluster.clock import VirtualClock
+
+        clock = VirtualClock()
+        registry = DeviceRegistry.for_node(get_system("H100"), clock=clock)
+        registry.get(0).set_utilisation(0.9)
+        plan = FaultPlan(
+            name="nan-sensor",
+            faults=(FaultSpec(kind="sensor_nan", at_time_s=0.0, duration_s=60.0),),
+        )
+        scope = FaultInjector(plan).scope_for("step", 0, {})
+        with activate_injection(scope):
+            with get_power(
+                [PynvmlMethod(registry)], 100, clock=clock, manual=True
+            ) as measured:
+                for _ in range(5):
+                    clock.advance(1.0)
+                    measured.sample()
+        for row in measured.df.rows():
+            assert all(math.isfinite(v) for v in row.values())
+
+
+class TestCustomVendorIdleFraction:
+    def _custom_spec(self):
+        base = get_accelerator("H100-SXM5")
+        import dataclasses
+
+        return dataclasses.replace(
+            base, name="FPGA-X1", vendor="acme", kind=AcceleratorKind.GPU
+        )
+
+    def test_unknown_vendor_raises_config_error(self):
+        spec = self._custom_spec()
+        with pytest.raises(ConfigError) as err:
+            power_model_for_device(spec)
+        message = str(err.value)
+        assert "acme" in message
+        assert "FPGA-X1" in message
+        for vendor in Vendor:
+            assert vendor.value in message
+        assert str(DEFAULT_IDLE_FRACTION) in message
+
+    def test_explicit_idle_fraction_unblocks_custom_vendor(self):
+        spec = self._custom_spec()
+        m = power_model_for_device(spec, idle_fraction=DEFAULT_IDLE_FRACTION)
+        assert m.idle_watts == pytest.approx(
+            spec.tdp_watts / spec.logical_devices * DEFAULT_IDLE_FRACTION
+        )
+
+    def test_known_vendors_need_no_override(self):
+        for tag in ("H100-SXM5", "MI250", "GC200"):
+            assert power_model_for_device(get_accelerator(tag)).max_watts > 0
+
+
+class TestCapSaturation:
+    def test_capped_model_saturates_at_cap(self):
+        spec = get_accelerator("H100-SXM5")
+        capped = power_model_for_device(spec, cap_watts=200.0)
+        assert capped.power(1.0) <= 200.0
+
+    def test_cap_above_calibrated_max_is_inert(self):
+        spec = get_accelerator("H100-SXM5")
+        stock = power_model_for_device(spec)
+        capped = power_model_for_device(spec, cap_watts=10_000.0)
+        assert capped.max_watts == stock.max_watts
+
+    def test_cap_below_idle_pins_device_at_cap(self):
+        spec = get_accelerator("H100-SXM5")
+        m = power_model_for_device(spec, cap_watts=5.0)
+        assert m.idle_watts == m.max_watts == 5.0
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ConfigError):
+            power_model_for_device(get_accelerator("H100-SXM5"), cap_watts=0.0)

@@ -1,0 +1,167 @@
+"""Property-based tests on the power-cap / DVFS layer.
+
+The four PR-level guarantees: modeled draw is monotone non-increasing
+as the cap drops, the efficiency frontier has an interior knee, a
+capped power model never reports draw above its cap, and seeded cap
+sweeps re-run byte-identically out of the exact cache.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.analysis.powercap import (
+    PowercapScenario,
+    best_per_cap,
+    knee_point,
+    optimal_point,
+    points_from_rows,
+    run_powercap_sweep,
+)
+from repro.hardware.accelerator import get_accelerator
+from repro.hardware.systems import get_system
+from repro.power.dvfs import (
+    FrequencyModel,
+    apply_power_cap,
+    frequency_model_for_node,
+)
+from repro.power.model import power_model_for_device
+
+_fm = st.builds(
+    FrequencyModel,
+    idle_watts=st.floats(min_value=0.0, max_value=200.0),
+    max_watts=st.floats(min_value=250.0, max_value=1000.0),
+    alpha=st.floats(min_value=1.1, max_value=4.0),
+    bandwidth_exponent=st.floats(min_value=0.0, max_value=1.0),
+    min_clock_fraction=st.floats(min_value=0.05, max_value=0.9),
+)
+
+
+@given(fm=_fm, lo=st.floats(min_value=1.0, max_value=1500.0), delta=st.floats(min_value=0.0, max_value=500.0))
+@settings(max_examples=200, deadline=None)
+def test_clock_and_draw_monotone_in_cap(fm, lo, delta):
+    """Tighter caps never raise the clock, nor the full-load draw."""
+    hi = lo + delta
+    f_lo, f_hi = fm.clock_fraction(lo), fm.clock_fraction(hi)
+    assert f_lo <= f_hi
+    # Draw at the settled clock is monotone too (power law is monotone).
+    assert fm.power_at_clock(f_lo) <= fm.power_at_clock(f_hi)
+    # And both compute and bandwidth derating follow the same order.
+    assert fm.compute_fraction(lo) <= fm.compute_fraction(hi)
+    assert fm.bandwidth_fraction(lo) <= fm.bandwidth_fraction(hi)
+
+
+@given(
+    fm=_fm,
+    cap=st.floats(min_value=1.0, max_value=1500.0),
+    util=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_capped_model_never_reports_draw_above_cap(fm, cap, util):
+    """An enforced cap is a hard ceiling on modeled device draw."""
+    spec = get_accelerator("H100-SXM5")
+    model = power_model_for_device(spec, cap_watts=cap)
+    assert model.power(util) <= cap + 1e-9
+
+
+@given(
+    cap_fraction=st.floats(min_value=0.3, max_value=0.99),
+    util=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_capped_node_sensors_respect_cap(cap_fraction, util):
+    """Sensors built from a capped node saturate at the recorded cap."""
+    from repro.power.sensors import DeviceRegistry
+
+    node = get_system("H100")
+    cap = max(
+        cap_fraction * node.device_tdp_watts,
+        frequency_model_for_node(node).min_cap_watts,
+    )
+    capped = apply_power_cap(node, cap)
+    registry = DeviceRegistry.for_node(capped)
+    device = registry.get(0)
+    device.set_utilisation(util)
+    assert device.read().power_w <= cap + 1e-9
+
+
+# -- frontier shape (deterministic, but the property the PR promises) --------
+
+
+@pytest.fixture(scope="module")
+def h100_frontier():
+    scenario = PowercapScenario(
+        systems=("H100",),
+        global_batch_sizes=(128,),
+        cap_fractions=(1.0, 0.85, 0.7, 0.55, 0.45),
+        exit_duration_s=10.0,
+    )
+    return best_per_cap(points_from_rows(run_powercap_sweep(scenario)))
+
+
+def test_energy_per_token_knee_exists(h100_frontier):
+    knee = knee_point(h100_frontier)
+    assert knee is not None
+    # The knee is an interior point: neither the uncapped nor the
+    # lowest-cap extreme.
+    caps = sorted(
+        p.power_cap_w if p.power_cap_w > 0 else float("inf")
+        for p in h100_frontier
+    )
+    knee_cap = knee.power_cap_w if knee.power_cap_w > 0 else float("inf")
+    assert caps[0] < knee_cap < caps[-1]
+
+
+def test_optimum_sits_strictly_below_tdp(h100_frontier):
+    optimum = optimal_point(h100_frontier)
+    assert 0 < optimum.power_cap_w < get_system("H100").device_tdp_watts
+
+
+def test_throughput_monotone_in_cap(h100_frontier):
+    ordered = sorted(
+        h100_frontier,
+        key=lambda p: p.power_cap_w if p.power_cap_w > 0 else float("inf"),
+    )
+    throughputs = [p.throughput_tok_s for p in ordered]
+    assert throughputs == sorted(throughputs)
+
+
+# -- byte-identical cache re-runs --------------------------------------------
+
+
+def _canonical(rows):
+    return json.dumps(
+        sorted(
+            [
+                {
+                    "key": row.key,
+                    "parameters": dict(row.parameters),
+                    "outputs": dict(row.outputs),
+                }
+                for row in rows
+            ],
+            key=lambda r: r["key"],
+        ),
+        sort_keys=True,
+    )
+
+
+def test_seeded_cap_sweep_reruns_byte_identical(tmp_path):
+    """Re-running a cap sweep against the same store is a pure cache walk."""
+    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.store import JsonlStore
+
+    scenario = PowercapScenario(
+        systems=("H100",),
+        global_batch_sizes=(128,),
+        cap_fractions=(1.0, 0.7, 0.45),
+        exit_duration_s=10.0,
+    )
+    store = JsonlStore(tmp_path / "caps.jsonl")
+    first = run_powercap_sweep(scenario, store=store)
+    report = CampaignRunner(store).run(scenario.spec("H100"))
+    assert report.executed == 0
+    assert report.cached == len(first)
+    assert _canonical(report.rows) == _canonical(first)
